@@ -1,0 +1,205 @@
+package seer_test
+
+import (
+	"strings"
+	"testing"
+
+	"seer"
+)
+
+// TestThreadAccessors covers the Thread handle's surface.
+func TestThreadAccessors(t *testing.T) {
+	cfg := seer.DefaultConfig()
+	cfg.Policy = seer.PolicyRTM
+	cfg.Threads = 2
+	cfg.NumAtomicBlocks = 1
+	cfg.MemWords = 1 << 12
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := sys.AllocAligned(1)
+	ids := make([]int, 2)
+	workers := make([]seer.Worker, 2)
+	for i := range workers {
+		idx := i
+		workers[i] = func(th *seer.Thread) {
+			ids[idx] = th.ID()
+			before := th.Clock()
+			th.Work(25)
+			if th.Clock() < before+25 {
+				t.Errorf("Work did not advance the clock")
+			}
+			if th.Rand() == nil {
+				t.Errorf("nil Rand")
+			}
+			// Direct access outside transactions.
+			d := th.Direct()
+			d.Store(cell+seer.Addr(idx), 7)
+			if d.Load(cell+seer.Addr(idx)) != 7 {
+				t.Errorf("direct store/load roundtrip failed")
+			}
+			if d.ThreadID() != th.ID() {
+				t.Errorf("Direct thread id mismatch")
+			}
+			th.Atomic(0, func(a seer.Access) { a.Work(1) })
+			modes := th.Modes()
+			if modes.Total() != 1 {
+				t.Errorf("mode histogram = %v", modes)
+			}
+		}
+	}
+	if _, err := sys.Run(workers); err != nil {
+		t.Fatal(err)
+	}
+	if ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("worker ids = %v", ids)
+	}
+}
+
+// TestHWThreadsRounding: HWThreads is rounded up to a multiple of
+// PhysCores rather than rejected.
+func TestHWThreadsRounding(t *testing.T) {
+	cfg := seer.DefaultConfig()
+	cfg.Threads = 5
+	cfg.HWThreads = 5
+	cfg.PhysCores = 4
+	cfg.MemWords = 1 << 12
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(make([]seer.Worker, 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepeatedRunsAccumulate: a second Run on the same system works and
+// the HTM counters accumulate (documented behaviour).
+func TestRepeatedRunsAccumulate(t *testing.T) {
+	cfg := seer.DefaultConfig()
+	cfg.Policy = seer.PolicyRTM
+	cfg.Threads = 1
+	cfg.NumAtomicBlocks = 1
+	cfg.MemWords = 1 << 12
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := sys.AllocAligned(1)
+	worker := []seer.Worker{func(th *seer.Thread) {
+		for n := 0; n < 10; n++ {
+			th.Atomic(0, func(a seer.Access) { a.Store(cell, a.Load(cell)+1) })
+		}
+	}}
+	r1, err := sys.Run(worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sys.Run(worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Peek(cell) != 20 {
+		t.Fatalf("cell = %d, want 20", sys.Peek(cell))
+	}
+	if r2.HTM.Commits <= r1.HTM.Commits {
+		t.Fatalf("counters did not accumulate: %d then %d", r1.HTM.Commits, r2.HTM.Commits)
+	}
+}
+
+// TestPolicyNames: every public policy constructs and self-identifies.
+func TestPolicyNames(t *testing.T) {
+	for _, pol := range []seer.PolicyKind{
+		seer.PolicyHLE, seer.PolicyRTM, seer.PolicySCM,
+		seer.PolicyATS, seer.PolicyOracle, seer.PolicySeer, seer.PolicySeq,
+	} {
+		cfg := seer.DefaultConfig()
+		cfg.Policy = pol
+		cfg.Threads = 1
+		cfg.MemWords = 1 << 10
+		sys, err := seer.NewSystem(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if got := sys.PolicyName(); got != string(pol) {
+			t.Fatalf("PolicyName = %q, want %q", got, pol)
+		}
+		if (pol == seer.PolicySeer) != (sys.Scheduler() != nil) {
+			t.Fatalf("%s: scheduler presence wrong", pol)
+		}
+	}
+}
+
+// TestLivelockGuardSurfaced: MaxCycles violations come back as errors,
+// not hangs.
+func TestLivelockGuardSurfaced(t *testing.T) {
+	cfg := seer.DefaultConfig()
+	cfg.Policy = seer.PolicySeq
+	cfg.Threads = 1
+	cfg.MemWords = 1 << 10
+	cfg.MaxCycles = 500
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Run([]seer.Worker{func(th *seer.Thread) {
+		for {
+			th.Work(10)
+		}
+	}})
+	if err == nil || !strings.Contains(err.Error(), "MaxCycles") {
+		t.Fatalf("livelock not surfaced: %v", err)
+	}
+}
+
+// TestMemoryHelpers: allocation helpers and bounds.
+func TestMemoryHelpers(t *testing.T) {
+	cfg := seer.DefaultConfig()
+	cfg.Threads = 1
+	cfg.MemWords = 1 << 10
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := sys.FreeWords()
+	a := sys.Alloc(3)
+	if sys.FreeWords() != free-3 {
+		t.Fatalf("FreeWords did not shrink")
+	}
+	b := sys.AllocLines(2)
+	if b%8 != 0 {
+		t.Fatalf("AllocLines misaligned: %d", b)
+	}
+	c := sys.AllocAligned(5)
+	if c%8 != 0 {
+		t.Fatalf("AllocAligned misaligned: %d", c)
+	}
+	sys.Poke(a, 11)
+	if sys.Peek(a) != 11 {
+		t.Fatalf("Peek/Poke roundtrip failed")
+	}
+	if seer.NilAddr != 0 {
+		t.Fatalf("NilAddr = %d", seer.NilAddr)
+	}
+}
+
+// TestWorkerPanicSurfaces: an application panic inside a worker comes
+// back as an error naming the thread.
+func TestWorkerPanicSurfaces(t *testing.T) {
+	cfg := seer.DefaultConfig()
+	cfg.Policy = seer.PolicySeq
+	cfg.Threads = 1
+	cfg.MemWords = 1 << 10
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Run([]seer.Worker{func(th *seer.Thread) {
+		th.Work(1)
+		panic("application bug")
+	}})
+	if err == nil || !strings.Contains(err.Error(), "application bug") {
+		t.Fatalf("panic not surfaced: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+// Command seerbench regenerates the tables and figures of the paper's
+// evaluation on the simulated machine.
+//
+// Usage:
+//
+//	seerbench -experiment fig3|table3|fig4|fig5|lockfrac|ext|attempts|all [flags]
+//
+// Flags:
+//
+//	-scale f     workload scale factor (default 1.0; smaller is faster)
+//	-runs n      repetitions per cell (default 3)
+//	-seed n      base seed (default 1)
+//	-workloads s comma-separated subset (default: the full STAMP suite)
+//	-v           stream per-cell progress to stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"seer/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig3|table3|fig4|fig5|lockfrac|ext|attempts|all")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor")
+		runs       = flag.Int("runs", 3, "repetitions per measurement")
+		seed       = flag.Int64("seed", 1, "base PRNG seed")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset")
+		verbose    = flag.Bool("v", false, "stream per-cell progress to stderr")
+		csvPath    = flag.String("csv", "", "also write machine-readable results to this CSV file")
+		allPol     = flag.Bool("allpolicies", false, "fig3: include the ATS and Oracle extension baselines")
+		plotOut    = flag.Bool("plot", false, "fig3: render terminal line charts instead of tables")
+	)
+	flag.Parse()
+
+	opt := harness.Options{Scale: *scale, Runs: *runs, Seed: *seed}
+	var wls []string
+	if *workloads != "" {
+		wls = strings.Split(*workloads, ",")
+	}
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+
+	var csvOut *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seerbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvOut = f
+	}
+	maybeCSV := func(write func(io.Writer) error) error {
+		if csvOut == nil {
+			return nil
+		}
+		return write(csvOut)
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig3":
+			pols := harness.Fig3Policies
+			if *allPol {
+				pols = harness.AllPolicies
+			}
+			d, err := harness.Fig3With(opt, wls, pols, progress)
+			if err != nil {
+				return err
+			}
+			if *plotOut {
+				d.Plot(os.Stdout)
+			} else {
+				d.Render(os.Stdout)
+			}
+			if err := maybeCSV(d.WriteCSV); err != nil {
+				return err
+			}
+		case "table3":
+			d, err := harness.Table3(opt, wls, progress)
+			if err != nil {
+				return err
+			}
+			d.Render(os.Stdout)
+			if err := maybeCSV(d.WriteCSV); err != nil {
+				return err
+			}
+		case "fig4":
+			d, err := harness.Fig4(opt, wls, progress)
+			if err != nil {
+				return err
+			}
+			d.Render(os.Stdout)
+			if err := maybeCSV(d.WriteCSV); err != nil {
+				return err
+			}
+		case "fig5":
+			d, err := harness.Fig5(opt, wls, progress)
+			if err != nil {
+				return err
+			}
+			d.Render(os.Stdout)
+			if err := maybeCSV(d.WriteCSV); err != nil {
+				return err
+			}
+		case "lockfrac":
+			d, err := harness.LockFrac(opt, wls)
+			if err != nil {
+				return err
+			}
+			d.Render(os.Stdout)
+		case "ext":
+			d, err := harness.Extensions(opt, wls, progress)
+			if err != nil {
+				return err
+			}
+			d.Render(os.Stdout)
+		case "attempts":
+			d, err := harness.Attempts(opt, wls, progress)
+			if err != nil {
+				return err
+			}
+			d.Render(os.Stdout)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = []string{"fig3", "table3", "fig4", "fig5", "lockfrac", "ext", "attempts"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "seerbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Command seerstat runs one workload under the Seer policy and dumps the
+// scheduler's internals: the merged conflict statistics, the inferred
+// locking scheme, threshold trajectory, lock-acquisition accounting and
+// the commit-mode breakdown. It is the debugging/inspection companion of
+// seerbench.
+//
+// Usage:
+//
+//	seerstat -workload intruder -threads 8 -scale 0.5 [-policy Seer]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"seer"
+	"seer/internal/harness"
+	"seer/internal/stamp"
+)
+
+// jsonOut is the machine-readable shape of a seerstat run.
+type jsonOut struct {
+	Policy         string             `json:"policy"`
+	Threads        int                `json:"threads"`
+	MakespanCycles uint64             `json:"makespan_cycles"`
+	Commits        uint64             `json:"commits"`
+	Throughput     float64            `json:"commits_per_kcycle"`
+	AbortRate      float64            `json:"abort_rate"`
+	Modes          map[string]float64 `json:"mode_percent"`
+	HTM            seer.HTMCounters   `json:"htm"`
+	Seer           *seerJSON          `json:"seer,omitempty"`
+}
+
+type seerJSON struct {
+	Th1           float64     `json:"th1"`
+	Th2           float64     `json:"th2"`
+	SchemeUpdates uint64      `json:"scheme_updates"`
+	Scheme        [][]int     `json:"locks_to_acquire"`
+	CondProbs     [][]float64 `json:"cond_abort_probs"`
+	ConjProbs     [][]float64 `json:"conj_abort_probs"`
+}
+
+// emitJSON writes the run's state to stdout as one JSON document.
+func emitJSON(sys *seer.System, rep seer.Report) {
+	out := jsonOut{
+		Policy:         rep.Policy,
+		Threads:        rep.Threads,
+		MakespanCycles: rep.MakespanCycles,
+		Commits:        rep.Commits(),
+		Throughput:     rep.Throughput(),
+		AbortRate:      rep.AbortRate(),
+		Modes:          map[string]float64{},
+		HTM:            rep.HTM,
+	}
+	fr := rep.ModeFractions()
+	for m := seer.Mode(0); m < seer.NumModes; m++ {
+		if fr[m] > 0 {
+			out.Modes[m.String()] = fr[m]
+		}
+	}
+	if sched := sys.Scheduler(); sched != nil {
+		th := sched.Thresholds()
+		merged := sched.Merged()
+		n := sched.NumTx()
+		sj := &seerJSON{
+			Th1: th.Th1, Th2: th.Th2,
+			SchemeUpdates: sched.SchemeUpdates,
+			Scheme:        sched.Scheme(),
+		}
+		for x := 0; x < n; x++ {
+			cond := make([]float64, n)
+			conj := make([]float64, n)
+			for y := 0; y < n; y++ {
+				cond[y] = merged.CondAbortProb(x, y)
+				conj[y] = merged.ConjAbortProb(x, y)
+			}
+			sj.CondProbs = append(sj.CondProbs, cond)
+			sj.ConjProbs = append(sj.ConjProbs, conj)
+		}
+		out.Seer = sj
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "seerstat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "intruder", "workload name")
+		threads  = flag.Int("threads", 8, "worker threads")
+		scale    = flag.Float64("scale", 0.5, "workload scale")
+		seed     = flag.Int64("seed", 1, "PRNG seed")
+		policy   = flag.String("policy", "Seer", "policy (HLE|RTM|SCM|ATS|Seer|seq)")
+		traceN   = flag.Int("trace", 0, "dump the last N runtime events")
+		asJSON   = flag.Bool("json", false, "emit the report and inference state as JSON")
+	)
+	flag.Parse()
+
+	wl, err := stamp.New(*workload, *scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seerstat: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := seer.DefaultConfig()
+	cfg.Threads = *threads
+	cfg.HWThreads = harness.MachineHWThreads
+	cfg.PhysCores = harness.MachinePhysCores
+	cfg.Seed = *seed
+	cfg.Policy = seer.PolicyKind(*policy)
+	cfg.NumAtomicBlocks = wl.NumAtomicBlocks()
+	cfg.MemWords = wl.MemWords() + (1 << 14)
+	cfg.MaxCycles = 1 << 36
+	cfg.TraceEvents = *traceN
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seerstat: %v\n", err)
+		os.Exit(1)
+	}
+	wl.Setup(sys)
+	rep, err := sys.Run(wl.Workers(*threads))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seerstat: run: %v\n", err)
+		os.Exit(1)
+	}
+	if err := wl.Validate(sys); err != nil {
+		fmt.Fprintf(os.Stderr, "seerstat: validation: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		emitJSON(sys, rep)
+		return
+	}
+
+	fmt.Print(rep.String())
+	fmt.Printf("HTM: commits=%d aborts=%d (conflict=%d capacity=%d explicit=%d spurious=%d) attempts=%d fallbacks=%d\n",
+		rep.HTM.Commits, rep.HTM.Aborts, rep.HTM.ConflictAborts, rep.HTM.CapacityAborts,
+		rep.HTM.ExplicitAborts, rep.HTM.SpuriousAborts, rep.HWAttempts, rep.Fallbacks)
+
+	sched := sys.Scheduler()
+	if sched == nil {
+		return
+	}
+	n := sched.NumTx()
+	merged := sched.Merged()
+	fmt.Printf("\nConflict statistics (merged; rows = aborting tx, cols = concurrently active tx):\n")
+	fmt.Printf("%-4s %10s", "tx", "execs")
+	for y := 0; y < n; y++ {
+		fmt.Printf("  a[%d]/c[%d]   ", y, y)
+	}
+	fmt.Printf("\n")
+	for x := 0; x < n; x++ {
+		fmt.Printf("T%-3d %10d", x, merged.Execs(x))
+		for y := 0; y < n; y++ {
+			fmt.Printf(" %6d/%-6d", merged.Aborts(x, y), merged.Commits(x, y))
+		}
+		fmt.Printf("\n")
+	}
+	fmt.Printf("\nConditional abort probabilities P(x aborts | x‖y):\n")
+	for x := 0; x < n; x++ {
+		fmt.Printf("T%-3d", x)
+		for y := 0; y < n; y++ {
+			fmt.Printf(" %6.3f", merged.CondAbortProb(x, y))
+		}
+		fmt.Printf("  | conj:")
+		for y := 0; y < n; y++ {
+			fmt.Printf(" %6.3f", merged.ConjAbortProb(x, y))
+		}
+		fmt.Printf("\n")
+	}
+	fmt.Printf("\nLocking scheme (locksToAcquire):\n")
+	for x, row := range sched.Scheme() {
+		fmt.Printf("T%-3d -> %v\n", x, row)
+	}
+	th := sched.Thresholds()
+	fmt.Printf("\nThresholds: Th1=%.3f Th2=%.3f  scheme updates=%d\n", th.Th1, th.Th2, sched.SchemeUpdates)
+	fmt.Printf("Lock acquisitions: %d (multiCAS ok=%d fail=%d)\n",
+		sched.LockAcqEvents, sched.MultiCASOk, sched.MultiCASFail)
+
+	if *traceN > 0 {
+		fmt.Printf("\nLast %d runtime events (%s):\n", *traceN, sys.Trace().FormatSummary())
+		sys.Trace().Dump(os.Stdout, nil)
+	}
+}

@@ -1,0 +1,98 @@
+package seer_test
+
+import (
+	"fmt"
+
+	"seer"
+)
+
+// ExampleSystem_Run builds a 4-thread system and counts atomically.
+func ExampleSystem_Run() {
+	cfg := seer.DefaultConfig()
+	cfg.Policy = seer.PolicySeer
+	cfg.Threads = 4
+	cfg.PhysCores = 2
+	cfg.NumAtomicBlocks = 1
+	cfg.MemWords = 1 << 12
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	counter := sys.AllocAligned(1)
+	workers := make([]seer.Worker, 4)
+	for i := range workers {
+		workers[i] = func(t *seer.Thread) {
+			for n := 0; n < 250; n++ {
+				t.Atomic(0, func(a seer.Access) {
+					a.Store(counter, a.Load(counter)+1)
+				})
+			}
+		}
+	}
+	if _, err := sys.Run(workers); err != nil {
+		panic(err)
+	}
+	fmt.Println(sys.Peek(counter))
+	// Output: 1000
+}
+
+// ExampleThread_AtomicObj uses object identities so the scheduler's
+// object-granular extension can serialize per object.
+func ExampleThread_AtomicObj() {
+	cfg := seer.DefaultConfig()
+	cfg.Threads = 2
+	cfg.PhysCores = 1
+	cfg.NumAtomicBlocks = 1
+	cfg.MemWords = 1 << 12
+	cfg.Seer.ObjLocks = true
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	buckets := sys.AllocLines(4)
+	workers := make([]seer.Worker, 2)
+	for i := range workers {
+		workers[i] = func(t *seer.Thread) {
+			rng := t.Rand()
+			for n := 0; n < 100; n++ {
+				b := rng.Intn(4)
+				addr := buckets + seer.Addr(b*8)
+				t.AtomicObj(0, uint64(b), func(a seer.Access) {
+					a.Store(addr, a.Load(addr)+1)
+				})
+			}
+		}
+	}
+	if _, err := sys.Run(workers); err != nil {
+		panic(err)
+	}
+	var total uint64
+	for b := 0; b < 4; b++ {
+		total += sys.Peek(buckets + seer.Addr(b*8))
+	}
+	fmt.Println(total)
+	// Output: 200
+}
+
+// ExampleReport_Throughput reads metrics off a finished run.
+func ExampleReport_Throughput() {
+	cfg := seer.DefaultConfig()
+	cfg.Policy = seer.PolicySeq
+	cfg.Threads = 1
+	cfg.MemWords = 1 << 10
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	cell := sys.AllocAligned(1)
+	rep, err := sys.Run([]seer.Worker{func(t *seer.Thread) {
+		for n := 0; n < 10; n++ {
+			t.Atomic(0, func(a seer.Access) { a.Store(cell, a.Load(cell)+1) })
+		}
+	}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.Commits(), rep.Throughput() > 0)
+	// Output: 10 true
+}

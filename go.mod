@@ -1,0 +1,3 @@
+module seer
+
+go 1.22

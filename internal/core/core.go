@@ -1,0 +1,557 @@
+// Package core implements Seer, the probabilistic transaction scheduler of
+// the paper (Algorithms 1–5 and the data structures of Table 2).
+//
+// Seer compensates for the coarse abort feedback of best-effort HTM: it
+// announces running transactions in a global activeTxs array, samples that
+// array on every commit/abort into per-thread statistics matrices, and
+// periodically turns the merged statistics into a fine-grained dynamic
+// locking scheme. A pair of atomic blocks (x, y) is serialized when
+//
+//	P(x aborts ∩ x‖y) > Θ₁   and   P(x aborts | x‖y) > Θ₂-percentile of
+//	                                a Gaussian fitted to row x
+//
+// in which case x and y acquire each other's transaction lock on their
+// last hardware attempt. Core locks additionally serialize hyperthread
+// siblings of a physical core when capacity aborts are observed. Θ₁ and
+// Θ₂ self-tune via stochastic hill climbing on measured throughput.
+package core
+
+import (
+	"sort"
+
+	"seer/internal/htm"
+	"seer/internal/machine"
+	"seer/internal/mem"
+	"seer/internal/spinlock"
+	"seer/internal/stats"
+	"seer/internal/tune"
+)
+
+// NoTx is the empty slot value in the active-transactions array.
+const NoTx int32 = -1
+
+// Options selects which of Seer's mechanisms are enabled. The full
+// scheduler enables everything; the evaluation's ablation variants
+// (Figures 4 and 5) switch mechanisms off cumulatively.
+type Options struct {
+	TxLocks    bool // acquire per-transaction locks on the last attempt
+	CoreLocks  bool // acquire per-core locks on capacity aborts
+	HTMLockAcq bool // batch multi-lock acquisition in a hardware transaction
+	HillClimb  bool // self-tune Θ₁/Θ₂ (otherwise static thresholds)
+
+	// ObjLocks enables the object-granular locking scheme sketched in
+	// the paper's future work (§6): instead of one lock per atomic
+	// block, each block owns ObjStripes locks and a transaction takes
+	// the stripe selected by the object identifier it passed to
+	// AtomicObj. Transactions of conflict-prone blocks that manipulate
+	// different objects then proceed in parallel.
+	ObjLocks bool
+	// ObjStripes is the number of per-block lock stripes (default 8).
+	ObjStripes int
+
+	// PreciseOracle feeds the inference with the TRUE conflictor of
+	// every conflict abort (via the simulator-only htm.LastConflictor)
+	// instead of blaming every concurrently active block. No real HTM
+	// can provide this; the variant exists to measure how much of the
+	// value of precise feedback Seer's probabilistic filtering recovers
+	// (see seerbench -experiment ext).
+	PreciseOracle bool
+
+	// SampleShift enables the probabilistic-sampling extension of the
+	// paper's future work (§6, citing Dice et al.'s scalable statistics
+	// counters): commit/abort events update the statistics matrices
+	// with probability 2^-SampleShift instead of always, cutting the
+	// monitoring overhead proportionally. The estimators stay unbiased
+	// because commits and aborts are sampled at the same rate. 0 keeps
+	// the paper's always-on profiling.
+	SampleShift uint
+
+	// UpdateEvery is the number of executions between lock-scheme
+	// recomputations (the paper recomputes opportunistically while
+	// waiting on the fall-back lock; the period bounds staleness when
+	// the fall-back is rarely used).
+	UpdateEvery uint64
+	// EpochExecs is the number of executions per hill-climbing epoch.
+	EpochExecs uint64
+	// Tuner configures the hill climber.
+	Tuner tune.Config
+	// Init sets the starting thresholds.
+	Init tune.Params
+}
+
+// DefaultOptions enables the full Seer scheduler with the paper's
+// parameters.
+func DefaultOptions() Options {
+	return Options{
+		TxLocks:     true,
+		CoreLocks:   true,
+		HTMLockAcq:  true,
+		HillClimb:   true,
+		UpdateEvery: 768,
+		EpochExecs:  3000,
+		ObjStripes:  8,
+		Tuner:       tune.DefaultConfig(),
+		Init:        tune.DefaultInit(),
+	}
+}
+
+// ProfileOnly returns options where Seer monitors, infers and tunes but
+// never acquires a lock — the overhead-measurement variant of Figure 4.
+func ProfileOnly() Options {
+	o := DefaultOptions()
+	o.TxLocks = false
+	o.CoreLocks = false
+	o.HTMLockAcq = false
+	return o
+}
+
+// ThreadState is the per-thread metadata of the paper's `thread` variable.
+// The TM runtime owns one per worker and passes it to every Seer call.
+type ThreadState struct {
+	Ctx              *machine.Ctx
+	AcquiredTxLocks  bool
+	AcquiredCoreLock bool
+
+	// heldTxLocks snapshots the locks actually acquired, so release
+	// stays correct even if the scheme is swapped mid-transaction.
+	heldTxLocks []spinlock.Lock
+
+	// obj is the object identifier of the in-flight transaction
+	// (AtomicObj), selecting the lock stripe under ObjLocks.
+	obj uint64
+
+	mats *stats.Matrices // per-thread commit/abort statistics
+	seen []bool          // scratch for per-event deduplication in scans
+}
+
+// Mats exposes the thread's statistics matrices (tests and inspection).
+func (t *ThreadState) Mats() *stats.Matrices { return t.mats }
+
+// HoldsTxLocks reports whether the thread actually holds any transaction
+// locks (AcquiredTxLocks is also set when the scheme row was empty, to
+// avoid re-running the acquisition on later attempts).
+func (t *ThreadState) HoldsTxLocks() bool { return len(t.heldTxLocks) > 0 }
+
+// Seer is the scheduler instance shared by all workers of a system.
+type Seer struct {
+	numTx int
+	mach  machine.Config
+	mem   *mem.Memory
+	htm   *htm.Unit
+	opts  Options
+
+	activeTxs []int32           // one single-writer slot per hardware thread
+	threads   []*ThreadState    // all registered thread states
+	merged    *stats.Matrices   // global matrices, rebuilt on each update
+	scheme    [][]int           // locksToAcquire: row per tx, sorted lock ids
+	txLocks   []spinlock.Lock   // one per atomic block
+	objLocks  [][]spinlock.Lock // per block × stripe, when ObjLocks is on
+	coreLocks []spinlock.Lock   // one per physical core
+	tuner     *tune.HillClimber
+	th        tune.Params
+
+	// Bookkeeping for periodic updates and tuning epochs.
+	execsSinceUpdate uint64
+	epochExecs       uint64
+	epochCommits     uint64
+	epochStartCycles uint64
+
+	// Accounting for the evaluation (§5.2: fraction of tx locks taken).
+	LockAcqEvents  uint64 // times a non-empty tx-lock row was acquired
+	LockAcqSamples []int  // row sizes at acquisition time
+	SchemeUpdates  uint64
+	MultiCASOk     uint64
+	MultiCASFail   uint64
+}
+
+// New creates a Seer instance for numTx atomic blocks on the given
+// machine. Locks are allocated from the simulated memory.
+func New(numTx int, mach machine.Config, m *mem.Memory, u *htm.Unit, opts Options, rng *machine.Rand) *Seer {
+	s := &Seer{
+		numTx:     numTx,
+		mach:      mach,
+		mem:       m,
+		htm:       u,
+		opts:      opts,
+		activeTxs: make([]int32, mach.HWThreads),
+		merged:    stats.NewMatrices(numTx),
+		scheme:    make([][]int, numTx),
+		txLocks:   make([]spinlock.Lock, numTx),
+		coreLocks: make([]spinlock.Lock, mach.PhysCores),
+		th:        opts.Init,
+	}
+	for i := range s.activeTxs {
+		s.activeTxs[i] = NoTx
+	}
+	for i := range s.txLocks {
+		s.txLocks[i] = spinlock.New(m)
+	}
+	if opts.ObjLocks {
+		if opts.ObjStripes <= 0 {
+			opts.ObjStripes = 8
+			s.opts.ObjStripes = 8
+		}
+		s.objLocks = make([][]spinlock.Lock, numTx)
+		for i := range s.objLocks {
+			s.objLocks[i] = make([]spinlock.Lock, opts.ObjStripes)
+			for j := range s.objLocks[i] {
+				s.objLocks[i][j] = spinlock.New(m)
+			}
+		}
+	}
+	for i := range s.coreLocks {
+		s.coreLocks[i] = spinlock.New(m)
+	}
+	if opts.HillClimb {
+		s.tuner = tune.New(opts.Init, opts.Tuner, rng)
+		s.th = s.tuner.Params()
+	}
+	return s
+}
+
+// NumTx returns the number of atomic blocks.
+func (s *Seer) NumTx() int { return s.numTx }
+
+// Thresholds returns the current (Θ₁, Θ₂).
+func (s *Seer) Thresholds() tune.Params { return s.th }
+
+// Scheme returns the current locksToAcquire table (rows of sorted lock
+// ids). The returned slices must not be modified.
+func (s *Seer) Scheme() [][]int { return s.scheme }
+
+// Merged returns the last merged global statistics (for inspection).
+func (s *Seer) Merged() *stats.Matrices { return s.merged }
+
+// Tuner returns the hill climber, or nil when self-tuning is disabled.
+func (s *Seer) Tuner() *tune.HillClimber { return s.tuner }
+
+// NewThreadState registers a worker thread with the scheduler.
+func (s *Seer) NewThreadState(ctx *machine.Ctx) *ThreadState {
+	t := &ThreadState{Ctx: ctx, mats: stats.NewMatrices(s.numTx), seen: make([]bool, s.numTx)}
+	s.threads = append(s.threads, t)
+	return t
+}
+
+// --- Algorithm 1/2 fragments: announcement ---
+
+// Start announces txID in the active-transactions list (one plain store;
+// the slot is a single-writer multi-reader register) and resets the
+// per-transaction lock flags. obj selects the lock stripe when the
+// object-granular extension is enabled (pass 0 otherwise).
+func (s *Seer) Start(t *ThreadState, txID int, obj uint64) {
+	t.AcquiredTxLocks = false
+	t.AcquiredCoreLock = false
+	t.heldTxLocks = t.heldTxLocks[:0]
+	t.obj = obj
+	t.Ctx.Tick(t.Ctx.Machine().Cost.DirectStore)
+	s.activeTxs[t.Ctx.ID()] = int32(txID)
+}
+
+// lockFor returns the lock a transaction of block id with t's object
+// identifier must take: the block's stripe under ObjLocks, the block
+// lock otherwise.
+func (s *Seer) lockFor(t *ThreadState, id int) spinlock.Lock {
+	if s.opts.ObjLocks {
+		stripe := int(mix64(t.obj) % uint64(s.opts.ObjStripes))
+		return s.objLocks[id][stripe]
+	}
+	return s.txLocks[id]
+}
+
+// mix64 spreads object identifiers across stripes (SplitMix64 finalizer).
+func mix64(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xBF58476D1CE4E5B9
+	k ^= k >> 27
+	k *= 0x94D049BB133111EB
+	k ^= k >> 31
+	return k
+}
+
+// Finish clears the thread's slot in the active-transactions list.
+func (s *Seer) Finish(t *ThreadState) {
+	t.Ctx.Tick(t.Ctx.Machine().Cost.DirectStore)
+	s.activeTxs[t.Ctx.ID()] = NoTx
+}
+
+// --- Algorithm 3: statistics registration ---
+
+// scanActive folds the active-transactions list into the per-thread
+// matrices via add. One scheduling point covers the whole scan: the list
+// is read with plain loads, synchronization-free by design.
+//
+// Each atomic block is counted at most once per event, even when several
+// threads are running it concurrently: the paper's Algorithm 5 interprets
+// the ratios of these counters as probabilities (P ≤ 1), which only holds
+// for 0/1-per-event indicator counts. Per-slot counting would push
+// P(x aborts ∩ x‖y) above 1 for any block that often runs on several
+// threads, putting it permanently out of reach of the Θ₁ threshold and
+// its self-tuning range [0, 1].
+func (s *Seer) scanActive(t *ThreadState, txID int, add func(x, y int)) {
+	s.epochExecs++
+	s.execsSinceUpdate++
+	if s.opts.SampleShift > 0 {
+		mask := (uint64(1) << s.opts.SampleShift) - 1
+		if t.Ctx.Rand().Uint64()&mask != 0 {
+			// Unsampled event: skip the scan (and its cost) entirely.
+			return
+		}
+	}
+	t.Ctx.Tick(t.Ctx.Machine().Cost.StatsSlot * uint64(len(s.activeTxs)))
+	self := t.Ctx.ID()
+	t.mats.IncExec(txID)
+	for i := range t.seen {
+		t.seen[i] = false
+	}
+	for i, a := range s.activeTxs {
+		if i != self && a != NoTx && !t.seen[a] {
+			t.seen[a] = true
+			add(txID, int(a))
+		}
+	}
+}
+
+// RegisterAbort records an abort of txID against all currently active
+// transactions — or, under the PreciseOracle variant, against the exact
+// conflicting block only.
+func (s *Seer) RegisterAbort(t *ThreadState, txID int) {
+	if s.opts.PreciseOracle {
+		s.epochExecs++
+		s.execsSinceUpdate++
+		t.Ctx.Tick(t.Ctx.Machine().Cost.StatsSlot)
+		t.mats.IncExec(txID)
+		if c := s.htm.LastConflictor(t.Ctx.ID()); c >= 0 {
+			if a := s.activeTxs[c]; a != NoTx {
+				t.mats.AddAbort(txID, int(a))
+			}
+		}
+		return
+	}
+	s.scanActive(t, txID, t.mats.AddAbort)
+}
+
+// RegisterCommit records a commit of txID against all currently active
+// transactions.
+func (s *Seer) RegisterCommit(t *ThreadState, txID int) {
+	s.scanActive(t, txID, t.mats.AddCommit)
+	s.epochCommits++
+}
+
+// --- Algorithm 4: lock management ---
+
+// AcquireLocks implements ACQUIRE-Seer-LOCKS: on a capacity abort the
+// thread takes its physical core's lock; on the last remaining attempt it
+// takes the transaction locks dictated by the current scheme.
+func (s *Seer) AcquireLocks(t *ThreadState, txID int, status htm.Status, attemptsLeft int) {
+	if s.opts.CoreLocks && status.Capacity() && !t.AcquiredCoreLock {
+		core := s.mach.PhysCore(t.Ctx.ID())
+		s.coreLocks[core].Acquire(t.Ctx, s.mem)
+		t.AcquiredCoreLock = true
+	}
+	if s.opts.TxLocks && attemptsLeft == 1 && !t.AcquiredTxLocks {
+		s.acquireTxLocks(t, txID)
+		t.AcquiredTxLocks = true
+	}
+}
+
+// acquireTxLocks takes every lock in scheme[txID], in the row's sorted
+// order (deadlock freedom). With two or more locks and the HTMLockAcq
+// option, a hardware transaction batches the stores as a multi-CAS,
+// falling back to sequential blocking acquisition on abort. The acquired
+// set is recorded for release.
+func (s *Seer) acquireTxLocks(t *ThreadState, txID int) {
+	row := s.scheme[txID]
+	if len(row) == 0 {
+		return
+	}
+	s.LockAcqEvents++
+	s.LockAcqSamples = append(s.LockAcqSamples, len(row))
+	if s.opts.HTMLockAcq && len(row) >= 2 {
+		status := s.htm.Run(t.Ctx, func(tx *htm.Tx) {
+			for _, id := range row {
+				s.lockFor(t, id).AcquireTx(tx, t.Ctx.ID())
+			}
+		})
+		if status == 0 {
+			s.MultiCASOk++
+			for _, id := range row {
+				t.heldTxLocks = append(t.heldTxLocks, s.lockFor(t, id))
+			}
+			return
+		}
+		s.MultiCASFail++
+	}
+	for _, id := range row {
+		lk := s.lockFor(t, id)
+		lk.Acquire(t.Ctx, s.mem)
+		t.heldTxLocks = append(t.heldTxLocks, lk)
+	}
+}
+
+// ReleaseLocks implements RELEASE-Seer-LOCKS.
+func (s *Seer) ReleaseLocks(t *ThreadState) {
+	if t.AcquiredTxLocks {
+		for _, lk := range t.heldTxLocks {
+			lk.ReleaseOwned(t.Ctx, s.mem)
+		}
+		t.heldTxLocks = t.heldTxLocks[:0]
+		t.AcquiredTxLocks = false
+	}
+	if t.AcquiredCoreLock {
+		core := s.mach.PhysCore(t.Ctx.ID())
+		s.coreLocks[core].ReleaseOwned(t.Ctx, s.mem)
+		t.AcquiredCoreLock = false
+	}
+}
+
+// WaitLocks implements WAIT-Seer-LOCKS: lemming avoidance on the
+// single-global lock (during which thread 0 opportunistically refreshes
+// the lock scheme and the tuner), then cooperation with holders of the
+// thread's transaction lock and core lock.
+func (s *Seer) WaitLocks(t *ThreadState, txID int, sgl spinlock.Lock) {
+	if sgl.LockedFast(s.mem) {
+		if t.Ctx.ID() == 0 {
+			s.UpdateScheme(t.Ctx)
+			s.maybeTune(t.Ctx)
+		}
+		sgl.SpinWhileLocked(t.Ctx, s.mem)
+	}
+	// Periodic refresh independent of fall-back activity: with Seer the
+	// fall-back becomes rare (≈1% of commits), so waiting for it would
+	// starve the inference.
+	if t.Ctx.ID() == 0 && s.execsSinceUpdate >= s.opts.UpdateEvery {
+		s.UpdateScheme(t.Ctx)
+		s.maybeTune(t.Ctx)
+	}
+	// The cooperative waits below are advisory (HTM enforces
+	// correctness), so they are bounded: unbounded spinning here can
+	// deadlock with a sibling that holds the core lock while waiting for
+	// a transaction lock we hold, and vice versa.
+	const coopSpinBudget = 256
+	if s.opts.TxLocks && !t.AcquiredTxLocks {
+		if lk := s.lockFor(t, txID); lk.LockedFast(s.mem) {
+			lk.SpinWhileLockedBounded(t.Ctx, s.mem, coopSpinBudget)
+		}
+	}
+	if s.opts.CoreLocks && !t.AcquiredCoreLock {
+		if lk := s.coreLocks[s.mach.PhysCore(t.Ctx.ID())]; lk.LockedFast(s.mem) {
+			lk.SpinWhileLockedBounded(t.Ctx, s.mem, coopSpinBudget)
+		}
+	}
+}
+
+// --- Algorithm 5: devising the locking scheme ---
+
+// UpdateScheme merges the per-thread statistics and recomputes the
+// locksToAcquire table using the current thresholds. The whole update is
+// one scheduling point whose cost scales with the number of pairs.
+func (s *Seer) UpdateScheme(ctx *machine.Ctx) {
+	cost := ctx.Machine().Cost
+	ctx.Tick(cost.UpdateBase + cost.UpdatePair*uint64(s.numTx*s.numTx))
+	s.execsSinceUpdate = 0
+	s.SchemeUpdates++
+
+	merged := stats.NewMatrices(s.numTx)
+	for _, t := range s.threads {
+		merged.MergeFrom(t.mats)
+	}
+	s.merged = merged
+
+	scheme := make([][]int, s.numTx)
+	sets := make([]map[int]struct{}, s.numTx)
+	for x := 0; x < s.numTx; x++ {
+		sets[x] = make(map[int]struct{})
+	}
+	row := make([]float64, s.numTx)
+	candidates := make([]int, 0, s.numTx)
+	condVals := make([]float64, 0, s.numTx)
+	for x := 0; x < s.numTx; x++ {
+		merged.RowCondProbs(x, row)
+		// First condition (Θ₁): keep only pairs whose abort∩concurrent
+		// events are frequent enough to be worth serializing.
+		candidates = candidates[:0]
+		condVals = condVals[:0]
+		for y := 0; y < s.numTx; y++ {
+			if merged.ConjAbortProb(x, y) > s.th.Th1 {
+				candidates = append(candidates, y)
+				condVals = append(condVals, row[y])
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		// Second condition (Θ₂): among the candidates, keep those in the
+		// upper tail of the conditional-probability distribution — the
+		// paper's device for separating falsely suspected pairs (blamed
+		// only because they happened to be running) from real
+		// conflictors. The Gaussian is fitted over the candidate set:
+		// fitting over all y, as a literal reading of the paper would,
+		// lets never-concurrent pairs (P = 0) drag the cut far below
+		// every saturated value. A single candidate is degenerate
+		// (σ = 0) and is admitted directly — Θ₁ already vouched for it,
+		// which is also the only sensible reading for programs with one
+		// atomic block.
+		cut := stats.GaussianCut(condVals, s.th.Th2)
+		_, variance := stats.MeanVar(condVals)
+		flat := variance < 1e-12 // indistinguishable candidates: admit all
+		for i, y := range candidates {
+			if len(candidates) > 1 && !flat && !(condVals[i] > cut) {
+				continue
+			}
+			// x and y contend: they take each other's lock.
+			sets[x][y] = struct{}{}
+			sets[y][x] = struct{}{}
+		}
+	}
+	for x := 0; x < s.numTx; x++ {
+		r := make([]int, 0, len(sets[x]))
+		for y := range sets[x] {
+			r = append(r, y)
+		}
+		sort.Ints(r)
+		scheme[x] = r
+	}
+	// Swap the table in one step (the pointer-indirection swap of the
+	// paper; our steps are atomic under the engine's serialization).
+	s.scheme = scheme
+}
+
+// maybeTune closes a tuning epoch if enough samples accumulated, feeding
+// the measured throughput (commits per cycle on the virtual clock) to the
+// hill climber and adopting the proposed thresholds.
+func (s *Seer) maybeTune(ctx *machine.Ctx) {
+	if !s.opts.HillClimb || s.tuner == nil {
+		return
+	}
+	if s.epochExecs < s.opts.EpochExecs {
+		return
+	}
+	now := ctx.Clock()
+	elapsed := now - s.epochStartCycles
+	if elapsed == 0 {
+		return
+	}
+	throughput := float64(s.epochCommits) / float64(elapsed)
+	s.tuner.Feedback(throughput)
+	s.th = s.tuner.Params()
+	s.epochExecs = 0
+	s.epochCommits = 0
+	s.epochStartCycles = now
+}
+
+// ActiveTxs returns a snapshot of the active-transactions list (tests).
+func (s *Seer) ActiveTxs() []int32 {
+	out := make([]int32, len(s.activeTxs))
+	copy(out, s.activeTxs)
+	return out
+}
+
+// TxLock returns the lock of atomic block id (tests and invariants).
+func (s *Seer) TxLock(id int) spinlock.Lock { return s.txLocks[id] }
+
+// CoreLock returns the lock of physical core c (tests and invariants).
+func (s *Seer) CoreLock(c int) spinlock.Lock { return s.coreLocks[c] }
+
+// ObjLock returns stripe st of block id's object-granular locks (tests
+// and invariants; only valid when ObjLocks is enabled).
+func (s *Seer) ObjLock(id, st int) spinlock.Lock { return s.objLocks[id][st] }

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"seer"
+)
+
+// AttemptsData holds the retry-budget ablation: the paper adopts Intel's
+// recommended 5 hardware attempts for STAMP; this experiment sweeps the
+// budget to show how sensitive each policy is to it.
+type AttemptsData struct {
+	Budgets  []int
+	Policies []seer.PolicyKind
+	// Throughput[policy][budgetIdx] is the geomean commits/kcycle
+	// across the workloads at 8 threads.
+	Throughput map[seer.PolicyKind][]float64
+}
+
+// AttemptBudgets is the swept axis.
+var AttemptBudgets = []int{1, 2, 3, 5, 8, 12}
+
+// Attempts sweeps the hardware retry budget at 8 threads.
+func Attempts(opt Options, workloads []string, progress io.Writer) (*AttemptsData, error) {
+	opt = opt.normalized()
+	if workloads == nil {
+		workloads = Suite()
+	}
+	policies := []seer.PolicyKind{seer.PolicyRTM, seer.PolicySCM, seer.PolicySeer}
+	data := &AttemptsData{
+		Budgets:    AttemptBudgets,
+		Policies:   policies,
+		Throughput: map[seer.PolicyKind][]float64{},
+	}
+	for _, pol := range policies {
+		series := make([]float64, len(AttemptBudgets))
+		for bi, budget := range AttemptBudgets {
+			vals := make([]float64, 0, len(workloads))
+			for _, wl := range workloads {
+				res, err := RunOne(Spec{
+					Workload: wl, Scale: opt.Scale, Policy: pol,
+					MaxAttempts: budget,
+					Threads:     8, Runs: opt.Runs, Seed: opt.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				var tp float64
+				for _, rep := range res.Reports {
+					tp += rep.Throughput()
+				}
+				vals = append(vals, tp/float64(len(res.Reports)))
+			}
+			series[bi] = GeoMean(vals)
+			if progress != nil {
+				fmt.Fprintf(progress, "attempts %-5s budget=%-2d %.3f\n", pol, budget, series[bi])
+			}
+		}
+		data.Throughput[pol] = series
+	}
+	return data, nil
+}
+
+// Render writes the ablation as text.
+func (d *AttemptsData) Render(w io.Writer) {
+	fmt.Fprintf(w, "\nRetry-budget ablation: geomean throughput (commits/kcycle) at 8 threads\n")
+	fmt.Fprintf(w, "%-6s", "")
+	for _, b := range d.Budgets {
+		fmt.Fprintf(w, " %6d", b)
+	}
+	fmt.Fprintln(w)
+	for _, pol := range d.Policies {
+		fmt.Fprintf(w, "%-6s", pol)
+		for _, v := range d.Throughput[pol] {
+			fmt.Fprintf(w, " %6.2f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"seer"
+)
+
+// WriteCSV renders experiment data as CSV for downstream plotting. Each
+// exhibit writes its own column layout; all include a leading "exhibit"
+// column so several can share one file.
+
+// WriteCSV writes Figure 3 speedups, one row per
+// (workload, policy, threads) cell.
+func (d *Fig3Data) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"exhibit", "workload", "policy", "threads", "speedup"}); err != nil {
+		return err
+	}
+	emit := func(wl string, series map[seer.PolicyKind][]float64) error {
+		for _, pol := range d.Policies {
+			for ti, th := range d.Threads {
+				rec := []string{"fig3", wl, string(pol),
+					strconv.Itoa(th), formatFloat(series[pol][ti])}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, wl := range d.Workloads {
+		if err := emit(wl, d.Speedup[wl]); err != nil {
+			return err
+		}
+	}
+	if err := emit("geomean", d.Geomean); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes Table 3 percentages, one row per
+// (policy, threads, mode).
+func (d *Table3Data) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"exhibit", "policy", "threads", "mode", "percent"}); err != nil {
+		return err
+	}
+	for _, pol := range d.Policies {
+		for ti, th := range d.Threads {
+			for m := seer.Mode(0); m < seer.NumModes; m++ {
+				rec := []string{"table3", string(pol), strconv.Itoa(th),
+					m.String(), formatFloat(d.Pct[pol][ti][m])}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes Figure 4 relative speeds, one row per
+// (workload, threads).
+func (d *Fig4Data) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"exhibit", "workload", "threads", "relative_speed"}); err != nil {
+		return err
+	}
+	for wl, series := range d.PerWorkload {
+		for ti, th := range d.Threads {
+			if err := cw.Write([]string{"fig4", wl, strconv.Itoa(th), formatFloat(series[ti])}); err != nil {
+				return err
+			}
+		}
+	}
+	for ti, th := range d.Threads {
+		if err := cw.Write([]string{"fig4", "geomean", strconv.Itoa(th), formatFloat(d.Relative[ti])}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes Figure 5 speedups, one row per
+// (workload, variant, threads).
+func (d *Fig5Data) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"exhibit", "workload", "variant", "threads", "speedup_vs_profile_only"}); err != nil {
+		return err
+	}
+	emit := func(wl string, series map[string][]float64) error {
+		for _, v := range d.Variants {
+			for ti, th := range d.Threads {
+				if err := cw.Write([]string{"fig5", wl, v, strconv.Itoa(th), formatFloat(series[v][ti])}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, wl := range d.Workloads {
+		if err := emit(wl, d.Speedup[wl]); err != nil {
+			return err
+		}
+	}
+	if err := emit("geomean", d.Geomean); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%.4f", v)
+}

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"seer"
+	"seer/internal/core"
+)
+
+// ExtData holds the future-work extension study: the paper's §6 sketches
+// object-granular locks and sampled statistics; this experiment measures
+// both against the stock scheduler.
+type ExtData struct {
+	Workloads []string
+	Threads   []int
+	// Speedup[wl][variant][threadIdx], relative to stock full Seer.
+	Speedup  map[string]map[string][]float64
+	Variants []string
+	Geomean  map[string][]float64
+}
+
+// extVariants returns the extension configurations measured against the
+// stock scheduler.
+func extVariants() []struct {
+	Name string
+	Opts seer.SeerOptions
+} {
+	stock := core.DefaultOptions()
+
+	obj := stock
+	obj.ObjLocks = true
+	obj.ObjStripes = 8
+
+	sampled := stock
+	sampled.SampleShift = 2 // profile 1 event in 4
+
+	both := obj
+	both.SampleShift = 2
+
+	oracle := stock
+	oracle.PreciseOracle = true
+
+	return []struct {
+		Name string
+		Opts seer.SeerOptions
+	}{
+		{"stock", stock},
+		{"+obj-locks", obj},
+		{"+sampling/4", sampled},
+		{"+both", both},
+		{"oracle-input", oracle},
+	}
+}
+
+// Extensions measures the §6 future-work extensions. Workloads that pass
+// object identifiers (kmeans does) exercise the stripe locks; all
+// workloads exercise sampling.
+func Extensions(opt Options, workloads []string, progress io.Writer) (*ExtData, error) {
+	opt = opt.normalized()
+	if workloads == nil {
+		workloads = Suite()
+	}
+	variants := extVariants()
+	data := &ExtData{
+		Workloads: workloads,
+		Threads:   Table3Threads,
+		Speedup:   map[string]map[string][]float64{},
+		Geomean:   map[string][]float64{},
+	}
+	for _, v := range variants {
+		data.Variants = append(data.Variants, v.Name)
+	}
+	for _, wl := range workloads {
+		data.Speedup[wl] = map[string][]float64{}
+		base := make([]float64, len(data.Threads))
+		for ti, th := range data.Threads {
+			opts := variants[0].Opts
+			res, err := RunOne(Spec{
+				Workload: wl, Scale: opt.Scale, Policy: seer.PolicySeer,
+				SeerOpts: &opts, Threads: th, Runs: opt.Runs, Seed: opt.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			base[ti] = res.MeanMakespan
+		}
+		for _, v := range variants {
+			series := make([]float64, len(data.Threads))
+			for ti, th := range data.Threads {
+				opts := v.Opts
+				res, err := RunOne(Spec{
+					Workload: wl, Scale: opt.Scale, Policy: seer.PolicySeer,
+					SeerOpts: &opts, Threads: th, Runs: opt.Runs, Seed: opt.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				series[ti] = base[ti] / res.MeanMakespan
+			}
+			data.Speedup[wl][v.Name] = series
+			if progress != nil {
+				fmt.Fprintf(progress, "ext %-14s %-12s %v\n", wl, v.Name, fmtSeries(series))
+			}
+		}
+	}
+	for _, v := range data.Variants {
+		gm := make([]float64, len(data.Threads))
+		for ti := range data.Threads {
+			vals := make([]float64, 0, len(workloads))
+			for _, wl := range workloads {
+				vals = append(vals, data.Speedup[wl][v][ti])
+			}
+			gm[ti] = GeoMean(vals)
+		}
+		data.Geomean[v] = gm
+	}
+	return data, nil
+}
+
+// Render writes the extension study as text.
+func (d *ExtData) Render(w io.Writer) {
+	fmt.Fprintf(w, "\nExtensions (§6 future work): speedup vs stock Seer\n")
+	for _, wl := range append(append([]string{}, d.Workloads...), "geomean") {
+		fmt.Fprintf(w, "%-14s", wl)
+		for _, th := range d.Threads {
+			fmt.Fprintf(w, " %6dt", th)
+		}
+		fmt.Fprintln(w)
+		for _, v := range d.Variants {
+			var series []float64
+			if wl == "geomean" {
+				series = d.Geomean[v]
+			} else {
+				series = d.Speedup[wl][v]
+			}
+			fmt.Fprintf(w, "  %-12s", v)
+			for _, s := range series {
+				fmt.Fprintf(w, " %6.2f", s)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package harness drives the paper's evaluation: it runs (workload ×
+// policy × thread-count) grids on the simulated machine, averages over
+// repetitions, computes speedups against the sequential uninstrumented
+// baseline, and renders the tables and figures of the paper as text.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"seer"
+	"seer/internal/core"
+	"seer/internal/stamp"
+)
+
+// MachineHWThreads and MachinePhysCores pin the simulated testbed to the
+// paper's: a 4-core, 8-hardware-thread processor. Thread counts 1–4 land
+// on distinct physical cores; 5–8 start doubling up hyperthread siblings
+// (worker i runs on hardware thread i, and threads t, t+4 share a core).
+const (
+	MachineHWThreads = 8
+	MachinePhysCores = 4
+)
+
+// Spec describes one measurement cell.
+type Spec struct {
+	Workload string
+	Scale    float64
+	Policy   seer.PolicyKind
+	// SeerOpts overrides the scheduler options (nil = core defaults);
+	// used for the Figure 4/5 variants.
+	SeerOpts *seer.SeerOptions
+	// MaxAttempts overrides the hardware retry budget (0 = the paper's 5).
+	MaxAttempts int
+	Threads     int
+	Runs        int
+	Seed        int64
+}
+
+// Result aggregates the repetitions of one Spec.
+type Result struct {
+	Spec    Spec
+	Reports []seer.Report
+	// MeanMakespan is the arithmetic mean of makespans over runs.
+	MeanMakespan float64
+	// MeanModePct averages the Table 3 percentage breakdown.
+	MeanModePct [seer.NumModes]float64
+}
+
+// RunOne executes one Spec.
+func RunOne(spec Spec) (Result, error) {
+	if spec.Runs <= 0 {
+		spec.Runs = 1
+	}
+	res := Result{Spec: spec}
+	for run := 0; run < spec.Runs; run++ {
+		rep, err := runOnce(spec, spec.Seed+int64(run)*7919)
+		if err != nil {
+			return res, fmt.Errorf("%s/%s/%dt run %d: %w",
+				spec.Workload, spec.Policy, spec.Threads, run, err)
+		}
+		res.Reports = append(res.Reports, rep)
+		res.MeanMakespan += float64(rep.MakespanCycles)
+		pct := rep.ModeFractions()
+		for i := range pct {
+			res.MeanModePct[i] += pct[i]
+		}
+	}
+	res.MeanMakespan /= float64(spec.Runs)
+	for i := range res.MeanModePct {
+		res.MeanModePct[i] /= float64(spec.Runs)
+	}
+	return res, nil
+}
+
+// runOnce builds a fresh system and workload, runs, and validates.
+func runOnce(spec Spec, seed int64) (seer.Report, error) {
+	wl, err := stamp.New(spec.Workload, spec.Scale)
+	if err != nil {
+		return seer.Report{}, err
+	}
+	cfg := seer.DefaultConfig()
+	cfg.Threads = spec.Threads
+	cfg.HWThreads = MachineHWThreads
+	cfg.PhysCores = MachinePhysCores
+	if spec.Threads > MachineHWThreads {
+		cfg.HWThreads = spec.Threads
+	}
+	cfg.Seed = seed
+	cfg.Policy = spec.Policy
+	cfg.NumAtomicBlocks = wl.NumAtomicBlocks()
+	cfg.MemWords = wl.MemWords() + (1 << 14)
+	cfg.MaxCycles = 1 << 36 // livelock guard
+	if spec.MaxAttempts > 0 {
+		cfg.MaxAttempts = spec.MaxAttempts
+	}
+	if spec.SeerOpts != nil {
+		cfg.Seer = *spec.SeerOpts
+	} else {
+		cfg.Seer = core.DefaultOptions()
+	}
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		return seer.Report{}, err
+	}
+	wl.Setup(sys)
+	rep, err := sys.Run(wl.Workers(spec.Threads))
+	if err != nil {
+		return seer.Report{}, err
+	}
+	if err := wl.Validate(sys); err != nil {
+		return seer.Report{}, fmt.Errorf("validation failed: %w", err)
+	}
+	return rep, nil
+}
+
+// SequentialBaseline measures the uninstrumented single-thread makespan
+// of a workload (the denominator of every speedup in Figure 3).
+func SequentialBaseline(workload string, scale float64, runs int, seed int64) (float64, error) {
+	res, err := RunOne(Spec{
+		Workload: workload, Scale: scale,
+		Policy: seer.PolicySeq, Threads: 1, Runs: runs, Seed: seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.MeanMakespan, nil
+}
+
+// Speedup converts a Result to a speedup given the sequential baseline
+// makespan.
+func Speedup(baseline float64, r Result) float64 {
+	if r.MeanMakespan == 0 {
+		return 0
+	}
+	return baseline / r.MeanMakespan
+}
+
+// GeoMean returns the geometric mean of vals (ignoring non-positive
+// entries, which would otherwise poison the product).
+func GeoMean(vals []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// SeerVariants returns the cumulative option sets of Figure 5, in
+// presentation order, plus the core-locks-only variant discussed in §5.3.
+func SeerVariants() []struct {
+	Name string
+	Opts seer.SeerOptions
+} {
+	base := core.DefaultOptions()
+	off := base
+	off.TxLocks, off.CoreLocks, off.HTMLockAcq, off.HillClimb = false, false, false, false
+
+	tx := off
+	tx.TxLocks = true
+
+	txCore := tx
+	txCore.CoreLocks = true
+
+	txCoreCAS := txCore
+	txCoreCAS.HTMLockAcq = true
+
+	full := txCoreCAS
+	full.HillClimb = true
+
+	coreOnly := off
+	coreOnly.CoreLocks = true
+
+	return []struct {
+		Name string
+		Opts seer.SeerOptions
+	}{
+		{"profile-only", off},
+		{"+tx-locks", tx},
+		{"+core-locks", txCore},
+		{"+htm-locks", txCoreCAS},
+		{"+hill-climbing", full},
+		{"core-locks-only", coreOnly},
+	}
+}

@@ -1,0 +1,450 @@
+// Package htm implements a best-effort hardware transactional memory with
+// Intel TSX semantics on top of the simulated machine and memory.
+//
+// The deliberate fidelity points, which define the problem Seer solves:
+//
+//   - Abort feedback is coarse: a Status bitmask distinguishes conflict,
+//     capacity, explicit and spurious aborts — and nothing else. The HTM
+//     never reveals WHICH transaction caused a conflict.
+//   - Conflict detection is eager, at cache-line granularity, and
+//     requester-wins: an access that conflicts with another transaction's
+//     read/write set dooms that transaction (as cache-coherence requests do
+//     on real hardware). Doomed transactions notice at their next
+//     instruction boundary, mimicking asynchronous aborts.
+//   - Strong isolation: non-transactional accesses doom conflicting
+//     transactions too (see internal/mem). This is what makes the
+//     single-global-lock fall-back correct: transactions read the lock
+//     word transactionally, so acquiring it aborts them all.
+//   - Capacity is limited by the L1 cache, which hyperthread siblings on
+//     one physical core share: while k sibling hardware threads run
+//     transactions on a core, each sees only 1/k of the line budget. This
+//     is the pathology the paper's core locks address.
+//   - No progress guarantee: even a transaction that would succeed can
+//     abort spuriously (interrupts etc.), so a software fall-back is
+//     mandatory.
+package htm
+
+import (
+	"fmt"
+
+	"seer/internal/machine"
+	"seer/internal/mem"
+)
+
+// Status is the TSX-style status word returned when a hardware transaction
+// aborts. The zero value means "committed".
+type Status uint32
+
+// Abort-cause bits, mirroring Intel's _XABORT_* flags.
+const (
+	BitExplicit Status = 1 << 0 // XAbort was called; code in bits 24-31
+	BitRetry    Status = 1 << 1 // the transaction may succeed on retry
+	BitConflict Status = 1 << 2 // data conflict with another thread
+	BitCapacity Status = 1 << 3 // read/write set exceeded the cache budget
+	BitSpurious Status = 1 << 4 // interrupt or other transient condition
+)
+
+// ExplicitCode extracts the 8-bit code passed to Tx.Abort.
+func (s Status) ExplicitCode() uint8 { return uint8(s >> 24) }
+
+// Conflict reports whether the abort was a data conflict.
+func (s Status) Conflict() bool { return s&BitConflict != 0 }
+
+// Capacity reports whether the abort was a capacity overflow.
+func (s Status) Capacity() bool { return s&BitCapacity != 0 }
+
+// Explicit reports whether the abort was requested by the program.
+func (s Status) Explicit() bool { return s&BitExplicit != 0 }
+
+// String renders the status for logs and test failures.
+func (s Status) String() string {
+	if s == 0 {
+		return "committed"
+	}
+	out := ""
+	add := func(name string) {
+		if out != "" {
+			out += "|"
+		}
+		out += name
+	}
+	if s&BitExplicit != 0 {
+		add(fmt.Sprintf("explicit(%d)", s.ExplicitCode()))
+	}
+	if s&BitRetry != 0 {
+		add("retry")
+	}
+	if s&BitConflict != 0 {
+		add("conflict")
+	}
+	if s&BitCapacity != 0 {
+		add("capacity")
+	}
+	if s&BitSpurious != 0 {
+		add("spurious")
+	}
+	return out
+}
+
+// Config sets the capacity and noise parameters of the HTM.
+type Config struct {
+	// ReadSetLines is the maximum number of cache lines a transaction
+	// may read when it has its physical core's L1 to itself
+	// (Haswell tracks reads beyond L1, so this is larger than the
+	// write-set budget).
+	ReadSetLines int
+	// WriteSetLines is the maximum number of written cache lines
+	// (bounded by L1: 32 KiB / 64 B = 512 on Haswell).
+	WriteSetLines int
+	// SpuriousProb is the per-access probability of a transient abort.
+	SpuriousProb float64
+}
+
+// DefaultConfig returns Haswell-like capacities, scaled down so that the
+// scaled-down STAMP workloads exercise capacity aborts the way the full
+// benchmarks do on real silicon.
+func DefaultConfig() Config {
+	return Config{
+		ReadSetLines:  512,
+		WriteSetLines: 64,
+		SpuriousProb:  0.00002,
+	}
+}
+
+// Counters aggregates HTM events for reports and tests.
+type Counters struct {
+	Commits        uint64
+	Aborts         uint64
+	ConflictAborts uint64
+	CapacityAborts uint64
+	ExplicitAborts uint64
+	SpuriousAborts uint64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Commits += other.Commits
+	c.Aborts += other.Aborts
+	c.ConflictAborts += other.ConflictAborts
+	c.CapacityAborts += other.CapacityAborts
+	c.ExplicitAborts += other.ExplicitAborts
+	c.SpuriousAborts += other.SpuriousAborts
+}
+
+// txnState is the per-hardware-thread transaction context.
+type txnState struct {
+	active     bool
+	doomed     bool
+	doomStatus Status
+	doomedBy   int8 // hw thread whose access doomed this txn (-1 unknown)
+	readLines  map[mem.Line]struct{}
+	writeLines map[mem.Line]struct{}
+	writeBuf   map[mem.Addr]uint64
+	lines      []mem.Line // every registered line, for unregistering
+}
+
+func (t *txnState) reset() {
+	t.active = false
+	t.doomed = false
+	t.doomStatus = 0
+	t.readLines = nil
+	t.writeLines = nil
+	t.writeBuf = nil
+	t.lines = t.lines[:0]
+}
+
+// Unit is the machine's transactional-memory facility: one per simulated
+// machine, tracking the in-flight transaction of every hardware thread.
+type Unit struct {
+	mem  *mem.Memory
+	mach machine.Config
+	cfg  Config
+	txns []txnState
+	cnt  []Counters // per hardware thread
+	// lastConflictor[hw] records who doomed hw's latest conflict abort
+	// (simulator-only oracle; see LastConflictor).
+	lastConflictor []int8
+}
+
+// New creates the HTM unit and installs it as the memory's doomer.
+func New(m *mem.Memory, mach machine.Config, cfg Config) *Unit {
+	u := &Unit{
+		mem:            m,
+		mach:           mach,
+		cfg:            cfg,
+		txns:           make([]txnState, mach.HWThreads),
+		cnt:            make([]Counters, mach.HWThreads),
+		lastConflictor: make([]int8, mach.HWThreads),
+	}
+	for i := range u.lastConflictor {
+		u.lastConflictor[i] = -1
+	}
+	m.SetDoomer(u)
+	return u
+}
+
+// Counters returns the summed event counters across hardware threads.
+func (u *Unit) Counters() Counters {
+	var total Counters
+	for i := range u.cnt {
+		total.Add(u.cnt[i])
+	}
+	return total
+}
+
+// ThreadCounters returns the event counters of one hardware thread.
+func (u *Unit) ThreadCounters(hw int) Counters { return u.cnt[hw] }
+
+// ResetCounters zeroes all event counters.
+func (u *Unit) ResetCounters() {
+	for i := range u.cnt {
+		u.cnt[i] = Counters{}
+	}
+}
+
+// Active reports whether hardware thread hw is inside a transaction
+// (the xtest() analogue at the unit level).
+func (u *Unit) Active(hw int) bool { return u.txns[hw].active }
+
+// --- mem.Doomer implementation ---
+
+// DoomReaders aborts every transaction in the readers bitmask except self.
+func (u *Unit) DoomReaders(readers uint64, self int) {
+	for readers != 0 {
+		hw := trailingZeros(readers)
+		readers &^= 1 << uint(hw)
+		if hw != self {
+			u.doom(hw, BitConflict|BitRetry, self)
+		}
+	}
+}
+
+// DoomWriter aborts the transaction of hardware thread writer unless it is
+// self.
+func (u *Unit) DoomWriter(writer, self int) {
+	if writer != self {
+		u.doom(writer, BitConflict|BitRetry, self)
+	}
+}
+
+// LastConflictor returns the hardware thread whose access caused hw's
+// most recent conflict abort, or -1.
+//
+// This is a SIMULATOR-ONLY oracle: no commodity HTM exposes the
+// conflicting transaction (that restriction is the whole premise of the
+// paper). It exists so the Oracle policy can quantify what precise
+// feedback would be worth; Seer never touches it.
+func (u *Unit) LastConflictor(hw int) int { return int(u.lastConflictor[hw]) }
+
+// doom marks hw's transaction as aborted and removes its registry entries
+// immediately so the conflict state stays consistent; the victim observes
+// the doom flag at its next instruction boundary. by records the
+// requester for the simulator-only oracle interface.
+func (u *Unit) doom(hw int, status Status, by int) {
+	t := &u.txns[hw]
+	if !t.active || t.doomed {
+		return
+	}
+	t.doomed = true
+	t.doomStatus |= status
+	t.doomedBy = int8(by)
+	u.lastConflictor[hw] = int8(by)
+	u.mem.Unregister(hw, t.lines)
+	t.lines = t.lines[:0]
+	t.readLines = nil
+	t.writeLines = nil
+}
+
+// abortSignal is the panic payload used to unwind a transaction body, the
+// Go analogue of the setjmp/longjmp behaviour of xbegin.
+type abortSignal struct{ status Status }
+
+// Tx is a running hardware transaction bound to one hardware thread. It
+// implements the same Load/Store accessor shape as mem.Direct, so workload
+// code is oblivious to which path (HTM or fall-back) executes it.
+type Tx struct {
+	u   *Unit
+	ctx *machine.Ctx
+	hw  int
+}
+
+// activeOnCore counts hardware threads of hw's physical core currently
+// running a transaction (including hw itself); the L1 line budget is
+// divided by it.
+func (u *Unit) activeOnCore(hw int) int {
+	n := 0
+	core := u.mach.PhysCore(hw)
+	for t := core; t < u.mach.HWThreads; t += u.mach.PhysCores {
+		if u.txns[t].active {
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+func (u *Unit) readCap(hw int) int  { return maxInt(1, u.cfg.ReadSetLines/u.activeOnCore(hw)) }
+func (u *Unit) writeCap(hw int) int { return maxInt(1, u.cfg.WriteSetLines/u.activeOnCore(hw)) }
+
+// step advances virtual time by cost and delivers any pending asynchronous
+// abort.
+func (t *Tx) step(cost uint64) {
+	t.ctx.Tick(cost)
+	st := &t.u.txns[t.hw]
+	if st.doomed {
+		panic(abortSignal{st.doomStatus})
+	}
+	if t.u.cfg.SpuriousProb > 0 && t.ctx.Rand().Bool(t.u.cfg.SpuriousProb) {
+		t.u.lastConflictor[t.hw] = -1
+		panic(abortSignal{BitSpurious | BitRetry})
+	}
+}
+
+// Load performs a transactional load.
+func (t *Tx) Load(a mem.Addr) uint64 {
+	t.step(t.ctx.Machine().Cost.TxLoad)
+	st := &t.u.txns[t.hw]
+	if v, ok := st.writeBuf[a]; ok {
+		return v
+	}
+	if t.u.mem.RegisterRead(t.hw, a) {
+		ln := mem.LineOf(a)
+		if _, dup := st.writeLines[ln]; !dup {
+			st.readLines[ln] = struct{}{}
+			st.lines = append(st.lines, ln)
+			if len(st.readLines) > t.u.readCap(t.hw) {
+				panic(abortSignal{BitCapacity})
+			}
+		}
+	}
+	return t.u.mem.Peek(a)
+}
+
+// Store performs a transactional (buffered) store.
+func (t *Tx) Store(a mem.Addr, v uint64) {
+	t.step(t.ctx.Machine().Cost.TxStore)
+	st := &t.u.txns[t.hw]
+	if t.u.mem.RegisterWrite(t.hw, a) {
+		ln := mem.LineOf(a)
+		st.writeLines[ln] = struct{}{}
+		if _, wasRead := st.readLines[ln]; !wasRead {
+			st.lines = append(st.lines, ln)
+		}
+		if len(st.writeLines) > t.u.writeCap(t.hw) {
+			panic(abortSignal{BitCapacity})
+		}
+	}
+	st.writeBuf[a] = v
+}
+
+// Work simulates n units of in-transaction computation (with abort
+// delivery at the instruction boundary, like any other transactional
+// step).
+func (t *Tx) Work(n uint64) {
+	if n > 0 {
+		t.step(n * t.ctx.Machine().Cost.Work)
+	}
+}
+
+// ThreadID returns the hardware thread running this transaction.
+func (t *Tx) ThreadID() int { return t.hw }
+
+// Abort explicitly aborts the transaction with an 8-bit code (the xabort
+// analogue). It never returns.
+func (t *Tx) Abort(code uint8) {
+	panic(abortSignal{BitExplicit | BitRetry | Status(code)<<24})
+}
+
+// ReadSetLines and WriteSetLines report the current footprint, for tests.
+func (t *Tx) ReadSetLines() int  { return len(t.u.txns[t.hw].readLines) }
+func (t *Tx) WriteSetLines() int { return len(t.u.txns[t.hw].writeLines) }
+
+// Run executes body as one hardware transaction attempt on ctx's thread.
+// It returns status 0 if the transaction committed, and the abort status
+// otherwise (body side effects are discarded on abort, as the write buffer
+// is never applied). Nesting is not supported and panics.
+func (u *Unit) Run(ctx *machine.Ctx, body func(*Tx)) (status Status) {
+	hw := ctx.ID()
+	st := &u.txns[hw]
+	if st.active {
+		panic("htm: nested hardware transactions are not supported")
+	}
+	ctx.Tick(ctx.Machine().Cost.XBegin)
+	st.active = true
+	st.doomed = false
+	st.doomStatus = 0
+	st.readLines = make(map[mem.Line]struct{}, 16)
+	st.writeLines = make(map[mem.Line]struct{}, 8)
+	st.writeBuf = make(map[mem.Addr]uint64, 8)
+	st.lines = st.lines[:0]
+
+	tx := &Tx{u: u, ctx: ctx, hw: hw}
+	defer func() {
+		if r := recover(); r != nil {
+			sig, ok := r.(abortSignal)
+			if !ok {
+				st.reset()
+				panic(r) // programming error in the body: propagate
+			}
+			status = sig.status
+			if status == 0 {
+				// Defensive: an abort must carry a cause.
+				status = BitRetry
+			}
+			u.mem.Unregister(hw, st.lines)
+			st.reset()
+			u.recordAbort(hw, status)
+			ctx.Tick(ctx.Machine().Cost.AbortHandle)
+		}
+	}()
+
+	body(tx)
+
+	// Commit: one scheduling point, then the write buffer becomes
+	// globally visible atomically (single-threaded step).
+	tx.step(ctx.Machine().Cost.XEnd)
+	for a, v := range st.writeBuf {
+		u.mem.Poke(a, v)
+	}
+	u.mem.Unregister(hw, st.lines)
+	st.reset()
+	u.cnt[hw].Commits++
+	return 0
+}
+
+func (u *Unit) recordAbort(hw int, s Status) {
+	c := &u.cnt[hw]
+	c.Aborts++
+	switch {
+	case s&BitConflict != 0:
+		c.ConflictAborts++
+	case s&BitCapacity != 0:
+		c.CapacityAborts++
+	case s&BitExplicit != 0:
+		c.ExplicitAborts++
+	case s&BitSpurious != 0:
+		c.SpuriousAborts++
+	}
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Compile-time check: a hardware transaction satisfies the uniform
+// accessor interface, so bodies run unchanged on HTM and fall-back paths.
+var _ mem.Access = (*Tx)(nil)

@@ -1,0 +1,71 @@
+package htm
+
+import (
+	"testing"
+
+	"seer/internal/machine"
+	"seer/internal/mem"
+)
+
+// BenchmarkUncontendedTxn measures simulator throughput for small
+// conflict-free transactions (the common fast path).
+func BenchmarkUncontendedTxn(b *testing.B) {
+	cfg := machine.Config{HWThreads: 1, PhysCores: 1, Seed: 1, Cost: machine.DefaultCostModel()}
+	eng, _ := machine.New(cfg)
+	m := mem.New(1 << 12)
+	u := New(m, cfg, DefaultConfig())
+	a := m.AllocLines(1)
+	b.ResetTimer()
+	eng.Run([]func(*machine.Ctx){func(c *machine.Ctx) {
+		for i := 0; i < b.N; i++ {
+			u.Run(c, func(tx *Tx) {
+				tx.Store(a, tx.Load(a)+1)
+			})
+		}
+	}})
+}
+
+// BenchmarkConflictingTxns measures the abort/retry path under two
+// threads hammering one line.
+func BenchmarkConflictingTxns(b *testing.B) {
+	cfg := machine.Config{HWThreads: 2, PhysCores: 2, Seed: 1, Cost: machine.DefaultCostModel()}
+	eng, _ := machine.New(cfg)
+	m := mem.New(1 << 12)
+	u := New(m, cfg, DefaultConfig())
+	a := m.AllocLines(1)
+	per := b.N/2 + 1
+	body := func(c *machine.Ctx) {
+		for i := 0; i < per; i++ {
+			for {
+				if u.Run(c, func(tx *Tx) {
+					v := tx.Load(a)
+					tx.Work(20)
+					tx.Store(a, v+1)
+				}) == 0 {
+					break
+				}
+			}
+		}
+	}
+	b.ResetTimer()
+	eng.Run([]func(*machine.Ctx){body, body})
+}
+
+// BenchmarkLargeWriteSet measures per-access cost with a wide footprint.
+func BenchmarkLargeWriteSet(b *testing.B) {
+	cfg := machine.Config{HWThreads: 1, PhysCores: 1, Seed: 1, Cost: machine.DefaultCostModel()}
+	eng, _ := machine.New(cfg)
+	m := mem.New(1 << 16)
+	u := New(m, cfg, Config{ReadSetLines: 4096, WriteSetLines: 512})
+	base := m.AllocLines(64)
+	b.ResetTimer()
+	eng.Run([]func(*machine.Ctx){func(c *machine.Ctx) {
+		for i := 0; i < b.N; i++ {
+			u.Run(c, func(tx *Tx) {
+				for l := 0; l < 32; l++ {
+					tx.Store(base+mem.Addr(l*mem.LineWords), uint64(i))
+				}
+			})
+		}
+	}})
+}

@@ -1,0 +1,398 @@
+package htm
+
+import (
+	"testing"
+
+	"seer/internal/machine"
+	"seer/internal/mem"
+)
+
+// env builds a 1-or-more-thread machine with memory and an HTM unit.
+func env(t *testing.T, hwThreads, physCores int) (*machine.Engine, *mem.Memory, *Unit) {
+	t.Helper()
+	cfg := machine.Config{
+		HWThreads: hwThreads,
+		PhysCores: physCores,
+		Seed:      42,
+		Cost:      machine.DefaultCostModel(),
+	}
+	eng, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(1 << 12)
+	u := New(m, cfg, Config{ReadSetLines: 64, WriteSetLines: 16, SpuriousProb: 0})
+	return eng, m, u
+}
+
+func TestCommitAppliesWrites(t *testing.T) {
+	eng, m, u := env(t, 1, 1)
+	a := m.AllocLines(1)
+	if _, err := eng.Run([]func(*machine.Ctx){func(c *machine.Ctx) {
+		status := u.Run(c, func(tx *Tx) {
+			tx.Store(a, 7)
+			if tx.Load(a) != 7 {
+				t.Errorf("transaction does not see its own write")
+			}
+		})
+		if status != 0 {
+			t.Errorf("status = %v, want commit", status)
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Peek(a) != 7 {
+		t.Fatalf("committed value not applied: %d", m.Peek(a))
+	}
+	if c := u.Counters(); c.Commits != 1 || c.Aborts != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestExplicitAbortDiscardsWrites(t *testing.T) {
+	eng, m, u := env(t, 1, 1)
+	a := m.AllocLines(1)
+	m.Poke(a, 1)
+	if _, err := eng.Run([]func(*machine.Ctx){func(c *machine.Ctx) {
+		status := u.Run(c, func(tx *Tx) {
+			tx.Store(a, 99)
+			tx.Abort(0x42)
+		})
+		if !status.Explicit() || status.ExplicitCode() != 0x42 {
+			t.Errorf("status = %v, want explicit(0x42)", status)
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Peek(a) != 1 {
+		t.Fatalf("aborted write leaked: %d", m.Peek(a))
+	}
+	if c := u.Counters(); c.ExplicitAborts != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestWriteCapacityAbort(t *testing.T) {
+	eng, m, u := env(t, 1, 1)
+	base := m.AllocLines(32)
+	if _, err := eng.Run([]func(*machine.Ctx){func(c *machine.Ctx) {
+		status := u.Run(c, func(tx *Tx) {
+			for i := 0; i < 32; i++ { // write cap is 16 lines
+				tx.Store(base+mem.Addr(i*mem.LineWords), 1)
+			}
+		})
+		if !status.Capacity() {
+			t.Errorf("status = %v, want capacity", status)
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if c := u.Counters(); c.CapacityAborts != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	// All registrations must be cleaned up after the abort.
+	for i := 0; i < 32; i++ {
+		ln := mem.LineOf(base + mem.Addr(i*mem.LineWords))
+		if m.LineWriter(ln) != -1 || m.LineReaders(ln) != 0 {
+			t.Fatalf("line %d not unregistered after abort", ln)
+		}
+	}
+}
+
+func TestReadCapacityAbort(t *testing.T) {
+	eng, m, u := env(t, 1, 1)
+	base := m.AllocLines(80)
+	if _, err := eng.Run([]func(*machine.Ctx){func(c *machine.Ctx) {
+		status := u.Run(c, func(tx *Tx) {
+			for i := 0; i < 80; i++ { // read cap is 64 lines
+				tx.Load(base + mem.Addr(i*mem.LineWords))
+			}
+		})
+		if !status.Capacity() {
+			t.Errorf("status = %v, want capacity", status)
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSiblingHalvesCapacity: with a hyperthread sibling inside a
+// transaction, the effective write budget halves.
+func TestSiblingHalvesCapacity(t *testing.T) {
+	eng, m, u := env(t, 2, 1) // two hyperthreads on one physical core
+	base := m.AllocLines(64)
+	sibBase := m.AllocLines(4)
+	var status0 Status
+	bodies := []func(*machine.Ctx){
+		func(c *machine.Ctx) {
+			// 12 written lines: under the solo cap (16), over the
+			// shared cap (8).
+			status0 = u.Run(c, func(tx *Tx) {
+				for i := 0; i < 12; i++ {
+					tx.Store(base+mem.Addr(i*mem.LineWords), 1)
+					tx.Work(20)
+				}
+			})
+		},
+		func(c *machine.Ctx) {
+			// Sibling stays inside a transaction the whole time.
+			u.Run(c, func(tx *Tx) {
+				for i := 0; i < 3; i++ {
+					tx.Store(sibBase+mem.Addr(i), 1)
+					tx.Work(120)
+				}
+			})
+		},
+	}
+	if _, err := eng.Run(bodies); err != nil {
+		t.Fatal(err)
+	}
+	if !status0.Capacity() {
+		t.Fatalf("status0 = %v, want capacity (shared L1 must halve the budget)", status0)
+	}
+}
+
+// TestConflictRequesterWins: a second writer dooms the first; the doomed
+// transaction aborts with a conflict status at its next step.
+func TestConflictRequesterWins(t *testing.T) {
+	eng, m, u := env(t, 2, 2)
+	a := m.AllocLines(1)
+	var status0, status1 Status
+	bodies := []func(*machine.Ctx){
+		func(c *machine.Ctx) {
+			status0 = u.Run(c, func(tx *Tx) {
+				tx.Store(a, 1) // registers first (thread 0 starts first)
+				tx.Work(500)   // long vulnerable window
+			})
+		},
+		func(c *machine.Ctx) {
+			c.Tick(100) // start later
+			status1 = u.Run(c, func(tx *Tx) {
+				tx.Store(a, 2) // dooms thread 0 (requester wins)
+			})
+		},
+	}
+	if _, err := eng.Run(bodies); err != nil {
+		t.Fatal(err)
+	}
+	if !status0.Conflict() {
+		t.Fatalf("status0 = %v, want conflict", status0)
+	}
+	if status1 != 0 {
+		t.Fatalf("status1 = %v, want commit", status1)
+	}
+	if m.Peek(a) != 2 {
+		t.Fatalf("memory = %d, want the winner's value 2", m.Peek(a))
+	}
+}
+
+// TestReadersDoNotConflict: concurrent readers of one line all commit.
+func TestReadersDoNotConflict(t *testing.T) {
+	eng, m, u := env(t, 4, 4)
+	a := m.AllocLines(1)
+	m.Poke(a, 77)
+	statuses := make([]Status, 4)
+	bodies := make([]func(*machine.Ctx), 4)
+	for i := range bodies {
+		idx := i
+		bodies[i] = func(c *machine.Ctx) {
+			statuses[idx] = u.Run(c, func(tx *Tx) {
+				if tx.Load(a) != 77 {
+					t.Errorf("reader saw wrong value")
+				}
+				tx.Work(100)
+			})
+		}
+	}
+	if _, err := eng.Run(bodies); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range statuses {
+		if s != 0 {
+			t.Fatalf("reader %d aborted: %v", i, s)
+		}
+	}
+}
+
+func TestNestedTransactionPanics(t *testing.T) {
+	eng, _, u := env(t, 1, 1)
+	_, err := eng.Run([]func(*machine.Ctx){func(c *machine.Ctx) {
+		u.Run(c, func(tx *Tx) {
+			u.Run(c, func(tx2 *Tx) {})
+		})
+	}})
+	if err == nil {
+		t.Fatalf("nested transaction did not panic")
+	}
+}
+
+func TestBodyPanicPropagates(t *testing.T) {
+	eng, _, u := env(t, 1, 1)
+	_, err := eng.Run([]func(*machine.Ctx){func(c *machine.Ctx) {
+		u.Run(c, func(tx *Tx) { panic("application bug") })
+	}})
+	if err == nil {
+		t.Fatalf("application panic swallowed by the HTM")
+	}
+}
+
+func TestSpuriousAborts(t *testing.T) {
+	cfg := machine.Config{HWThreads: 1, PhysCores: 1, Seed: 3, Cost: machine.DefaultCostModel()}
+	eng, _ := machine.New(cfg)
+	m := mem.New(1 << 12)
+	u := New(m, cfg, Config{ReadSetLines: 64, WriteSetLines: 16, SpuriousProb: 0.05})
+	a := m.AllocLines(1)
+	sawSpurious := false
+	eng.Run([]func(*machine.Ctx){func(c *machine.Ctx) {
+		for i := 0; i < 200; i++ {
+			st := u.Run(c, func(tx *Tx) {
+				for j := 0; j < 10; j++ {
+					tx.Load(a)
+				}
+			})
+			if st&BitSpurious != 0 {
+				sawSpurious = true
+			}
+		}
+	}})
+	if !sawSpurious {
+		t.Fatalf("no spurious aborts at 5%% per access over 2000 accesses")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		0:                      "committed",
+		BitConflict | BitRetry: "retry|conflict",
+		BitCapacity:            "capacity",
+		BitExplicit | 0x42<<24: "explicit(66)",
+		BitSpurious:            "spurious",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%#x).String() = %q, want %q", uint32(s), got, want)
+		}
+	}
+}
+
+// TestAbortRollsBackEverything: after an abort no partial state is
+// visible and a retry sees the pre-transaction values.
+func TestAbortRollsBackEverything(t *testing.T) {
+	eng, m, u := env(t, 1, 1)
+	a := m.AllocLines(1)
+	b := m.AllocLines(1)
+	m.Poke(a, 10)
+	m.Poke(b, 20)
+	if _, err := eng.Run([]func(*machine.Ctx){func(c *machine.Ctx) {
+		u.Run(c, func(tx *Tx) {
+			tx.Store(a, 11)
+			tx.Store(b, 21)
+			tx.Abort(1)
+		})
+		st := u.Run(c, func(tx *Tx) {
+			if tx.Load(a) != 10 || tx.Load(b) != 20 {
+				t.Errorf("retry saw partial state: %d %d", tx.Load(a), tx.Load(b))
+			}
+		})
+		if st != 0 {
+			t.Errorf("clean retry aborted: %v", st)
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestActiveTracking: Unit.Active reflects in-flight transactions.
+func TestActiveTracking(t *testing.T) {
+	eng, m, u := env(t, 1, 1)
+	a := m.AllocLines(1)
+	if _, err := eng.Run([]func(*machine.Ctx){func(c *machine.Ctx) {
+		if u.Active(0) {
+			t.Errorf("active before begin")
+		}
+		u.Run(c, func(tx *Tx) {
+			tx.Load(a)
+			if !u.Active(0) {
+				t.Errorf("not active inside transaction")
+			}
+		})
+		if u.Active(0) {
+			t.Errorf("still active after commit")
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFalseSharing: two threads writing different words of the SAME cache
+// line conflict; different lines do not.
+func TestFalseSharing(t *testing.T) {
+	eng, m, u := env(t, 2, 2)
+	line := m.AllocLines(1)
+	sep := m.AllocLines(2)
+	run := func(a0, a1 mem.Addr) (Status, Status) {
+		var s0, s1 Status
+		eng.Run([]func(*machine.Ctx){
+			func(c *machine.Ctx) {
+				s0 = u.Run(c, func(tx *Tx) {
+					tx.Store(a0, 1)
+					tx.Work(300)
+				})
+			},
+			func(c *machine.Ctx) {
+				c.Tick(50)
+				s1 = u.Run(c, func(tx *Tx) {
+					tx.Store(a1, 2)
+					tx.Work(10)
+				})
+			},
+		})
+		return s0, s1
+	}
+	s0, s1 := run(line, line+3) // same line, different words
+	if !s0.Conflict() && !s1.Conflict() {
+		t.Fatalf("false sharing not detected: %v %v", s0, s1)
+	}
+	s0, s1 = run(sep, sep+mem.LineWords) // different lines
+	if s0 != 0 || s1 != 0 {
+		t.Fatalf("independent lines conflicted: %v %v", s0, s1)
+	}
+}
+
+// TestFourWaySMTQuartersCapacity: with 4 hyperthreads per core all
+// transactional, the per-thread budget drops to a quarter.
+func TestFourWaySMTQuartersCapacity(t *testing.T) {
+	eng, m, u := env(t, 4, 1) // 4 hardware threads on one physical core
+	bases := make([]mem.Addr, 4)
+	for i := range bases {
+		bases[i] = m.AllocLines(8)
+	}
+	statuses := make([]Status, 4)
+	bodies := make([]func(*machine.Ctx), 4)
+	for i := range bodies {
+		idx := i
+		bodies[i] = func(c *machine.Ctx) {
+			statuses[idx] = u.Run(c, func(tx *Tx) {
+				// 6 written lines: fine solo (cap 16), fine at 2-way
+				// (8), over budget at 4-way SMT (4).
+				for l := 0; l < 6; l++ {
+					tx.Store(bases[idx]+mem.Addr(l*mem.LineWords), 1)
+					tx.Work(50)
+				}
+				tx.Work(200)
+			})
+		}
+	}
+	if _, err := eng.Run(bodies); err != nil {
+		t.Fatal(err)
+	}
+	sawCapacity := false
+	for _, s := range statuses {
+		if s.Capacity() {
+			sawCapacity = true
+		}
+	}
+	if !sawCapacity {
+		t.Fatalf("no capacity aborts with 4 transactional siblings: %v", statuses)
+	}
+}

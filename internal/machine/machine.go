@@ -1,0 +1,325 @@
+// Package machine implements a deterministic virtual-time multicore
+// simulator. It is the substrate on which the simulated hardware
+// transactional memory (internal/htm) and the Seer scheduler
+// (internal/core) run.
+//
+// The engine hosts N hardware threads, each executing user code in its own
+// goroutine. Execution is cooperative: a thread runs exclusively until it
+// calls Tick, at which point control returns to the engine, which always
+// resumes the runnable thread with the smallest virtual clock (ties broken
+// by thread id). Because exactly one thread executes between two scheduling
+// points, all simulator state can be manipulated without synchronization,
+// and whole runs are reproducible bit-for-bit for a fixed seed.
+//
+// Virtual time is measured in cycles. Every simulated action has a cost
+// from CostModel; a thread's clock advances by that cost at each Tick. The
+// makespan of a run is the maximum clock over all threads, which is what
+// the benchmark harness uses to compute speedups.
+package machine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CostModel assigns virtual-cycle costs to simulated actions. The absolute
+// values are loosely modeled on a Haswell-class core (the paper's testbed);
+// only ratios matter for the reproduced results.
+type CostModel struct {
+	Work        uint64 // one unit of non-memory application work
+	TxLoad      uint64 // transactional load (L1 hit + tracking)
+	TxStore     uint64 // transactional store (write buffering)
+	DirectLoad  uint64 // non-transactional load
+	DirectStore uint64 // non-transactional store
+	XBegin      uint64 // starting a hardware transaction
+	XEnd        uint64 // committing a hardware transaction
+	AbortHandle uint64 // pipeline flush + status delivery on abort
+	LockOp      uint64 // CAS for acquiring/releasing a lock
+	SpinQuantum uint64 // one spin-wait iteration on a held lock
+	StatsSlot   uint64 // scanning one activeTxs slot (Seer profiling)
+	UpdateBase  uint64 // fixed cost of recomputing the lock scheme
+	UpdatePair  uint64 // per-(x,y)-pair cost of recomputing the lock scheme
+}
+
+// DefaultCostModel returns the calibrated cost model used throughout the
+// evaluation (see EXPERIMENTS.md for the calibration notes).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Work:        1,
+		TxLoad:      2,
+		TxStore:     3,
+		DirectLoad:  2,
+		DirectStore: 3,
+		XBegin:      18,
+		XEnd:        12,
+		AbortHandle: 120,
+		LockOp:      25,
+		SpinQuantum: 25,
+		StatsSlot:   1,
+		UpdateBase:  400,
+		UpdatePair:  6,
+	}
+}
+
+// Config describes the simulated machine.
+type Config struct {
+	HWThreads int   // total hardware threads (virtual cores)
+	PhysCores int   // physical cores; HWThreads/PhysCores = SMT ways
+	Seed      int64 // seed for all per-thread PRNGs
+	MaxCycles uint64
+	Cost      CostModel
+}
+
+// DefaultConfig mirrors the paper's testbed: a 4-core, 8-hardware-thread
+// Haswell Xeon E3-1275.
+func DefaultConfig() Config {
+	return Config{
+		HWThreads: 8,
+		PhysCores: 4,
+		Seed:      1,
+		MaxCycles: 0, // unlimited
+		Cost:      DefaultCostModel(),
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.HWThreads <= 0 {
+		return fmt.Errorf("machine: HWThreads must be positive, got %d", c.HWThreads)
+	}
+	if c.HWThreads > 64 {
+		return fmt.Errorf("machine: at most 64 hardware threads are supported, got %d", c.HWThreads)
+	}
+	if c.PhysCores <= 0 {
+		return fmt.Errorf("machine: PhysCores must be positive, got %d", c.PhysCores)
+	}
+	if c.HWThreads%c.PhysCores != 0 {
+		return fmt.Errorf("machine: HWThreads (%d) must be a multiple of PhysCores (%d)",
+			c.HWThreads, c.PhysCores)
+	}
+	return nil
+}
+
+// PhysCore maps a hardware thread to its physical core. Hardware threads
+// t and t+PhysCores are hyperthread siblings sharing one core's L1 cache,
+// mirroring the enumeration order of Linux on Intel processors.
+func (c Config) PhysCore(hwThread int) int {
+	return hwThread % c.PhysCores
+}
+
+// Sibling returns the hardware thread ids sharing the physical core of hw
+// (excluding hw itself).
+func (c Config) Siblings(hw int) []int {
+	var sibs []int
+	for t := c.PhysCore(hw); t < c.HWThreads; t += c.PhysCores {
+		if t != hw {
+			sibs = append(sibs, t)
+		}
+	}
+	return sibs
+}
+
+// ErrMaxCycles is returned by Engine.Run when a run exceeds
+// Config.MaxCycles, which usually indicates a livelock in the simulated
+// program.
+var ErrMaxCycles = errors.New("machine: run exceeded MaxCycles (livelock?)")
+
+// Ctx is the execution context handed to the code running on one hardware
+// thread. All simulated actions go through it.
+type Ctx struct {
+	id    int
+	clock uint64
+	rng   Rand
+	eng   *Engine
+
+	grant    chan struct{}
+	yield    chan struct{}
+	finished bool
+	panicked any
+}
+
+// ID returns the hardware thread id (0-based).
+func (c *Ctx) ID() int { return c.id }
+
+// Clock returns the thread's current virtual time in cycles.
+func (c *Ctx) Clock() uint64 { return c.clock }
+
+// Rand returns the thread's deterministic PRNG.
+func (c *Ctx) Rand() *Rand { return &c.rng }
+
+// Machine returns the configuration of the machine this thread runs on.
+func (c *Ctx) Machine() Config { return c.eng.cfg }
+
+// Tick advances the thread's virtual clock by cost cycles and yields to
+// the engine, which may schedule another thread. Every observable action
+// of a simulated thread must pass through Tick: it is both the time
+// accounting and the interleaving point.
+func (c *Ctx) Tick(cost uint64) {
+	c.clock += cost
+	c.yield <- struct{}{}
+	<-c.grant
+}
+
+// Advance adds cost cycles without yielding. Use only for accounting that
+// cannot enable another thread to observe intermediate state.
+func (c *Ctx) Advance(cost uint64) { c.clock += cost }
+
+// Work simulates n units of pure computation (no shared-memory effects).
+func (c *Ctx) Work(n uint64) {
+	c.Tick(n * c.eng.cfg.Cost.Work)
+}
+
+// Engine owns the hardware threads and drives the min-clock cooperative
+// schedule.
+type Engine struct {
+	cfg     Config
+	threads []*Ctx
+}
+
+// New creates an engine for the given machine configuration.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg}
+	e.threads = make([]*Ctx, cfg.HWThreads)
+	for i := range e.threads {
+		e.threads[i] = &Ctx{
+			id:    i,
+			rng:   NewRand(mix(cfg.Seed, int64(i))),
+			eng:   e,
+			grant: make(chan struct{}),
+			yield: make(chan struct{}),
+		}
+	}
+	return e, nil
+}
+
+// Config returns the engine's machine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Thread returns the context of hardware thread i, for inspection by
+// simulator components between runs.
+func (e *Engine) Thread(i int) *Ctx { return e.threads[i] }
+
+// Run executes one body per hardware thread until all bodies return.
+// len(bodies) must be at most the number of hardware threads; threads
+// without a body stay idle at clock 0. It returns the makespan (maximum
+// final clock). A panic inside a body is recovered and returned as an
+// error wrapping the panic value; ErrMaxCycles is returned on livelock.
+func (e *Engine) Run(bodies []func(*Ctx)) (makespan uint64, err error) {
+	if len(bodies) > len(e.threads) {
+		return 0, fmt.Errorf("machine: %d bodies for %d hardware threads",
+			len(bodies), len(e.threads))
+	}
+	active := 0
+	for i, body := range bodies {
+		if body == nil {
+			continue
+		}
+		t := e.threads[i]
+		t.clock = 0
+		t.finished = false
+		t.panicked = nil
+		active++
+		go func(t *Ctx, body func(*Ctx)) {
+			<-t.grant
+			defer func() {
+				if r := recover(); r != nil {
+					t.panicked = r
+				}
+				t.finished = true
+				t.yield <- struct{}{}
+			}()
+			body(t)
+		}(t, body)
+	}
+
+	for active > 0 {
+		t := e.pickNext(bodies)
+		if t == nil {
+			break
+		}
+		if e.cfg.MaxCycles > 0 && t.clock > e.cfg.MaxCycles {
+			// Drain every unfinished thread so its goroutine exits
+			// rather than leaking, then report the livelock.
+			e.drain(bodies)
+			return t.clock, ErrMaxCycles
+		}
+		t.grant <- struct{}{}
+		<-t.yield
+		if t.finished {
+			active--
+			if t.panicked != nil {
+				e.drain(bodies)
+				return t.clock, fmt.Errorf("machine: thread %d panicked: %v", t.id, t.panicked)
+			}
+		}
+	}
+
+	for i, body := range bodies {
+		if body == nil {
+			continue
+		}
+		if c := e.threads[i].clock; c > makespan {
+			makespan = c
+		}
+	}
+	return makespan, nil
+}
+
+// pickNext returns the unfinished thread with the smallest clock.
+func (e *Engine) pickNext(bodies []func(*Ctx)) *Ctx {
+	var best *Ctx
+	for i := range bodies {
+		if bodies[i] == nil {
+			continue
+		}
+		t := e.threads[i]
+		if t.finished {
+			continue
+		}
+		if best == nil || t.clock < best.clock {
+			best = t
+		}
+	}
+	return best
+}
+
+// drain unblocks all remaining thread goroutines by feeding them grants
+// until they finish. Called only on the error paths; the bodies keep
+// running (and ticking) until they return naturally, which they do for
+// panics; for MaxCycles overruns the bodies are abandoned as daemons
+// attached to dedicated channels, so a fresh Engine should be used after
+// an ErrMaxCycles.
+func (e *Engine) drain(bodies []func(*Ctx)) {
+	for i := range bodies {
+		if bodies[i] == nil {
+			continue
+		}
+		t := e.threads[i]
+		if t.finished {
+			continue
+		}
+		// Recreate the channels so the stuck goroutine, which holds
+		// references to the old ones, can never interfere with a
+		// future run of this engine.
+		t.grant = make(chan struct{})
+		t.yield = make(chan struct{})
+	}
+}
+
+// mix combines a seed and a thread id into a well-spread 64-bit PRNG seed
+// (SplitMix64 finalizer).
+func mix(seed, id int64) uint64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(id+1)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	return z
+}

@@ -1,0 +1,44 @@
+package machine
+
+// Rand is a small, fast, deterministic PRNG (xorshift64*), embedded per
+// hardware thread so that simulated programs are reproducible and never
+// touch the global math/rand state.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a Rand seeded with the given nonzero state.
+func NewRand(seed uint64) Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return Rand{state: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("machine: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}

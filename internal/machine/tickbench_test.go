@@ -1,0 +1,19 @@
+package machine
+
+import "testing"
+
+func BenchmarkTick(b *testing.B) {
+	cfg := DefaultConfig()
+	eng, _ := New(cfg)
+	bodies := make([]func(*Ctx), 8)
+	per := b.N/8 + 1
+	for i := range bodies {
+		bodies[i] = func(c *Ctx) {
+			for n := 0; n < per; n++ {
+				c.Tick(1)
+			}
+		}
+	}
+	b.ResetTimer()
+	eng.Run(bodies)
+}

@@ -1,0 +1,301 @@
+// Package mem implements the simulated word-addressable shared memory of
+// the virtual machine, including the per-cache-line registry used by the
+// simulated HTM (internal/htm) for conflict detection.
+//
+// Memory is an array of 64-bit words grouped into 64-byte cache lines
+// (8 words). Each line tracks which hardware threads currently hold it in
+// a transactional read set (a bitmask) and which single thread, if any,
+// holds it in a transactional write set. The HTM consults and updates this
+// registry on every transactional access; non-transactional (direct)
+// accesses also consult it to provide the strong isolation of real
+// hardware TM: a plain store dooms every transaction that has the line in
+// its read or write set, and a plain load dooms a transactional writer.
+//
+// All methods are called only between engine scheduling points, so the
+// package needs no synchronization (see internal/machine).
+package mem
+
+import "fmt"
+
+// LineWords is the number of 64-bit words per cache line (64-byte lines).
+const LineWords = 8
+
+// Addr is a word address in simulated memory.
+type Addr uint32
+
+// Nil is the null address. Word 0 is reserved so data structures can use
+// Nil as a null pointer.
+const Nil Addr = 0
+
+// Line is a cache-line index.
+type Line uint32
+
+// Access is the uniform accessor through which workload code touches
+// simulated memory. It is implemented both by hardware transactions
+// (htm.Tx) and by the non-transactional Direct accessor, so a transaction
+// body runs unmodified on the HTM path and on the single-global-lock
+// fall-back path.
+type Access interface {
+	Load(Addr) uint64
+	Store(Addr, uint64)
+	// Work simulates n units of in-critical-section computation.
+	Work(n uint64)
+	// ThreadID identifies the hardware thread performing the accesses;
+	// sharded allocators use it to avoid cross-thread hotspots.
+	ThreadID() int
+}
+
+// LineOf returns the cache line containing a word address.
+func LineOf(a Addr) Line { return Line(a / LineWords) }
+
+// Doomer is implemented by the HTM unit: the memory calls it to abort
+// transactions whose read/write sets are invalidated by a conflicting
+// access. reason is an htm status-code hint (conflict).
+type Doomer interface {
+	// DoomReaders dooms every transaction in the readers bitmask except
+	// the one running on hardware thread self (pass self = -1 to doom
+	// all).
+	DoomReaders(readers uint64, self int)
+	// DoomWriter dooms the transaction running on hardware thread
+	// writer unless writer == self.
+	DoomWriter(writer int, self int)
+}
+
+// lineState is the conflict registry entry for one cache line.
+type lineState struct {
+	readers uint64 // bitmask of hardware threads with the line in a read set
+	writer  int8   // hardware thread with the line in a write set, -1 if none
+}
+
+// Memory is the simulated shared memory.
+type Memory struct {
+	words  []uint64
+	lines  []lineState
+	brk    Addr // bump-allocation watermark
+	doomer Doomer
+}
+
+// New creates a memory of the given size in words, rounded up to a whole
+// number of cache lines. Word 0 is reserved (Nil).
+func New(words int) *Memory {
+	if words < LineWords {
+		words = LineWords
+	}
+	nLines := (words + LineWords - 1) / LineWords
+	m := &Memory{
+		words: make([]uint64, nLines*LineWords),
+		lines: make([]lineState, nLines),
+		brk:   1, // reserve word 0 as Nil
+	}
+	for i := range m.lines {
+		m.lines[i].writer = -1
+	}
+	return m
+}
+
+// SetDoomer installs the HTM unit that receives conflict notifications.
+// It must be called before any transactional line registration.
+func (m *Memory) SetDoomer(d Doomer) { m.doomer = d }
+
+// Words returns the memory size in words.
+func (m *Memory) Words() int { return len(m.words) }
+
+// Alloc bump-allocates n words and returns the address of the first.
+// It panics when the memory is exhausted: simulated workloads size their
+// memory up front.
+func (m *Memory) Alloc(n int) Addr {
+	if n <= 0 {
+		panic("mem: Alloc with non-positive size")
+	}
+	a := m.brk
+	if int(a)+n > len(m.words) {
+		panic(fmt.Sprintf("mem: out of simulated memory (%d words requested, %d free)",
+			n, len(m.words)-int(a)))
+	}
+	m.brk += Addr(n)
+	return a
+}
+
+// AllocLines allocates n whole cache lines, aligned to a line boundary.
+// Data structures use it to avoid unintended false sharing.
+func (m *Memory) AllocLines(n int) Addr {
+	if n <= 0 {
+		panic("mem: AllocLines with non-positive size")
+	}
+	// Align brk up to a line boundary.
+	rem := m.brk % LineWords
+	if rem != 0 {
+		m.brk += LineWords - rem
+	}
+	return m.Alloc(n * LineWords)
+}
+
+// AllocAligned allocates n words starting at a line boundary.
+func (m *Memory) AllocAligned(n int) Addr {
+	lines := (n + LineWords - 1) / LineWords
+	return m.AllocLines(lines)
+}
+
+// Free returns the number of unallocated words remaining.
+func (m *Memory) Free() int { return len(m.words) - int(m.brk) }
+
+// checkAddr panics on out-of-range addresses: simulated programs have no
+// MMU, so this is the closest analogue of a segmentation fault.
+func (m *Memory) checkAddr(a Addr) {
+	if int(a) >= len(m.words) {
+		panic(fmt.Sprintf("mem: address %d out of range (%d words)", a, len(m.words)))
+	}
+}
+
+// --- Raw access (simulator-internal; no coherence side effects) ---
+
+// Peek reads a word without any conflict-registry side effects. It is for
+// simulator components and tests, not for simulated programs.
+func (m *Memory) Peek(a Addr) uint64 {
+	m.checkAddr(a)
+	return m.words[a]
+}
+
+// Poke writes a word without any conflict-registry side effects.
+func (m *Memory) Poke(a Addr, v uint64) {
+	m.checkAddr(a)
+	m.words[a] = v
+}
+
+// --- Direct (non-transactional) access with strong isolation ---
+
+// DirectLoad performs a non-transactional load. A transactional writer of
+// the line is doomed (its write buffer was never globally visible, so the
+// value returned is the committed one).
+func (m *Memory) DirectLoad(self int, a Addr) uint64 {
+	m.checkAddr(a)
+	ls := &m.lines[LineOf(a)]
+	if ls.writer >= 0 && int(ls.writer) != self {
+		m.doomer.DoomWriter(int(ls.writer), self)
+	}
+	return m.words[a]
+}
+
+// DirectStore performs a non-transactional store, dooming every
+// transaction holding the line in its read or write set (strong
+// isolation, as in real best-effort HTM).
+func (m *Memory) DirectStore(self int, a Addr, v uint64) {
+	m.checkAddr(a)
+	ls := &m.lines[LineOf(a)]
+	if ls.readers != 0 {
+		m.doomer.DoomReaders(ls.readers, self)
+	}
+	if ls.writer >= 0 && int(ls.writer) != self {
+		m.doomer.DoomWriter(int(ls.writer), self)
+	}
+	m.words[a] = v
+}
+
+// --- Transactional line registry (called by internal/htm) ---
+
+// RegisterRead adds hardware thread hw as a reader of the line holding a,
+// dooming a conflicting transactional writer (requester wins). It returns
+// true if the line was not yet in hw's read set (i.e. the read set grew).
+func (m *Memory) RegisterRead(hw int, a Addr) bool {
+	m.checkAddr(a)
+	ls := &m.lines[LineOf(a)]
+	if ls.writer >= 0 && int(ls.writer) != hw {
+		m.doomer.DoomWriter(int(ls.writer), hw)
+	}
+	bit := uint64(1) << uint(hw)
+	if ls.readers&bit != 0 {
+		return false
+	}
+	ls.readers |= bit
+	return true
+}
+
+// RegisterWrite makes hardware thread hw the transactional writer of the
+// line holding a, dooming conflicting readers and a conflicting writer
+// (requester wins). It returns true if the line was not yet in hw's write
+// set.
+func (m *Memory) RegisterWrite(hw int, a Addr) bool {
+	m.checkAddr(a)
+	ls := &m.lines[LineOf(a)]
+	otherReaders := ls.readers &^ (uint64(1) << uint(hw))
+	if otherReaders != 0 {
+		m.doomer.DoomReaders(otherReaders, hw)
+	}
+	if ls.writer >= 0 && int(ls.writer) != hw {
+		m.doomer.DoomWriter(int(ls.writer), hw)
+	}
+	if int(ls.writer) == hw {
+		return false
+	}
+	ls.writer = int8(hw)
+	return true
+}
+
+// Unregister removes hardware thread hw from the registry entries of the
+// given lines (both reader bit and writership). Called by the HTM when a
+// transaction commits or aborts.
+func (m *Memory) Unregister(hw int, lines []Line) {
+	bit := uint64(1) << uint(hw)
+	for _, ln := range lines {
+		ls := &m.lines[ln]
+		ls.readers &^= bit
+		if int(ls.writer) == hw {
+			ls.writer = -1
+		}
+	}
+}
+
+// LineReaders returns the reader bitmask of a line (for tests and
+// invariant checks).
+func (m *Memory) LineReaders(ln Line) uint64 { return m.lines[ln].readers }
+
+// LineWriter returns the writer of a line, or -1 (for tests and invariant
+// checks).
+func (m *Memory) LineWriter(ln Line) int { return int(m.lines[ln].writer) }
+
+// Direct is a non-transactional accessor bound to one hardware thread,
+// implementing the same Access interface as a hardware transaction so that
+// workload code can run on either path (HTM or single-global-lock
+// fall-back).
+type Direct struct {
+	m    *Memory
+	hw   int
+	tick func(cost uint64)
+	cost struct{ load, store, work uint64 }
+}
+
+// NewDirect creates a direct accessor for hardware thread hw. tick is the
+// thread's virtual-time advance function; loadCost/storeCost come from the
+// machine's cost model.
+func NewDirect(m *Memory, hw int, tick func(uint64), loadCost, storeCost, workCost uint64) *Direct {
+	d := &Direct{m: m, hw: hw, tick: tick}
+	d.cost.load = loadCost
+	d.cost.store = storeCost
+	d.cost.work = workCost
+	return d
+}
+
+// Load reads a word non-transactionally.
+func (d *Direct) Load(a Addr) uint64 {
+	d.tick(d.cost.load)
+	return d.m.DirectLoad(d.hw, a)
+}
+
+// Store writes a word non-transactionally.
+func (d *Direct) Store(a Addr, v uint64) {
+	d.tick(d.cost.store)
+	d.m.DirectStore(d.hw, a, v)
+}
+
+// Work simulates n units of computation on the owning thread.
+func (d *Direct) Work(n uint64) {
+	if n > 0 {
+		d.tick(n * d.cost.work)
+	}
+}
+
+// ThreadID returns the owning hardware thread.
+func (d *Direct) ThreadID() int { return d.hw }
+
+// Compile-time check: Direct satisfies Access.
+var _ Access = (*Direct)(nil)

@@ -1,0 +1,303 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// recordingDoomer records doom notifications for assertions.
+type recordingDoomer struct {
+	doomedReaders []uint64
+	doomedWriters []int
+}
+
+func (d *recordingDoomer) DoomReaders(readers uint64, self int) {
+	d.doomedReaders = append(d.doomedReaders, readers&^(uint64(1)<<uint(max(self, 0))))
+}
+
+func (d *recordingDoomer) DoomWriter(writer, self int) {
+	if writer != self {
+		d.doomedWriters = append(d.doomedWriters, writer)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func newTestMem(words int) (*Memory, *recordingDoomer) {
+	m := New(words)
+	d := &recordingDoomer{}
+	m.SetDoomer(d)
+	return m, d
+}
+
+func TestAllocBasics(t *testing.T) {
+	m, _ := newTestMem(1024)
+	a := m.Alloc(10)
+	if a == Nil {
+		t.Fatalf("Alloc returned Nil (word 0 must stay reserved)")
+	}
+	b := m.Alloc(1)
+	if b != a+10 {
+		t.Fatalf("bump allocation not contiguous: %d then %d", a, b)
+	}
+	c := m.AllocLines(2)
+	if c%LineWords != 0 {
+		t.Fatalf("AllocLines not aligned: %d", c)
+	}
+	d := m.AllocAligned(3)
+	if d%LineWords != 0 {
+		t.Fatalf("AllocAligned not aligned: %d", d)
+	}
+	if m.Free() <= 0 {
+		t.Fatalf("Free() = %d", m.Free())
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	m, _ := newTestMem(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on exhaustion")
+		}
+	}()
+	m.Alloc(1000)
+}
+
+func TestAllocRejectsNonPositive(t *testing.T) {
+	m, _ := newTestMem(64)
+	for _, f := range []func(){
+		func() { m.Alloc(0) },
+		func() { m.AllocLines(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPeekPoke(t *testing.T) {
+	m, _ := newTestMem(128)
+	a := m.Alloc(4)
+	m.Poke(a+2, 0xDEADBEEF)
+	if got := m.Peek(a + 2); got != 0xDEADBEEF {
+		t.Fatalf("Peek = %#x", got)
+	}
+	if got := m.Peek(a); got != 0 {
+		t.Fatalf("fresh word = %#x, want 0", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m, _ := newTestMem(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on out-of-range access")
+		}
+	}()
+	m.Peek(Addr(1 << 20))
+}
+
+func TestLineOf(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(7) != 0 || LineOf(8) != 1 || LineOf(17) != 2 {
+		t.Fatalf("LineOf mapping wrong: %d %d %d %d", LineOf(0), LineOf(7), LineOf(8), LineOf(17))
+	}
+}
+
+func TestRegisterReadTracksReaders(t *testing.T) {
+	m, d := newTestMem(256)
+	a := m.AllocLines(1)
+	if !m.RegisterRead(3, a) {
+		t.Fatalf("first RegisterRead should grow the read set")
+	}
+	if m.RegisterRead(3, a) {
+		t.Fatalf("repeated RegisterRead of same line should not grow")
+	}
+	if !m.RegisterRead(5, a+1) { // same line, different word, other thread
+		t.Fatalf("second thread should register")
+	}
+	ln := LineOf(a)
+	if m.LineReaders(ln) != (1<<3 | 1<<5) {
+		t.Fatalf("readers = %#x", m.LineReaders(ln))
+	}
+	if len(d.doomedReaders) != 0 || len(d.doomedWriters) != 0 {
+		t.Fatalf("read-read sharing must not doom anyone")
+	}
+}
+
+func TestRegisterWriteDoomsReadersAndWriter(t *testing.T) {
+	m, d := newTestMem(256)
+	a := m.AllocLines(1)
+	m.RegisterRead(1, a)
+	m.RegisterRead(2, a)
+	if !m.RegisterWrite(4, a) {
+		t.Fatalf("RegisterWrite should grow the write set")
+	}
+	if len(d.doomedReaders) != 1 || d.doomedReaders[0] != (1<<1|1<<2) {
+		t.Fatalf("doomedReaders = %v, want [0b110]", d.doomedReaders)
+	}
+	if m.LineWriter(LineOf(a)) != 4 {
+		t.Fatalf("writer = %d, want 4", m.LineWriter(LineOf(a)))
+	}
+	// A second writer dooms the first (requester wins).
+	m.RegisterWrite(6, a)
+	if len(d.doomedWriters) != 1 || d.doomedWriters[0] != 4 {
+		t.Fatalf("doomedWriters = %v, want [4]", d.doomedWriters)
+	}
+	if m.LineWriter(LineOf(a)) != 6 {
+		t.Fatalf("writer = %d, want 6", m.LineWriter(LineOf(a)))
+	}
+}
+
+func TestRegisterReadDoomsWriter(t *testing.T) {
+	m, d := newTestMem(256)
+	a := m.AllocLines(1)
+	m.RegisterWrite(2, a)
+	m.RegisterRead(7, a)
+	if len(d.doomedWriters) != 1 || d.doomedWriters[0] != 2 {
+		t.Fatalf("doomedWriters = %v, want [2]", d.doomedWriters)
+	}
+}
+
+func TestOwnWriteThenReadNoDoom(t *testing.T) {
+	m, d := newTestMem(256)
+	a := m.AllocLines(1)
+	m.RegisterWrite(3, a)
+	m.RegisterRead(3, a)
+	m.RegisterWrite(3, a+1)
+	if len(d.doomedWriters) != 0 && len(d.doomedReaders) != 0 {
+		t.Fatalf("own accesses doomed self: %v %v", d.doomedWriters, d.doomedReaders)
+	}
+}
+
+func TestUnregisterClearsState(t *testing.T) {
+	m, _ := newTestMem(256)
+	a := m.AllocLines(1)
+	b := m.AllocLines(1)
+	m.RegisterRead(1, a)
+	m.RegisterWrite(1, b)
+	m.Unregister(1, []Line{LineOf(a), LineOf(b)})
+	if m.LineReaders(LineOf(a)) != 0 {
+		t.Fatalf("readers not cleared")
+	}
+	if m.LineWriter(LineOf(b)) != -1 {
+		t.Fatalf("writer not cleared")
+	}
+	// Unregister must not clear someone else's writership.
+	m.RegisterWrite(2, b)
+	m.Unregister(1, []Line{LineOf(b)})
+	if m.LineWriter(LineOf(b)) != 2 {
+		t.Fatalf("unregister clobbered another thread's writership")
+	}
+}
+
+func TestDirectStoreStrongIsolation(t *testing.T) {
+	m, d := newTestMem(256)
+	a := m.AllocLines(1)
+	m.RegisterRead(1, a)
+	m.RegisterWrite(2, a+1) // same line
+	m.DirectStore(5, a, 42)
+	if m.Peek(a) != 42 {
+		t.Fatalf("direct store did not land")
+	}
+	if len(d.doomedReaders) == 0 {
+		t.Fatalf("direct store must doom transactional readers")
+	}
+	if len(d.doomedWriters) == 0 {
+		t.Fatalf("direct store must doom the transactional writer")
+	}
+}
+
+func TestDirectLoadDoomsOnlyWriter(t *testing.T) {
+	m, d := newTestMem(256)
+	a := m.AllocLines(1)
+	m.RegisterRead(1, a)
+	m.RegisterWrite(2, a) // dooms reader 1 as part of setup
+	d.doomedReaders = nil
+	d.doomedWriters = nil
+	_ = m.DirectLoad(5, a)
+	if len(d.doomedWriters) == 0 {
+		t.Fatalf("direct load must doom the transactional writer")
+	}
+	if len(d.doomedReaders) != 0 {
+		t.Fatalf("direct load must not doom readers")
+	}
+}
+
+func TestDirectAccessorCosts(t *testing.T) {
+	m, _ := newTestMem(256)
+	a := m.AllocLines(1)
+	var clock uint64
+	d := NewDirect(m, 0, func(c uint64) { clock += c }, 2, 3, 1)
+	d.Store(a, 9)
+	if clock != 3 {
+		t.Fatalf("store cost = %d, want 3", clock)
+	}
+	if d.Load(a) != 9 {
+		t.Fatalf("load returned wrong value")
+	}
+	if clock != 5 {
+		t.Fatalf("load cost = %d, want 2 (total 5)", clock-3)
+	}
+	d.Work(4)
+	if clock != 9 {
+		t.Fatalf("work cost = %d, want 4", clock-5)
+	}
+	if d.ThreadID() != 0 {
+		t.Fatalf("ThreadID = %d", d.ThreadID())
+	}
+}
+
+// TestQuickRegistryConsistency drives the registry with random operations
+// and checks invariants: a line has at most one writer; unregistered
+// threads leave no residue.
+func TestQuickRegistryConsistency(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m, _ := newTestMem(1024)
+		base := m.AllocLines(8)
+		registered := map[int]map[Line]bool{}
+		for _, op := range ops {
+			hw := int(op % 8)
+			line := Line(int(LineOf(base)) + int(op/8)%8)
+			a := Addr(line) * LineWords
+			if registered[hw] == nil {
+				registered[hw] = map[Line]bool{}
+			}
+			switch (op / 64) % 3 {
+			case 0:
+				m.RegisterRead(hw, a)
+				registered[hw][line] = true
+			case 1:
+				m.RegisterWrite(hw, a)
+				registered[hw][line] = true
+			case 2:
+				var lines []Line
+				for ln := range registered[hw] {
+					lines = append(lines, ln)
+				}
+				m.Unregister(hw, lines)
+				registered[hw] = map[Line]bool{}
+			}
+		}
+		// Invariant: each line's writer, if set, is within range.
+		for ln := LineOf(base); ln < LineOf(base)+8; ln++ {
+			w := m.LineWriter(ln)
+			if w < -1 || w > 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package plot renders small multi-series line charts as Unicode text,
+// so seerbench can show the paper's figures directly in a terminal
+// without any plotting dependency.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is a fixed-size character canvas with labeled axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	// XTicks labels the sample positions (e.g. thread counts).
+	XTicks []string
+	Width  int // plot-area columns (default 56)
+	Height int // plot-area rows (default 16)
+	Series []Series
+}
+
+// markers distinguish the series; assigned in order.
+var markers = []rune{'●', '▲', '■', '◆', '○', '△', '□', '◇'}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 56
+	}
+	if height <= 0 {
+		height = 16
+	}
+	lo, hi := c.bounds()
+	if hi == lo {
+		hi = lo + 1
+	}
+	// Round the axis outward to friendlier numbers.
+	lo = math.Floor(lo*2) / 2
+	hi = math.Ceil(hi*2) / 2
+
+	canvas := make([][]rune, height)
+	for r := range canvas {
+		canvas[r] = make([]rune, width)
+		for x := range canvas[r] {
+			canvas[r][x] = ' '
+		}
+	}
+	n := c.samples()
+	xFor := func(i int) int {
+		if n == 1 {
+			return 0
+		}
+		return i * (width - 1) / (n - 1)
+	}
+	yFor := func(v float64) int {
+		f := (v - lo) / (hi - lo)
+		r := int(math.Round(f * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r > height-1 {
+			r = height - 1
+		}
+		return height - 1 - r
+	}
+	// Light connecting dots, then markers on top.
+	for si, s := range c.Series {
+		marker := markers[si%len(markers)]
+		prevX, prevY := -1, -1
+		for i, v := range s.Values {
+			if i >= n {
+				break
+			}
+			x, y := xFor(i), yFor(v)
+			if prevX >= 0 {
+				steps := x - prevX
+				for dx := 1; dx < steps; dx++ {
+					ix := prevX + dx
+					iy := prevY + (y-prevY)*dx/steps
+					if canvas[iy][ix] == ' ' {
+						canvas[iy][ix] = '·'
+					}
+				}
+			}
+			canvas[y][x] = marker
+			prevX, prevY = x, y
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	for r := 0; r < height; r++ {
+		label := ""
+		switch r {
+		case 0:
+			label = trimNum(hi)
+		case height - 1:
+			label = trimNum(lo)
+		case (height - 1) / 2:
+			label = trimNum((hi + lo) / 2)
+		}
+		fmt.Fprintf(w, "%6s ┤%s\n", label, string(canvas[r]))
+	}
+	fmt.Fprintf(w, "%6s └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(w, "%7s%s\n", "", c.xAxis(width, n))
+	legend := make([]string, 0, len(c.Series))
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "%7s%s", "", strings.Join(legend, "   "))
+	if c.XLabel != "" {
+		fmt.Fprintf(w, "   [x: %s]", c.XLabel)
+	}
+	fmt.Fprintln(w)
+}
+
+// bounds returns the min/max over every series value.
+func (c *Chart) bounds() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	return lo, hi
+}
+
+// samples returns the longest series length.
+func (c *Chart) samples() int {
+	n := 0
+	for _, s := range c.Series {
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// xAxis spreads the tick labels across the plot width.
+func (c *Chart) xAxis(width, n int) string {
+	out := make([]rune, width)
+	for i := range out {
+		out[i] = ' '
+	}
+	for i, t := range c.XTicks {
+		if i >= n {
+			break
+		}
+		x := 0
+		if n > 1 {
+			x = i * (width - 1) / (n - 1)
+		}
+		// Shift left so the whole label fits inside the plot width.
+		if x+len(t) > width {
+			x = width - len(t)
+		}
+		for j, r := range t {
+			p := x + j
+			if p >= 0 && p < width {
+				out[p] = r
+			}
+		}
+	}
+	return string(out)
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	return s
+}

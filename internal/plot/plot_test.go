@@ -1,0 +1,90 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(c *Chart) string {
+	var sb strings.Builder
+	c.Render(&sb)
+	return sb.String()
+}
+
+func TestRenderBasics(t *testing.T) {
+	c := &Chart{
+		Title:  "test chart",
+		XLabel: "threads",
+		XTicks: []string{"1", "2", "4", "8"},
+		Series: []Series{
+			{Name: "up", Values: []float64{1, 2, 3, 4}},
+			{Name: "down", Values: []float64{4, 3, 2, 1}},
+		},
+	}
+	out := render(c)
+	for _, want := range []string{"test chart", "● up", "▲ down", "[x: threads]", "└"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Rising series: its marker appears on the top row at the right side
+	// and the bottom row at the left.
+	lines := strings.Split(out, "\n")
+	top, bottom := lines[1], lines[16]
+	if !strings.Contains(top, "●") && !strings.Contains(top, "▲") {
+		t.Fatalf("no marker on the top row:\n%s", out)
+	}
+	if !strings.Contains(bottom, "●") && !strings.Contains(bottom, "▲") {
+		t.Fatalf("no marker on the bottom row:\n%s", out)
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "flat", Values: []float64{2, 2, 2}}}}
+	out := render(c)
+	if !strings.Contains(out, "●") {
+		t.Fatalf("flat series rendered nothing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := &Chart{Series: nil}
+	out := render(c)
+	if out == "" {
+		t.Fatalf("empty chart rendered nothing at all")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "pt", Values: []float64{5}}}}
+	out := render(c)
+	if !strings.Contains(out, "●") {
+		t.Fatalf("single point missing:\n%s", out)
+	}
+}
+
+func TestAxisLabels(t *testing.T) {
+	c := &Chart{
+		XTicks: []string{"1t", "8t"},
+		Series: []Series{{Name: "s", Values: []float64{0, 10}}},
+	}
+	out := render(c)
+	if !strings.Contains(out, "10.0") || !strings.Contains(out, "0.0") {
+		t.Fatalf("y-axis bounds missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1t") || !strings.Contains(out, "8t") {
+		t.Fatalf("x ticks missing:\n%s", out)
+	}
+}
+
+func TestManySeriesMarkersCycle(t *testing.T) {
+	var series []Series
+	for i := 0; i < 10; i++ {
+		series = append(series, Series{Name: "s", Values: []float64{float64(i)}})
+	}
+	c := &Chart{Series: series}
+	out := render(c)
+	if !strings.Contains(out, "●") || !strings.Contains(out, "○") {
+		t.Fatalf("markers did not cycle:\n%s", out)
+	}
+}

@@ -1,0 +1,338 @@
+// Package policy implements the software side of the TM runtime: the
+// retry loop around hardware transactions and the fall-back management.
+// It provides the four approaches compared in the paper's evaluation —
+// HLE, RTM, SCM and Seer — plus the Seer ablation variants used by
+// Figures 4 and 5, all over a uniform interface so the benchmark harness
+// and the public API can swap them freely.
+//
+// A transaction body is written against mem.Access and is executed either
+// inside a hardware transaction (htm.Tx) or, on the fall-back path, with
+// direct accesses while holding the single-global lock (mem.Direct); the
+// body must therefore be idempotent up to its memory writes, like any
+// HTM+SGL critical section.
+package policy
+
+import (
+	"fmt"
+
+	"seer/internal/core"
+	"seer/internal/htm"
+	"seer/internal/machine"
+	"seer/internal/mem"
+	"seer/internal/spinlock"
+	"seer/internal/trace"
+)
+
+// Mode classifies how a transaction finally committed; the breakdown of
+// Table 3 is a histogram over these.
+type Mode int
+
+// Transaction commit modes.
+const (
+	ModeHTM       Mode = iota // hardware transaction, no auxiliary locks
+	ModeHTMAux                // hardware transaction under SCM's auxiliary lock
+	ModeHTMTx                 // hardware transaction holding Seer tx locks
+	ModeHTMCore               // hardware transaction holding a Seer core lock
+	ModeHTMTxCore             // hardware transaction holding both kinds
+	ModeSGL                   // single-global-lock software fall-back
+	NumModes
+)
+
+// String returns the Table 3 row label of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeHTM:
+		return "HTM no locks"
+	case ModeHTMAux:
+		return "HTM + Aux lock"
+	case ModeHTMTx:
+		return "HTM + Tx Locks"
+	case ModeHTMCore:
+		return "HTM + Core Locks"
+	case ModeHTMTxCore:
+		return "HTM + Tx + Core Locks"
+	case ModeSGL:
+		return "SGL fall-back"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ModeCounts is a histogram of commit modes.
+type ModeCounts [NumModes]uint64
+
+// Total returns the number of committed transactions across modes.
+func (mc *ModeCounts) Total() uint64 {
+	var t uint64
+	for _, v := range mc {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates other into mc.
+func (mc *ModeCounts) Add(other ModeCounts) {
+	for i := range mc {
+		mc[i] += other[i]
+	}
+}
+
+// Fraction returns mode m's share of all commits, in [0, 1].
+func (mc *ModeCounts) Fraction(m Mode) float64 {
+	t := mc.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(mc[m]) / float64(t)
+}
+
+// Thread is the per-worker runtime state shared by all policies.
+type Thread struct {
+	Ctx    *machine.Ctx
+	Mem    *mem.Memory
+	HTM    *htm.Unit
+	Direct *mem.Direct
+	Modes  ModeCounts
+	Trace  *trace.Log // nil disables event tracing
+
+	Seer      *core.ThreadState // non-nil only under the Seer policy
+	Attempts  uint64            // hardware attempts issued
+	Fallbacks uint64            // SGL acquisitions
+	curTx     int               // txID of the in-flight Run, for tracing
+}
+
+// NewThread builds the runtime state for ctx's hardware thread.
+func NewThread(ctx *machine.Ctx, m *mem.Memory, u *htm.Unit) *Thread {
+	cost := ctx.Machine().Cost
+	return &Thread{
+		Ctx:    ctx,
+		Mem:    m,
+		HTM:    u,
+		Direct: mem.NewDirect(m, ctx.ID(), ctx.Tick, cost.DirectLoad, cost.DirectStore, cost.Work),
+	}
+}
+
+// Policy runs transaction bodies to completion under some scheduling
+// discipline.
+type Policy interface {
+	// Name identifies the policy in reports ("HLE", "RTM", ...).
+	Name() string
+	// Run executes body atomically for atomic block txID on t's thread,
+	// retrying as the policy dictates, and records the commit mode. obj
+	// is the object identifier used by Seer's object-granular locking
+	// extension; other policies ignore it (pass 0 when unknown).
+	Run(t *Thread, txID int, obj uint64, body func(mem.Access))
+}
+
+// attempt runs body once as a hardware transaction that first subscribes
+// to the single-global lock (aborting explicitly if it is held, to stay
+// correct with respect to the fall-back path).
+func attempt(t *Thread, sgl spinlock.Lock, body func(mem.Access)) htm.Status {
+	t.Attempts++
+	t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvBegin, t.curTx, 0)
+	status := t.HTM.Run(t.Ctx, func(tx *htm.Tx) {
+		if sgl.LockedTx(tx) {
+			tx.Abort(spinlock.CodeSGLHeld)
+		}
+		body(tx)
+	})
+	if status == 0 {
+		t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvCommit, t.curTx, 0)
+	} else {
+		t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvAbort, t.curTx, uint32(status))
+	}
+	return status
+}
+
+// runSGL executes body under the single-global lock on the software path.
+func runSGL(t *Thread, sgl spinlock.Lock, body func(mem.Access)) {
+	t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvFallback, t.curTx, 0)
+	sgl.Acquire(t.Ctx, t.Mem)
+	body(t.Direct)
+	sgl.Release(t.Ctx, t.Mem)
+	t.Fallbacks++
+	t.Modes[ModeSGL]++
+}
+
+// --- HLE ---
+
+// HLE models hardware lock elision: a single hardware attempt per
+// acquisition and no software contention management, so it suffers the
+// lemming effect — once the elided lock is taken, waiting threads abort
+// and acquire it in turn, convoying the system onto the lock.
+type HLE struct {
+	SGL spinlock.Lock
+}
+
+// Name implements Policy.
+func (p *HLE) Name() string { return "HLE" }
+
+// Run implements Policy.
+func (p *HLE) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
+	t.curTx = txID
+	// An elided spinlock acquisition spins until the lock is observed
+	// free, then elides — one speculative attempt (the hardware's retry
+	// budget is minimal and not software-controlled). Any abort falls
+	// back to acquiring the lock for real, which in turn aborts every
+	// concurrent elision: the lemming cascade.
+	if p.SGL.LockedFast(t.Mem) {
+		p.SGL.SpinWhileLocked(t.Ctx, t.Mem)
+	}
+	if attempt(t, p.SGL, body) == 0 {
+		t.Modes[ModeHTM]++
+		return
+	}
+	runSGL(t, p.SGL, body)
+}
+
+// --- RTM ---
+
+// RTM is the standard software retry loop used with Intel TSX: up to
+// MaxAttempts hardware attempts, waiting for the single-global lock to be
+// free before each (lemming avoidance), then the SGL fall-back. With its
+// single lock and global contention response this is the ATS-like
+// baseline of the paper.
+type RTM struct {
+	SGL         spinlock.Lock
+	MaxAttempts int
+}
+
+// Name implements Policy.
+func (p *RTM) Name() string { return "RTM" }
+
+// Run implements Policy.
+func (p *RTM) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
+	t.curTx = txID
+	for attempts := p.MaxAttempts; attempts > 0; attempts-- {
+		if p.SGL.LockedFast(t.Mem) {
+			p.SGL.SpinWhileLocked(t.Ctx, t.Mem)
+		}
+		if attempt(t, p.SGL, body) == 0 {
+			t.Modes[ModeHTM]++
+			return
+		}
+	}
+	runSGL(t, p.SGL, body)
+}
+
+// --- SCM ---
+
+// SCM implements Software-assisted Conflict Management (Afek et al.,
+// PODC 2014): a transaction that aborts acquires an auxiliary lock before
+// retrying in hardware, so at most one previously-aborted transaction runs
+// at a time, curing the lemming effect at the cost of serializing all
+// restarting transactions behind one lock.
+type SCM struct {
+	SGL         spinlock.Lock
+	Aux         spinlock.Lock
+	MaxAttempts int
+}
+
+// Name implements Policy.
+func (p *SCM) Name() string { return "SCM" }
+
+// Run implements Policy.
+func (p *SCM) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
+	t.curTx = txID
+	holdingAux := false
+	defer func() {
+		if holdingAux {
+			p.Aux.ReleaseOwned(t.Ctx, t.Mem)
+		}
+	}()
+	for attempts := p.MaxAttempts; attempts > 0; attempts-- {
+		if p.SGL.LockedFast(t.Mem) {
+			p.SGL.SpinWhileLocked(t.Ctx, t.Mem)
+		}
+		if attempt(t, p.SGL, body) == 0 {
+			if holdingAux {
+				p.Aux.ReleaseOwned(t.Ctx, t.Mem)
+				holdingAux = false
+				t.Modes[ModeHTMAux]++
+			} else {
+				t.Modes[ModeHTM]++
+			}
+			return
+		}
+		if !holdingAux && attempts > 1 {
+			p.Aux.Acquire(t.Ctx, t.Mem)
+			holdingAux = true
+		}
+	}
+	if holdingAux {
+		p.Aux.ReleaseOwned(t.Ctx, t.Mem)
+		holdingAux = false
+	}
+	runSGL(t, p.SGL, body)
+}
+
+// --- Seer ---
+
+// Seer drives the scheduler of internal/core through the retry loop of
+// the paper's Algorithms 1 and 2.
+type Seer struct {
+	SGL         spinlock.Lock
+	MaxAttempts int
+	Sched       *core.Seer
+}
+
+// Name implements Policy.
+func (p *Seer) Name() string { return "Seer" }
+
+// Run implements Policy.
+func (p *Seer) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
+	t.curTx = txID
+	ts := t.Seer
+	p.Sched.Start(ts, txID, obj)
+	attempts := p.MaxAttempts
+	for {
+		p.Sched.WaitLocks(ts, txID, p.SGL)
+		status := attempt(t, p.SGL, body)
+		if status == 0 {
+			p.Sched.RegisterCommit(ts, txID)
+			t.Modes[seerMode(ts)]++
+			p.Sched.ReleaseLocks(ts)
+			p.Sched.Finish(ts)
+			return
+		}
+		p.Sched.RegisterAbort(ts, txID)
+		attempts--
+		if attempts == 0 {
+			p.Sched.ReleaseLocks(ts)
+			runSGL(t, p.SGL, body)
+			p.Sched.Finish(ts)
+			return
+		}
+		p.Sched.AcquireLocks(ts, txID, status, attempts)
+	}
+}
+
+// seerMode classifies a hardware commit by the Seer locks held.
+func seerMode(ts *core.ThreadState) Mode {
+	switch {
+	case ts.HoldsTxLocks() && ts.AcquiredCoreLock:
+		return ModeHTMTxCore
+	case ts.HoldsTxLocks():
+		return ModeHTMTx
+	case ts.AcquiredCoreLock:
+		return ModeHTMCore
+	default:
+		return ModeHTM
+	}
+}
+
+// --- Sequential baseline ---
+
+// Sequential executes bodies directly with no transactions or locks; the
+// harness uses it single-threaded as the paper's "sequential
+// non-instrumented" speedup baseline.
+type Sequential struct{}
+
+// Name implements Policy.
+func (p *Sequential) Name() string { return "seq" }
+
+// Run implements Policy.
+func (p *Sequential) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
+	t.Modes[ModeHTM]++ // counted as plain executions
+	body(t.Direct)
+}

@@ -1,0 +1,107 @@
+package stamp
+
+import (
+	"fmt"
+
+	"seer"
+	"seer/internal/tmds"
+)
+
+// HashMapBench is the low-contention microbenchmark of §5.3: a hash map
+// with 4k elements and 1k buckets under a read-dominated mix, used to
+// bound Seer's profiling overhead in the most overhead-sensitive regime
+// (where there is nothing for the scheduler to gain).
+type HashMapBench struct {
+	totalOps int
+	elements int
+	buckets  int
+
+	table   *tmds.HashMap
+	balance threadStats // net inserts − deletes (wrapping)
+}
+
+func init() {
+	Register("hashmap", func(scale float64) Workload { return NewHashMapBench(scale) })
+}
+
+// NewHashMapBench builds the 4k-element / 1k-bucket map of the paper.
+func NewHashMapBench(scale float64) *HashMapBench {
+	return &HashMapBench{
+		totalOps: scaled(12800, scale, 128),
+		elements: scaled(4096, scale, 64),
+		buckets:  scaled(1024, scale, 16),
+	}
+}
+
+// Name implements Workload.
+func (w *HashMapBench) Name() string { return "hashmap" }
+
+// NumAtomicBlocks implements Workload.
+func (w *HashMapBench) NumAtomicBlocks() int { return 1 }
+
+// MemWords implements Workload.
+func (w *HashMapBench) MemWords() int {
+	return w.buckets + (w.elements+w.totalOps/4)*4 + 1<<15
+}
+
+// Setup implements Workload.
+func (w *HashMapBench) Setup(sys *seer.System) {
+	m := sys.Memory()
+	arena := tmds.NewArena(m, (w.elements+w.totalOps/4)*3+8192)
+	w.table = tmds.NewHashMap(m, w.buckets, arena)
+	w.balance = newThreadStats(sys)
+	acc := rawSys{sys}
+	for i := 0; i < w.elements; i++ {
+		w.table.Put(acc, uint64(i), uint64(i))
+	}
+}
+
+// Workers implements Workload.
+func (w *HashMapBench) Workers(nThreads int) []seer.Worker {
+	parts := split(w.totalOps, nThreads)
+	keySpace := uint64(w.elements * 2)
+	workers := make([]seer.Worker, nThreads)
+	for i := range workers {
+		ops := parts[i]
+		workers[i] = func(t *seer.Thread) {
+			rng := t.Rand()
+			for n := 0; n < ops; n++ {
+				k := rng.Uint64() % keySpace
+				switch r := rng.Intn(100); {
+				case r < 90:
+					t.Atomic(0, func(a seer.Access) {
+						a.Work(120)
+						_, _ = w.table.Get(a, k)
+					})
+				case r < 95:
+					t.Atomic(0, func(a seer.Access) {
+						a.Work(120)
+						if w.table.PutIfAbsent(a, k, k) {
+							w.balance.add(a, 1)
+						}
+					})
+				default:
+					t.Atomic(0, func(a seer.Access) {
+						a.Work(120)
+						if w.table.Delete(a, k) {
+							w.balance.add(a, ^uint64(0)) // -1, wrapping
+						}
+					})
+				}
+				t.Work(uint64(100 + rng.Intn(41)))
+			}
+		}
+	}
+	return workers
+}
+
+// Validate implements Workload.
+func (w *HashMapBench) Validate(sys *seer.System) error {
+	acc := rawSys{sys}
+	want := uint64(w.elements) + w.balance.sum(sys) // two's-complement add
+	if got := w.table.Size(acc); got != want {
+		return fmt.Errorf("hashmap: size %d, want %d (initial %d %+d)",
+			got, want, w.elements, int64(w.balance.sum(sys)))
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+// Package stamp provides Go ports of the STAMP benchmarks used in the
+// paper's evaluation (genome, intruder, kmeans high/low, ssca2, vacation
+// high/low, yada — bayes and labyrinth are excluded exactly as in the
+// paper), plus the low-contention hash-map microbenchmark of §5.3.
+//
+// The ports run on the simulated transactional memory through the public
+// API (package seer) and preserve what the scheduler can observe of the
+// originals: the number and identity of atomic blocks, their relative
+// frequencies, read/write-set footprints, and the conflict structure
+// between blocks. Absolute instruction counts are scaled down so a full
+// parameter sweep runs in seconds of wall-clock time; DESIGN.md records
+// the substitution argument.
+//
+// Workload implementations must respect the retry discipline of best-
+// effort HTM: atomic-block bodies touch only simulated memory via the
+// Access parameter (they may run several times), and all Go-side
+// bookkeeping happens outside Atomic or is assign-only.
+package stamp
+
+import (
+	"fmt"
+	"sort"
+
+	"seer"
+)
+
+// Workload is one benchmark instance. The lifecycle is:
+// New... → MemWords/NumAtomicBlocks (to size the system) → Setup →
+// Workers → (System.Run) → Validate.
+type Workload interface {
+	// Name is the benchmark's display name (matches the paper's
+	// figures, e.g. "kmeans-high").
+	Name() string
+	// NumAtomicBlocks is the count of static atomic blocks, i.e. the
+	// dimension of Seer's statistics matrices.
+	NumAtomicBlocks() int
+	// MemWords returns the simulated-memory size the workload needs.
+	MemWords() int
+	// Setup allocates and initializes shared state on sys.
+	Setup(sys *seer.System)
+	// Workers returns one worker body per thread, partitioning the
+	// workload's total operations across nThreads.
+	Workers(nThreads int) []seer.Worker
+	// Validate checks post-run invariants on the simulated state,
+	// returning an error describing any violation.
+	Validate(sys *seer.System) error
+}
+
+// Factory builds a fresh workload instance at the given scale (1.0 is the
+// default size; the harness uses smaller scales for quick runs). Each run
+// needs a fresh instance because workloads hold simulated addresses.
+type Factory func(scale float64) Workload
+
+var registry = map[string]Factory{}
+
+// Register installs a workload factory under its canonical name.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("stamp: duplicate workload %q", name))
+	}
+	registry[name] = f
+}
+
+// New builds workload name at the given scale.
+func New(name string, scale float64) (Workload, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("stamp: unknown workload %q (have %v)", name, Names())
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	return f(scale), nil
+}
+
+// Names lists the registered workloads in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Suite is the STAMP subset of the paper's Figure 3 / Table 3, in the
+// paper's presentation order.
+var Suite = []string{
+	"genome", "intruder", "kmeans-high", "kmeans-low",
+	"ssca2", "vacation-high", "vacation-low", "yada",
+}
+
+// split partitions total operations across n workers, giving earlier
+// workers the remainder (deterministic).
+func split(total, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = total / n
+	}
+	for i := 0; i < total%n; i++ {
+		out[i]++
+	}
+	return out
+}
+
+// scaled returns base scaled, with a floor of lo.
+func scaled(base int, scale float64, lo int) int {
+	v := int(float64(base) * scale)
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// maxHWThreads bounds the per-thread stat arrays (matches the machine
+// package's hardware-thread limit).
+const maxHWThreads = 64
+
+// threadStats is a per-hardware-thread padded counter in simulated
+// memory: workload bookkeeping that must not become a cross-thread
+// conflict hotspot (the analogue of STAMP's thread-local statistics).
+type threadStats struct{ base seer.Addr }
+
+func newThreadStats(sys *seer.System) threadStats {
+	return threadStats{base: sys.AllocLines(maxHWThreads)}
+}
+
+func (s threadStats) slot(a seer.Access) seer.Addr {
+	return s.base + seer.Addr(a.ThreadID()*8)
+}
+
+// add bumps the calling thread's slot by d (inside a transaction this is
+// conflict-free: the line is private to the thread).
+func (s threadStats) add(a seer.Access, d uint64) {
+	p := s.slot(a)
+	a.Store(p, a.Load(p)+d)
+}
+
+// sum folds all slots (post-run, outside transactions). Wrapping
+// arithmetic makes mixed add/subtract bookkeeping sum to the correct net
+// value.
+func (s threadStats) sum(sys *seer.System) uint64 {
+	var total uint64
+	for i := 0; i < maxHWThreads; i++ {
+		total += sys.Peek(s.base + seer.Addr(i*8))
+	}
+	return total
+}

@@ -1,0 +1,253 @@
+package stamp_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seer"
+	"seer/internal/harness"
+	"seer/internal/stamp"
+)
+
+// TestAllWorkloadsAllPolicies runs every registered workload under every
+// policy at a small scale and checks the workload's own invariants — the
+// end-to-end correctness test of the whole stack (engine, memory, HTM,
+// locks, scheduler, data structures).
+func TestAllWorkloadsAllPolicies(t *testing.T) {
+	policies := []seer.PolicyKind{
+		seer.PolicyHLE, seer.PolicyRTM, seer.PolicySCM, seer.PolicySeer,
+	}
+	for _, name := range stamp.Names() {
+		for _, pol := range policies {
+			name, pol := name, pol
+			t.Run(name+"/"+string(pol), func(t *testing.T) {
+				res, err := harness.RunOne(harness.Spec{
+					Workload: name,
+					Scale:    0.12,
+					Policy:   pol,
+					Threads:  8,
+					Runs:     1,
+					Seed:     7,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := res.Reports[0]
+				if rep.Commits() == 0 {
+					t.Fatalf("no commits recorded")
+				}
+				if rep.MakespanCycles == 0 {
+					t.Fatalf("zero makespan")
+				}
+			})
+		}
+	}
+}
+
+// TestWorkloadsSequential checks every workload's invariants after a
+// plain sequential run, isolating workload-logic bugs from concurrency.
+func TestWorkloadsSequential(t *testing.T) {
+	for _, name := range stamp.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if _, err := harness.RunOne(harness.Spec{
+				Workload: name, Scale: 0.12, Policy: seer.PolicySeq,
+				Threads: 1, Runs: 1, Seed: 3,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestWorkloadThreadSweep exercises partitioning across 1..8 threads for
+// one queue-driven (exact-partitioning-sensitive) workload.
+func TestWorkloadThreadSweep(t *testing.T) {
+	for th := 1; th <= 8; th++ {
+		if _, err := harness.RunOne(harness.Spec{
+			Workload: "intruder", Scale: 0.1, Policy: seer.PolicyRTM,
+			Threads: th, Runs: 1, Seed: 11,
+		}); err != nil {
+			t.Fatalf("threads=%d: %v", th, err)
+		}
+	}
+}
+
+// TestDeterministicRuns checks that the same Spec yields identical
+// makespans (whole-system determinism through the stamp layer).
+func TestDeterministicRuns(t *testing.T) {
+	spec := harness.Spec{
+		Workload: "genome", Scale: 0.1, Policy: seer.PolicySeer,
+		Threads: 8, Runs: 1, Seed: 13,
+	}
+	a, err := harness.RunOne(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := harness.RunOne(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reports[0].MakespanCycles != b.Reports[0].MakespanCycles {
+		t.Fatalf("nondeterministic makespan: %d vs %d",
+			a.Reports[0].MakespanCycles, b.Reports[0].MakespanCycles)
+	}
+}
+
+// TestRegistry checks the factory registry and suite listing.
+func TestRegistry(t *testing.T) {
+	if _, err := stamp.New("no-such-benchmark", 1); err == nil {
+		t.Fatalf("expected error for unknown workload")
+	}
+	names := stamp.Names()
+	want := map[string]bool{}
+	// Suite + the §5.3 microbenchmark + the two workloads the paper
+	// excludes from its evaluation (implemented for completeness).
+	for _, n := range append(append([]string{}, stamp.Suite...), "hashmap", "bayes", "labyrinth", "synth") {
+		want[n] = true
+	}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %v, want %v", names, stamp.Suite)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected workload %q", n)
+		}
+		wl, err := stamp.New(n, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wl.Name() != n {
+			t.Fatalf("workload %q reports name %q", n, wl.Name())
+		}
+		if wl.NumAtomicBlocks() <= 0 || wl.MemWords() <= 0 {
+			t.Fatalf("workload %q has degenerate sizing", n)
+		}
+	}
+}
+
+// TestSynthCustomParameterization exercises a hand-built Synth instance
+// (overlapping hot sets, three blocks) under Seer.
+func TestSynthCustomParameterization(t *testing.T) {
+	wl := &stamp.Synth{
+		Blocks:     3,
+		Share:      []float64{0.3, 0.3, 0.4},
+		HotLines:   []int{16, 16, 16},
+		ReadLines:  []int{3, 1, 2},
+		WriteLines: []int{2, 2, 1},
+		TxWork:     []uint64{80, 40, 60},
+		GapWork:    8,
+		Overlap:    true,
+		TotalOps:   1200,
+	}
+	cfg := seer.DefaultConfig()
+	cfg.Threads = 8
+	cfg.HWThreads = harness.MachineHWThreads
+	cfg.PhysCores = harness.MachinePhysCores
+	cfg.Policy = seer.PolicySeer
+	cfg.NumAtomicBlocks = wl.NumAtomicBlocks()
+	cfg.MemWords = wl.MemWords() + (1 << 14)
+	cfg.MaxCycles = 1 << 34
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl.Setup(sys)
+	if _, err := sys.Run(wl.Workers(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Validate(sys); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSynthRejectsBadParameters: inconsistent parameterizations panic at
+// Setup rather than corrupting a run.
+func TestSynthRejectsBadParameters(t *testing.T) {
+	wl := &stamp.Synth{
+		Blocks:     2,
+		Share:      []float64{1.0}, // wrong length
+		HotLines:   []int{4, 4},
+		ReadLines:  []int{1, 1},
+		WriteLines: []int{1, 1},
+		TxWork:     []uint64{10, 10},
+		TotalOps:   10,
+	}
+	cfg := seer.DefaultConfig()
+	cfg.Threads = 1
+	cfg.NumAtomicBlocks = 2
+	cfg.MemWords = 1 << 12
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("bad parameterization not rejected")
+		}
+	}()
+	wl.Setup(sys)
+}
+
+// TestSynthQuickRandomConfigs fuzzes the synthetic workload: random valid
+// parameterizations must run and validate under every policy.
+func TestSynthQuickRandomConfigs(t *testing.T) {
+	f := func(seed int64, b8, hot8, share8 uint8) bool {
+		blocks := int(b8%3) + 1
+		wl := &stamp.Synth{
+			Blocks:   blocks,
+			TotalOps: 240,
+			GapWork:  5,
+			Overlap:  seed%2 == 0,
+		}
+		rest := 1.0
+		for b := 0; b < blocks; b++ {
+			share := rest / float64(blocks-b)
+			if b == blocks-1 {
+				share = rest
+			}
+			rest -= share
+			wl.Share = append(wl.Share, share)
+			hot := int(hot8%12) + 2
+			wl.HotLines = append(wl.HotLines, hot)
+			wl.ReadLines = append(wl.ReadLines, 1+int(share8)%hot)
+			wl.WriteLines = append(wl.WriteLines, 1+int(hot8)%hot)
+			wl.TxWork = append(wl.TxWork, uint64(20+10*b))
+		}
+		for _, pol := range []seer.PolicyKind{seer.PolicyRTM, seer.PolicySeer, seer.PolicyATS} {
+			cfg := seer.DefaultConfig()
+			cfg.Threads = 4
+			cfg.HWThreads = harness.MachineHWThreads
+			cfg.PhysCores = harness.MachinePhysCores
+			cfg.Seed = seed
+			cfg.Policy = pol
+			cfg.NumAtomicBlocks = wl.NumAtomicBlocks()
+			cfg.MemWords = wl.MemWords() + (1 << 14)
+			cfg.MaxCycles = 1 << 33
+			sys, err := seer.NewSystem(cfg)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			fresh := *wl // fresh addresses per system
+			fresh.Share = append([]float64{}, wl.Share...)
+			fresh.HotLines = append([]int{}, wl.HotLines...)
+			fresh.ReadLines = append([]int{}, wl.ReadLines...)
+			fresh.WriteLines = append([]int{}, wl.WriteLines...)
+			fresh.TxWork = append([]uint64{}, wl.TxWork...)
+			fresh.Setup(sys)
+			if _, err := sys.Run(fresh.Workers(4)); err != nil {
+				t.Log(err)
+				return false
+			}
+			if err := fresh.Validate(sys); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

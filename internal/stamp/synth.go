@@ -1,0 +1,207 @@
+package stamp
+
+import (
+	"fmt"
+
+	"seer"
+)
+
+// Synth is a fully parameterized synthetic workload for exploring the
+// scheduler outside the STAMP configurations: every contention knob the
+// other ports hard-code is explicit here. It registers as "synth" with a
+// default parameterization (not part of stamp.Suite); library users build
+// custom instances by filling the struct directly (see
+// examples/contention).
+//
+// Each atomic block b owns a hot set of HotLines[b] cache lines; an
+// operation of block b reads ReadLines[b] random lines of that set,
+// computes for TxWork[b] cycles, and writes WriteLines[b] of them.
+// Blocks sharing a hot set (Overlap) conflict across blocks.
+type Synth struct {
+	// Blocks is the number of atomic blocks.
+	Blocks int
+	// Share[b] is block b's fraction of operations (must sum to ~1).
+	Share []float64
+	// HotLines[b] is the size of block b's hot set in cache lines.
+	HotLines []int
+	// ReadLines / WriteLines per operation of block b.
+	ReadLines, WriteLines []int
+	// TxWork[b] is in-transaction computation; GapWork is between ops.
+	TxWork  []uint64
+	GapWork uint64
+	// Overlap makes all blocks address one shared hot set (sized by
+	// HotLines[0]) instead of disjoint per-block sets.
+	Overlap bool
+	// TotalOps across all threads.
+	TotalOps int
+
+	sets []seer.Addr
+	done threadStats
+}
+
+func init() {
+	Register("synth", func(scale float64) Workload {
+		return DefaultSynth(scale)
+	})
+}
+
+// DefaultSynth returns a two-block instance with one hot self-conflicting
+// block (20 %) and one wide, calm block (80 %) — the canonical scenario
+// Seer exploits.
+func DefaultSynth(scale float64) *Synth {
+	return &Synth{
+		Blocks:     2,
+		Share:      []float64{0.2, 0.8},
+		HotLines:   []int{4, 512},
+		ReadLines:  []int{2, 2},
+		WriteLines: []int{2, 1},
+		TxWork:     []uint64{120, 50},
+		GapWork:    10,
+		TotalOps:   scaled(6400, scale, 64),
+	}
+}
+
+// Name implements Workload.
+func (w *Synth) Name() string { return "synth" }
+
+// NumAtomicBlocks implements Workload.
+func (w *Synth) NumAtomicBlocks() int { return w.Blocks }
+
+// MemWords implements Workload.
+func (w *Synth) MemWords() int {
+	words := 0
+	for _, h := range w.HotLines {
+		words += h * 8
+	}
+	return words + 1<<13
+}
+
+// check panics on inconsistent parameterizations (programming errors).
+func (w *Synth) check() {
+	if w.Blocks <= 0 || len(w.Share) != w.Blocks || len(w.HotLines) != w.Blocks ||
+		len(w.ReadLines) != w.Blocks || len(w.WriteLines) != w.Blocks || len(w.TxWork) != w.Blocks {
+		panic("stamp: inconsistent Synth parameterization")
+	}
+	for b := 0; b < w.Blocks; b++ {
+		if w.ReadLines[b] > w.HotLines[b] || w.WriteLines[b] > w.HotLines[b] {
+			panic("stamp: Synth accesses exceed the hot set")
+		}
+	}
+}
+
+// Setup implements Workload.
+func (w *Synth) Setup(sys *seer.System) {
+	w.check()
+	w.sets = make([]seer.Addr, w.Blocks)
+	for b := 0; b < w.Blocks; b++ {
+		if w.Overlap && b > 0 {
+			w.sets[b] = w.sets[0]
+			continue
+		}
+		w.sets[b] = sys.AllocLines(w.HotLines[b])
+	}
+	w.done = newThreadStats(sys)
+}
+
+// pick selects an operation's block by the configured shares.
+func (w *Synth) pick(r float64) int {
+	acc := 0.0
+	for b := 0; b < w.Blocks; b++ {
+		acc += w.Share[b]
+		if r < acc {
+			return b
+		}
+	}
+	return w.Blocks - 1
+}
+
+// Workers implements Workload.
+func (w *Synth) Workers(nThreads int) []seer.Worker {
+	parts := split(w.TotalOps, nThreads)
+	workers := make([]seer.Worker, nThreads)
+	for i := range workers {
+		ops := parts[i]
+		workers[i] = func(t *seer.Thread) {
+			rng := t.Rand()
+			for n := 0; n < ops; n++ {
+				b := w.pick(rng.Float64())
+				hot := w.HotLines[b]
+				if w.Overlap {
+					hot = w.HotLines[0]
+				}
+				set := w.sets[b]
+				// Choose the lines outside the body (stable across
+				// hardware retries).
+				reads := make([]seer.Addr, w.ReadLines[b])
+				for j := range reads {
+					reads[j] = set + seer.Addr(rng.Intn(hot)*8)
+				}
+				writes := make([]seer.Addr, w.WriteLines[b])
+				for j := range writes {
+					writes[j] = set + seer.Addr(rng.Intn(hot)*8)
+				}
+				work := w.TxWork[b]
+				t.AtomicObj(b, uint64(n), func(a seer.Access) {
+					var sum uint64
+					for _, r := range reads {
+						sum += a.Load(r)
+					}
+					a.Work(work)
+					for _, wr := range writes {
+						a.Store(wr, a.Load(wr)+1)
+					}
+					w.done.add(a, 1)
+					_ = sum
+				})
+				if w.GapWork > 0 {
+					t.Work(w.GapWork + uint64(rng.Intn(int(w.GapWork)+1)))
+				}
+			}
+		}
+	}
+	return workers
+}
+
+// Validate implements Workload.
+func (w *Synth) Validate(sys *seer.System) error {
+	if done := w.done.sum(sys); done != uint64(w.TotalOps) {
+		return fmt.Errorf("synth: %d operations committed, want %d", done, w.TotalOps)
+	}
+	// The per-block write counts are not retained post-run per op (the
+	// lines are chosen randomly), so check the weaker invariant that the
+	// increments sum over all sets matches total writes committed; since
+	// every op of block b performs exactly WriteLines[b] increments, and
+	// shares are random, recompute from the per-block op counts is not
+	// possible without extra state — instead verify that the total mass
+	// is within the op-count bounds.
+	var mass uint64
+	seen := map[seer.Addr]bool{}
+	for b := 0; b < w.Blocks; b++ {
+		if seen[w.sets[b]] {
+			continue
+		}
+		seen[w.sets[b]] = true
+		hot := w.HotLines[b]
+		if w.Overlap {
+			hot = w.HotLines[0]
+		}
+		for l := 0; l < hot; l++ {
+			mass += sys.Peek(w.sets[b] + seer.Addr(l*8))
+		}
+	}
+	minW, maxW := w.WriteLines[0], w.WriteLines[0]
+	for _, wl := range w.WriteLines {
+		if wl < minW {
+			minW = wl
+		}
+		if wl > maxW {
+			maxW = wl
+		}
+	}
+	lo := uint64(w.TotalOps) * uint64(minW)
+	hi := uint64(w.TotalOps) * uint64(maxW)
+	if mass < lo || mass > hi {
+		return fmt.Errorf("synth: hot-set increments %d outside [%d, %d]", mass, lo, hi)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package stamp_test
+
+// Failure-injection tests: every workload's Validate must detect
+// deliberately corrupted simulated state. A validator that cannot fail
+// proves nothing when it passes.
+
+import (
+	"strings"
+	"testing"
+
+	"seer"
+	"seer/internal/harness"
+	"seer/internal/stamp"
+)
+
+// runAndCorrupt runs a workload sequentially, then lets corrupt mangle
+// the simulated memory, and returns Validate's error.
+func runAndCorrupt(t *testing.T, name string, corrupt func(sys *seer.System)) error {
+	t.Helper()
+	wl, err := stamp.New(name, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := seer.DefaultConfig()
+	cfg.Threads = 2
+	cfg.HWThreads = harness.MachineHWThreads
+	cfg.PhysCores = harness.MachinePhysCores
+	cfg.Policy = seer.PolicyRTM
+	cfg.NumAtomicBlocks = wl.NumAtomicBlocks()
+	cfg.MemWords = wl.MemWords() + (1 << 14)
+	cfg.MaxCycles = 1 << 34
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl.Setup(sys)
+	if _, err := sys.Run(wl.Workers(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Validate(sys); err != nil {
+		t.Fatalf("pre-corruption validation failed: %v", err)
+	}
+	corrupt(sys)
+	return wl.Validate(sys)
+}
+
+// smashHigh flips a swath of words near the end of the allocated
+// region (per-thread stats, trailing structures).
+func smashHigh(sys *seer.System) {
+	hi := sys.Config().MemWords - sys.FreeWords()
+	for a := hi - 256; a < hi-128; a++ {
+		if a > 0 {
+			sys.Poke(seer.Addr(a), sys.Peek(seer.Addr(a))+3)
+		}
+	}
+}
+
+// smashLow flips words in the early workload allocations (tree nodes,
+// cluster accumulators); runtime lock words it also hits are inert after
+// the run.
+func smashLow(sys *seer.System) {
+	for a := 16; a < 900; a++ {
+		sys.Poke(seer.Addr(a), sys.Peek(seer.Addr(a))+3)
+	}
+}
+
+func TestValidatorsDetectCorruption(t *testing.T) {
+	// Workloads whose validated state lives in the early allocations.
+	lowRegion := map[string]bool{
+		"kmeans-high": true, "kmeans-low": true,
+		"vacation-high": true, "vacation-low": true,
+	}
+	// For each workload, a targeted corruption the validator must catch.
+	for _, name := range append(append([]string{}, stamp.Suite...), "hashmap", "bayes", "labyrinth") {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			corrupt := smashHigh
+			if lowRegion[name] {
+				corrupt = smashLow
+			}
+			err := runAndCorrupt(t, name, corrupt)
+			if err == nil {
+				t.Fatalf("%s: validator accepted corrupted state", name)
+			}
+			if !strings.Contains(err.Error(), name[:4]) && !strings.Contains(err.Error(), ":") {
+				t.Fatalf("%s: unhelpful validation error %q", name, err)
+			}
+		})
+	}
+}

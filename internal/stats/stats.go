@@ -1,0 +1,167 @@
+// Package stats implements the commit/abort statistics that feed Seer's
+// probabilistic inference: per-thread matrices counting, for every pair of
+// atomic blocks (x, y), how often x committed or aborted while y was
+// observed running concurrently, plus the probability machinery of the
+// paper's Algorithm 5 (conditional and conjunctive abort probabilities and
+// the Gaussian percentile cut-off).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrices holds the abort/commit co-occurrence counts for one thread (or,
+// after merging, for the whole program). Entry (x, y) counts events of
+// transaction x in which transaction y was seen in the active-transactions
+// list.
+type Matrices struct {
+	n       int
+	commits []uint64
+	aborts  []uint64
+	execs   []uint64
+}
+
+// NewMatrices creates zeroed matrices for n atomic blocks.
+func NewMatrices(n int) *Matrices {
+	if n <= 0 {
+		panic("stats: NewMatrices with non-positive n")
+	}
+	return &Matrices{
+		n:       n,
+		commits: make([]uint64, n*n),
+		aborts:  make([]uint64, n*n),
+		execs:   make([]uint64, n),
+	}
+}
+
+// N returns the number of atomic blocks.
+func (m *Matrices) N() int { return m.n }
+
+// AddCommit records that x committed while y was active.
+func (m *Matrices) AddCommit(x, y int) { m.commits[x*m.n+y]++ }
+
+// AddAbort records that x aborted while y was active.
+func (m *Matrices) AddAbort(x, y int) { m.aborts[x*m.n+y]++ }
+
+// IncExec records one execution (commit or abort) of x.
+func (m *Matrices) IncExec(x int) { m.execs[x]++ }
+
+// Commits returns commitStats[x][y].
+func (m *Matrices) Commits(x, y int) uint64 { return m.commits[x*m.n+y] }
+
+// Aborts returns abortStats[x][y].
+func (m *Matrices) Aborts(x, y int) uint64 { return m.aborts[x*m.n+y] }
+
+// Execs returns executions[x].
+func (m *Matrices) Execs(x int) uint64 { return m.execs[x] }
+
+// TotalExecs returns the sum of executions over all atomic blocks.
+func (m *Matrices) TotalExecs() uint64 {
+	var t uint64
+	for _, e := range m.execs {
+		t += e
+	}
+	return t
+}
+
+// MergeFrom adds src's counts into m. Both must have the same dimension.
+func (m *Matrices) MergeFrom(src *Matrices) {
+	if src.n != m.n {
+		panic(fmt.Sprintf("stats: merging %d-block matrices into %d-block matrices", src.n, m.n))
+	}
+	for i := range m.commits {
+		m.commits[i] += src.commits[i]
+		m.aborts[i] += src.aborts[i]
+	}
+	for i := range m.execs {
+		m.execs[i] += src.execs[i]
+	}
+}
+
+// Reset zeroes all counts.
+func (m *Matrices) Reset() {
+	for i := range m.commits {
+		m.commits[i] = 0
+		m.aborts[i] = 0
+	}
+	for i := range m.execs {
+		m.execs[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrices) Clone() *Matrices {
+	c := NewMatrices(m.n)
+	copy(c.commits, m.commits)
+	copy(c.aborts, m.aborts)
+	copy(c.execs, m.execs)
+	return c
+}
+
+// CondAbortProb returns P(x aborts | x ‖ y) = a/(a+c), the probability
+// that x aborts given y was running concurrently. It is 0 when x and y
+// were never observed concurrent.
+func (m *Matrices) CondAbortProb(x, y int) float64 {
+	a := float64(m.aborts[x*m.n+y])
+	c := float64(m.commits[x*m.n+y])
+	if a+c == 0 {
+		return 0
+	}
+	return a / (a + c)
+}
+
+// ConjAbortProb returns P(x aborts ∩ x ‖ y) = a / executions[x], the
+// probability that an execution of x both aborts and has y concurrent.
+func (m *Matrices) ConjAbortProb(x, y int) float64 {
+	e := float64(m.execs[x])
+	if e == 0 {
+		return 0
+	}
+	return float64(m.aborts[x*m.n+y]) / e
+}
+
+// RowCondProbs fills dst (length n) with P(x aborts | x ‖ y) for all y.
+func (m *Matrices) RowCondProbs(x int, dst []float64) {
+	for y := 0; y < m.n; y++ {
+		dst[y] = m.CondAbortProb(x, y)
+	}
+}
+
+// MeanVar returns the mean and (population) variance of vals.
+func MeanVar(vals []float64) (mean, variance float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	for _, v := range vals {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= float64(len(vals))
+	return mean, variance
+}
+
+// Probit returns the p-th quantile of the standard normal distribution
+// (the inverse CDF), clamped to finite values at the extremes.
+func Probit(p float64) float64 {
+	switch {
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// GaussianCut returns the Θ₂-th percentile of a Gaussian fitted to vals
+// (mean + stddev·probit(Θ₂)), the cut-off of the paper's Algorithm 5: only
+// conditional abort probabilities in the tail above this value indicate a
+// real conflictor rather than probing noise.
+func GaussianCut(vals []float64, th2 float64) float64 {
+	mean, variance := MeanVar(vals)
+	return mean + math.Sqrt(variance)*Probit(th2)
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatricesBasics(t *testing.T) {
+	m := NewMatrices(3)
+	if m.N() != 3 {
+		t.Fatalf("N = %d", m.N())
+	}
+	m.AddCommit(0, 1)
+	m.AddCommit(0, 1)
+	m.AddAbort(0, 1)
+	m.IncExec(0)
+	m.IncExec(0)
+	m.IncExec(0)
+	if m.Commits(0, 1) != 2 || m.Aborts(0, 1) != 1 || m.Execs(0) != 3 {
+		t.Fatalf("counts wrong: c=%d a=%d e=%d", m.Commits(0, 1), m.Aborts(0, 1), m.Execs(0))
+	}
+	if m.TotalExecs() != 3 {
+		t.Fatalf("TotalExecs = %d", m.TotalExecs())
+	}
+}
+
+func TestCondAbortProb(t *testing.T) {
+	m := NewMatrices(2)
+	if p := m.CondAbortProb(0, 1); p != 0 {
+		t.Fatalf("empty cond prob = %v, want 0", p)
+	}
+	m.AddAbort(0, 1)
+	m.AddAbort(0, 1)
+	m.AddAbort(0, 1)
+	m.AddCommit(0, 1)
+	if p := m.CondAbortProb(0, 1); math.Abs(p-0.75) > 1e-12 {
+		t.Fatalf("cond prob = %v, want 0.75", p)
+	}
+}
+
+func TestConjAbortProb(t *testing.T) {
+	m := NewMatrices(2)
+	if p := m.ConjAbortProb(0, 1); p != 0 {
+		t.Fatalf("empty conj prob = %v", p)
+	}
+	for i := 0; i < 10; i++ {
+		m.IncExec(0)
+	}
+	m.AddAbort(0, 1)
+	m.AddAbort(0, 1)
+	if p := m.ConjAbortProb(0, 1); math.Abs(p-0.2) > 1e-12 {
+		t.Fatalf("conj prob = %v, want 0.2", p)
+	}
+}
+
+func TestMergeAndReset(t *testing.T) {
+	a := NewMatrices(2)
+	b := NewMatrices(2)
+	a.AddCommit(1, 0)
+	a.IncExec(1)
+	b.AddCommit(1, 0)
+	b.AddAbort(0, 1)
+	b.IncExec(0)
+	a.MergeFrom(b)
+	if a.Commits(1, 0) != 2 || a.Aborts(0, 1) != 1 || a.Execs(0) != 1 || a.Execs(1) != 1 {
+		t.Fatalf("merge wrong: %d %d %d %d", a.Commits(1, 0), a.Aborts(0, 1), a.Execs(0), a.Execs(1))
+	}
+	a.Reset()
+	if a.TotalExecs() != 0 || a.Commits(1, 0) != 0 {
+		t.Fatalf("reset incomplete")
+	}
+}
+
+func TestMergeDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewMatrices(2).MergeFrom(NewMatrices(3))
+}
+
+func TestClone(t *testing.T) {
+	a := NewMatrices(2)
+	a.AddAbort(0, 0)
+	c := a.Clone()
+	c.AddAbort(0, 0)
+	if a.Aborts(0, 0) != 1 || c.Aborts(0, 0) != 2 {
+		t.Fatalf("clone shares storage")
+	}
+}
+
+func TestMeanVar(t *testing.T) {
+	mean, variance := MeanVar([]float64{1, 2, 3, 4})
+	if math.Abs(mean-2.5) > 1e-12 || math.Abs(variance-1.25) > 1e-12 {
+		t.Fatalf("MeanVar = %v, %v", mean, variance)
+	}
+	mean, variance = MeanVar(nil)
+	if mean != 0 || variance != 0 {
+		t.Fatalf("MeanVar(nil) = %v, %v", mean, variance)
+	}
+}
+
+func TestProbit(t *testing.T) {
+	// Standard normal quantiles.
+	cases := map[float64]float64{
+		0.5:    0,
+		0.8413: 1.0,
+		0.9772: 2.0,
+		0.1587: -1.0,
+	}
+	for p, want := range cases {
+		if got := Probit(p); math.Abs(got-want) > 0.01 {
+			t.Errorf("Probit(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if !math.IsInf(Probit(0), -1) || !math.IsInf(Probit(1), 1) {
+		t.Fatalf("Probit at the extremes must be infinite")
+	}
+}
+
+func TestProbitMonotonicQuick(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p1 := float64(a%1000)/1000.0*0.998 + 0.001
+		p2 := float64(b%1000)/1000.0*0.998 + 0.001
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Probit(p1) <= Probit(p2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussianCut(t *testing.T) {
+	vals := []float64{0.1, 0.1, 0.1, 0.9}
+	// At the 50th percentile the cut is the mean.
+	if got := GaussianCut(vals, 0.5); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("median cut = %v, want 0.3", got)
+	}
+	// Higher percentiles raise the cut.
+	if GaussianCut(vals, 0.9) <= GaussianCut(vals, 0.5) {
+		t.Fatalf("cut not increasing in Th2")
+	}
+	// Zero variance: cut equals the mean for any percentile.
+	flat := []float64{0.4, 0.4, 0.4}
+	if got := GaussianCut(flat, 0.8); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("flat cut = %v, want 0.4", got)
+	}
+}
+
+// TestGaussianCutSeparatesTail: the paper's core filtering property — a
+// clearly higher conditional probability survives the cut while the noise
+// floor does not.
+func TestGaussianCutSeparatesTail(t *testing.T) {
+	vals := []float64{0.10, 0.12, 0.11, 0.09, 0.95}
+	cut := GaussianCut(vals, 0.8)
+	if !(0.95 > cut) {
+		t.Fatalf("true conflictor (0.95) below cut %v", cut)
+	}
+	for _, v := range vals[:4] {
+		if v > cut {
+			t.Fatalf("noise value %v above cut %v", v, cut)
+		}
+	}
+}
+
+// TestProbabilitiesStayInRangeQuick: with 0/1-per-event counting the
+// estimators remain valid probabilities.
+func TestProbabilitiesStayInRangeQuick(t *testing.T) {
+	f := func(events []uint16) bool {
+		m := NewMatrices(4)
+		for _, e := range events {
+			x := int(e % 4)
+			y := int(e/4) % 4
+			m.IncExec(x)
+			if e%2 == 0 {
+				m.AddAbort(x, y)
+			} else {
+				m.AddCommit(x, y)
+			}
+		}
+		for x := 0; x < 4; x++ {
+			for y := 0; y < 4; y++ {
+				c := m.CondAbortProb(x, y)
+				j := m.ConjAbortProb(x, y)
+				if c < 0 || c > 1 || j < 0 || j > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowCondProbs(t *testing.T) {
+	m := NewMatrices(3)
+	m.AddAbort(1, 0)
+	m.AddCommit(1, 0)
+	m.AddAbort(1, 2)
+	dst := make([]float64, 3)
+	m.RowCondProbs(1, dst)
+	if dst[0] != 0.5 || dst[1] != 0 || dst[2] != 1 {
+		t.Fatalf("row = %v", dst)
+	}
+}

@@ -1,0 +1,91 @@
+package tmds
+
+import (
+	"seer/internal/mem"
+)
+
+// SortedList is an ascending singly-linked list of (key, value) pairs in
+// simulated memory, with a sentinel head node. Node layout matches the
+// hash map's: [key, value, next].
+type SortedList struct {
+	head  mem.Addr // sentinel node
+	arena *Arena
+}
+
+// NewSortedList builds an empty list; nodes come from arena.
+func NewSortedList(m *mem.Memory, arena *Arena) *SortedList {
+	l := &SortedList{arena: arena}
+	l.head = m.AllocAligned(nodeSize)
+	m.Poke(l.head+nodeKey, 0)
+	m.Poke(l.head+nodeNext, uint64(mem.Nil))
+	return l
+}
+
+// locate returns the last node with key < target and its successor.
+func (l *SortedList) locate(acc mem.Access, key uint64) (prev, cur mem.Addr) {
+	prev = l.head
+	cur = mem.Addr(acc.Load(prev + nodeNext))
+	for cur != mem.Nil && acc.Load(cur+nodeKey) < key {
+		prev = cur
+		cur = mem.Addr(acc.Load(cur + nodeNext))
+	}
+	return prev, cur
+}
+
+// Insert adds key → value, reporting whether key was newly inserted
+// (false means the value was updated in place).
+func (l *SortedList) Insert(acc mem.Access, key, value uint64) bool {
+	prev, cur := l.locate(acc, key)
+	if cur != mem.Nil && acc.Load(cur+nodeKey) == key {
+		acc.Store(cur+nodeVal, value)
+		return false
+	}
+	fresh := l.arena.Alloc(acc, nodeSize)
+	acc.Store(fresh+nodeKey, key)
+	acc.Store(fresh+nodeVal, value)
+	acc.Store(fresh+nodeNext, uint64(cur))
+	acc.Store(prev+nodeNext, uint64(fresh))
+	return true
+}
+
+// Get returns the value stored under key.
+func (l *SortedList) Get(acc mem.Access, key uint64) (uint64, bool) {
+	_, cur := l.locate(acc, key)
+	if cur != mem.Nil && acc.Load(cur+nodeKey) == key {
+		return acc.Load(cur + nodeVal), true
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (l *SortedList) Contains(acc mem.Access, key uint64) bool {
+	_, ok := l.Get(acc, key)
+	return ok
+}
+
+// Delete removes key, reporting whether it was present.
+func (l *SortedList) Delete(acc mem.Access, key uint64) bool {
+	prev, cur := l.locate(acc, key)
+	if cur == mem.Nil || acc.Load(cur+nodeKey) != key {
+		return false
+	}
+	acc.Store(prev+nodeNext, acc.Load(cur+nodeNext))
+	return true
+}
+
+// Len counts the elements (validation helper).
+func (l *SortedList) Len(acc mem.Access) int {
+	n := 0
+	for cur := mem.Addr(acc.Load(l.head + nodeNext)); cur != mem.Nil; cur = mem.Addr(acc.Load(cur + nodeNext)) {
+		n++
+	}
+	return n
+}
+
+// Keys appends all keys in order to dst (validation helper).
+func (l *SortedList) Keys(acc mem.Access, dst []uint64) []uint64 {
+	for cur := mem.Addr(acc.Load(l.head + nodeNext)); cur != mem.Nil; cur = mem.Addr(acc.Load(cur + nodeNext)) {
+		dst = append(dst, acc.Load(cur+nodeKey))
+	}
+	return dst
+}

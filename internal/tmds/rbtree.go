@@ -1,0 +1,462 @@
+package tmds
+
+import (
+	"seer/internal/mem"
+)
+
+// RBTree is a red-black tree keyed by uint64 in simulated memory — the
+// analogue of STAMP's rbtree used for vacation's reservation tables.
+//
+// Node layout (one cache line each, to mirror the allocation behaviour of
+// the C benchmarks and bound false sharing):
+//
+//	[0] key  [1] value  [2] left  [3] right  [4] parent  [5] color
+//
+// The tree header holds the root pointer on its own line. Addresses use
+// mem.Nil (0) as the null pointer; the color of "nil" is black by
+// definition and is never stored.
+type RBTree struct {
+	root  mem.Addr // address of the word holding the root node address
+	arena *Arena
+}
+
+const (
+	rbKey    = 0
+	rbVal    = 1
+	rbLeft   = 2
+	rbRight  = 3
+	rbParent = 4
+	rbColor  = 5
+	rbSize   = 8 // padded to one line
+
+	red   = 0
+	black = 1
+)
+
+// NewRBTree builds an empty tree; nodes come from arena.
+func NewRBTree(m *mem.Memory, arena *Arena) *RBTree {
+	t := &RBTree{arena: arena}
+	t.root = m.AllocLines(1)
+	m.Poke(t.root, uint64(mem.Nil))
+	return t
+}
+
+func (t *RBTree) getRoot(acc mem.Access) mem.Addr    { return mem.Addr(acc.Load(t.root)) }
+func (t *RBTree) setRoot(acc mem.Access, n mem.Addr) { acc.Store(t.root, uint64(n)) }
+
+func key(acc mem.Access, n mem.Addr) uint64      { return acc.Load(n + rbKey) }
+func left(acc mem.Access, n mem.Addr) mem.Addr   { return mem.Addr(acc.Load(n + rbLeft)) }
+func right(acc mem.Access, n mem.Addr) mem.Addr  { return mem.Addr(acc.Load(n + rbRight)) }
+func parent(acc mem.Access, n mem.Addr) mem.Addr { return mem.Addr(acc.Load(n + rbParent)) }
+func setLeft(acc mem.Access, n, v mem.Addr)      { acc.Store(n+rbLeft, uint64(v)) }
+func setRight(acc mem.Access, n, v mem.Addr)     { acc.Store(n+rbRight, uint64(v)) }
+func setParent(acc mem.Access, n, v mem.Addr)    { acc.Store(n+rbParent, uint64(v)) }
+
+// color of mem.Nil is black.
+func color(acc mem.Access, n mem.Addr) uint64 {
+	if n == mem.Nil {
+		return black
+	}
+	return acc.Load(n + rbColor)
+}
+
+func setColor(acc mem.Access, n mem.Addr, c uint64) {
+	if n != mem.Nil {
+		acc.Store(n+rbColor, c)
+	}
+}
+
+// Get returns the value stored under k.
+func (t *RBTree) Get(acc mem.Access, k uint64) (uint64, bool) {
+	n := t.getRoot(acc)
+	for n != mem.Nil {
+		nk := key(acc, n)
+		switch {
+		case k < nk:
+			n = left(acc, n)
+		case k > nk:
+			n = right(acc, n)
+		default:
+			return acc.Load(n + rbVal), true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether k is present.
+func (t *RBTree) Contains(acc mem.Access, k uint64) bool {
+	_, ok := t.Get(acc, k)
+	return ok
+}
+
+// Update overwrites the value of an existing key, reporting whether the
+// key was found.
+func (t *RBTree) Update(acc mem.Access, k, v uint64) bool {
+	n := t.getRoot(acc)
+	for n != mem.Nil {
+		nk := key(acc, n)
+		switch {
+		case k < nk:
+			n = left(acc, n)
+		case k > nk:
+			n = right(acc, n)
+		default:
+			acc.Store(n+rbVal, v)
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds k → v, reporting whether k was newly inserted (false means
+// the value was updated in place).
+func (t *RBTree) Insert(acc mem.Access, k, v uint64) bool {
+	var p mem.Addr = mem.Nil
+	n := t.getRoot(acc)
+	for n != mem.Nil {
+		p = n
+		nk := key(acc, n)
+		switch {
+		case k < nk:
+			n = left(acc, n)
+		case k > nk:
+			n = right(acc, n)
+		default:
+			acc.Store(n+rbVal, v)
+			return false
+		}
+	}
+	fresh := t.arena.AllocAligned(acc, rbSize)
+	acc.Store(fresh+rbKey, k)
+	acc.Store(fresh+rbVal, v)
+	acc.Store(fresh+rbLeft, uint64(mem.Nil))
+	acc.Store(fresh+rbRight, uint64(mem.Nil))
+	acc.Store(fresh+rbParent, uint64(p))
+	acc.Store(fresh+rbColor, red)
+	if p == mem.Nil {
+		t.setRoot(acc, fresh)
+	} else if k < key(acc, p) {
+		setLeft(acc, p, fresh)
+	} else {
+		setRight(acc, p, fresh)
+	}
+	t.insertFixup(acc, fresh)
+	return true
+}
+
+func (t *RBTree) rotateLeft(acc mem.Access, x mem.Addr) {
+	y := right(acc, x)
+	yl := left(acc, y)
+	setRight(acc, x, yl)
+	if yl != mem.Nil {
+		setParent(acc, yl, x)
+	}
+	xp := parent(acc, x)
+	setParent(acc, y, xp)
+	if xp == mem.Nil {
+		t.setRoot(acc, y)
+	} else if x == left(acc, xp) {
+		setLeft(acc, xp, y)
+	} else {
+		setRight(acc, xp, y)
+	}
+	setLeft(acc, y, x)
+	setParent(acc, x, y)
+}
+
+func (t *RBTree) rotateRight(acc mem.Access, x mem.Addr) {
+	y := left(acc, x)
+	yr := right(acc, y)
+	setLeft(acc, x, yr)
+	if yr != mem.Nil {
+		setParent(acc, yr, x)
+	}
+	xp := parent(acc, x)
+	setParent(acc, y, xp)
+	if xp == mem.Nil {
+		t.setRoot(acc, y)
+	} else if x == right(acc, xp) {
+		setRight(acc, xp, y)
+	} else {
+		setLeft(acc, xp, y)
+	}
+	setRight(acc, y, x)
+	setParent(acc, x, y)
+}
+
+func (t *RBTree) insertFixup(acc mem.Access, z mem.Addr) {
+	for {
+		p := parent(acc, z)
+		if p == mem.Nil || color(acc, p) == black {
+			break
+		}
+		g := parent(acc, p)
+		if p == left(acc, g) {
+			u := right(acc, g)
+			if color(acc, u) == red {
+				setColor(acc, p, black)
+				setColor(acc, u, black)
+				setColor(acc, g, red)
+				z = g
+				continue
+			}
+			if z == right(acc, p) {
+				z = p
+				t.rotateLeft(acc, z)
+				p = parent(acc, z)
+				g = parent(acc, p)
+			}
+			setColor(acc, p, black)
+			setColor(acc, g, red)
+			t.rotateRight(acc, g)
+		} else {
+			u := left(acc, g)
+			if color(acc, u) == red {
+				setColor(acc, p, black)
+				setColor(acc, u, black)
+				setColor(acc, g, red)
+				z = g
+				continue
+			}
+			if z == left(acc, p) {
+				z = p
+				t.rotateRight(acc, z)
+				p = parent(acc, z)
+				g = parent(acc, p)
+			}
+			setColor(acc, p, black)
+			setColor(acc, g, red)
+			t.rotateLeft(acc, g)
+		}
+	}
+	setColor(acc, t.getRoot(acc), black)
+}
+
+// minimum returns the leftmost node of the subtree rooted at n.
+func minimum(acc mem.Access, n mem.Addr) mem.Addr {
+	for {
+		l := left(acc, n)
+		if l == mem.Nil {
+			return n
+		}
+		n = l
+	}
+}
+
+// transplant replaces subtree u by subtree v (v may be Nil; CLRS-style
+// with explicit parent tracking instead of a sentinel).
+func (t *RBTree) transplant(acc mem.Access, u, v mem.Addr) {
+	up := parent(acc, u)
+	if up == mem.Nil {
+		t.setRoot(acc, v)
+	} else if u == left(acc, up) {
+		setLeft(acc, up, v)
+	} else {
+		setRight(acc, up, v)
+	}
+	if v != mem.Nil {
+		setParent(acc, v, up)
+	}
+}
+
+// Delete removes k, reporting whether it was present. Nodes are unlinked,
+// not reclaimed.
+func (t *RBTree) Delete(acc mem.Access, k uint64) bool {
+	z := t.getRoot(acc)
+	for z != mem.Nil {
+		zk := key(acc, z)
+		if k < zk {
+			z = left(acc, z)
+		} else if k > zk {
+			z = right(acc, z)
+		} else {
+			break
+		}
+	}
+	if z == mem.Nil {
+		return false
+	}
+
+	y := z
+	yOrigColor := color(acc, y)
+	var x, xParent mem.Addr
+	if left(acc, z) == mem.Nil {
+		x = right(acc, z)
+		xParent = parent(acc, z)
+		t.transplant(acc, z, x)
+	} else if right(acc, z) == mem.Nil {
+		x = left(acc, z)
+		xParent = parent(acc, z)
+		t.transplant(acc, z, x)
+	} else {
+		y = minimum(acc, right(acc, z))
+		yOrigColor = color(acc, y)
+		x = right(acc, y)
+		if parent(acc, y) == z {
+			xParent = y
+		} else {
+			xParent = parent(acc, y)
+			t.transplant(acc, y, x)
+			zr := right(acc, z)
+			setRight(acc, y, zr)
+			setParent(acc, zr, y)
+		}
+		t.transplant(acc, z, y)
+		zl := left(acc, z)
+		setLeft(acc, y, zl)
+		setParent(acc, zl, y)
+		setColor(acc, y, color(acc, z))
+	}
+	if yOrigColor == black {
+		t.deleteFixup(acc, x, xParent)
+	}
+	return true
+}
+
+// deleteFixup restores red-black properties after deletion; x may be Nil,
+// so its parent is tracked explicitly.
+func (t *RBTree) deleteFixup(acc mem.Access, x, xParent mem.Addr) {
+	for x != t.getRoot(acc) && color(acc, x) == black {
+		if xParent == mem.Nil {
+			break
+		}
+		if x == left(acc, xParent) {
+			w := right(acc, xParent)
+			if color(acc, w) == red {
+				setColor(acc, w, black)
+				setColor(acc, xParent, red)
+				t.rotateLeft(acc, xParent)
+				w = right(acc, xParent)
+			}
+			if color(acc, left(acc, w)) == black && color(acc, right(acc, w)) == black {
+				setColor(acc, w, red)
+				x = xParent
+				xParent = parent(acc, x)
+			} else {
+				if color(acc, right(acc, w)) == black {
+					setColor(acc, left(acc, w), black)
+					setColor(acc, w, red)
+					t.rotateRight(acc, w)
+					w = right(acc, xParent)
+				}
+				setColor(acc, w, color(acc, xParent))
+				setColor(acc, xParent, black)
+				setColor(acc, right(acc, w), black)
+				t.rotateLeft(acc, xParent)
+				x = t.getRoot(acc)
+				xParent = mem.Nil
+			}
+		} else {
+			w := left(acc, xParent)
+			if color(acc, w) == red {
+				setColor(acc, w, black)
+				setColor(acc, xParent, red)
+				t.rotateRight(acc, xParent)
+				w = left(acc, xParent)
+			}
+			if color(acc, right(acc, w)) == black && color(acc, left(acc, w)) == black {
+				setColor(acc, w, red)
+				x = xParent
+				xParent = parent(acc, x)
+			} else {
+				if color(acc, left(acc, w)) == black {
+					setColor(acc, right(acc, w), black)
+					setColor(acc, w, red)
+					t.rotateLeft(acc, w)
+					w = left(acc, xParent)
+				}
+				setColor(acc, w, color(acc, xParent))
+				setColor(acc, xParent, black)
+				setColor(acc, left(acc, w), black)
+				t.rotateRight(acc, xParent)
+				x = t.getRoot(acc)
+				xParent = mem.Nil
+			}
+		}
+	}
+	setColor(acc, x, black)
+}
+
+// Len counts the stored keys (validation helper; full walk).
+func (t *RBTree) Len(acc mem.Access) int {
+	return t.countFrom(acc, t.getRoot(acc))
+}
+
+func (t *RBTree) countFrom(acc mem.Access, n mem.Addr) int {
+	if n == mem.Nil {
+		return 0
+	}
+	return 1 + t.countFrom(acc, left(acc, n)) + t.countFrom(acc, right(acc, n))
+}
+
+// Keys appends all keys in ascending order (validation helper).
+func (t *RBTree) Keys(acc mem.Access, dst []uint64) []uint64 {
+	return t.keysFrom(acc, t.getRoot(acc), dst)
+}
+
+func (t *RBTree) keysFrom(acc mem.Access, n mem.Addr, dst []uint64) []uint64 {
+	if n == mem.Nil {
+		return dst
+	}
+	dst = t.keysFrom(acc, left(acc, n), dst)
+	dst = append(dst, key(acc, n))
+	return t.keysFrom(acc, right(acc, n), dst)
+}
+
+// CheckInvariants verifies the red-black properties (root black, no red
+// node with a red child, equal black height on every path, BST ordering)
+// and returns a descriptive error string ("" if valid). Test helper.
+func (t *RBTree) CheckInvariants(acc mem.Access) string {
+	root := t.getRoot(acc)
+	if root == mem.Nil {
+		return ""
+	}
+	if color(acc, root) != black {
+		return "root is red"
+	}
+	_, msg := t.check(acc, root, 0, ^uint64(0), true)
+	return msg
+}
+
+// check returns (blackHeight, problem) for the subtree at n, validating
+// keys within (lo, hi) bounds; useLo/hi encoded via sentinel handling.
+func (t *RBTree) check(acc mem.Access, n mem.Addr, lo, hi uint64, loOpen bool) (int, string) {
+	if n == mem.Nil {
+		return 1, ""
+	}
+	k := key(acc, n)
+	if !loOpen && k <= lo {
+		return 0, "BST order violated (left bound)"
+	}
+	if k >= hi && hi != ^uint64(0) {
+		return 0, "BST order violated (right bound)"
+	}
+	c := color(acc, n)
+	l, r := left(acc, n), right(acc, n)
+	if c == red {
+		if color(acc, l) == red || color(acc, r) == red {
+			return 0, "red node with red child"
+		}
+	}
+	if l != mem.Nil && parent(acc, l) != n {
+		return 0, "left child has wrong parent"
+	}
+	if r != mem.Nil && parent(acc, r) != n {
+		return 0, "right child has wrong parent"
+	}
+	lh, msg := t.check(acc, l, lo, k, loOpen)
+	if msg != "" {
+		return 0, msg
+	}
+	rh, msg := t.check(acc, r, k, hi, false)
+	if msg != "" {
+		return 0, msg
+	}
+	if lh != rh {
+		return 0, "black height mismatch"
+	}
+	if c == black {
+		lh++
+	}
+	return lh, ""
+}

@@ -1,0 +1,85 @@
+package tmds
+
+import (
+	"testing"
+
+	"seer/internal/mem"
+)
+
+func benchEnv(words int) (*mem.Memory, rawAccess, *Arena) {
+	m := mem.New(words)
+	return m, rawAccess{m}, NewArena(m, words/2)
+}
+
+func BenchmarkHashMapPut(b *testing.B) {
+	m, acc, arena := benchEnv(1 << 22)
+	h := NewHashMap(m, 4096, arena)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Put(acc, uint64(i%100000), uint64(i))
+	}
+}
+
+func BenchmarkHashMapGet(b *testing.B) {
+	m, acc, arena := benchEnv(1 << 22)
+	h := NewHashMap(m, 4096, arena)
+	for k := uint64(0); k < 10000; k++ {
+		h.Put(acc, k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Get(acc, uint64(i%10000))
+	}
+}
+
+func BenchmarkRBTreeInsert(b *testing.B) {
+	m, acc, arena := benchEnv(1 << 24)
+	tr := NewRBTree(m, arena)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(acc, uint64(i%100000), uint64(i))
+	}
+}
+
+func BenchmarkRBTreeGet(b *testing.B) {
+	m, acc, arena := benchEnv(1 << 24)
+	tr := NewRBTree(m, arena)
+	for k := uint64(0); k < 10000; k++ {
+		tr.Insert(acc, k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(acc, uint64(i%10000))
+	}
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	m, acc, _ := benchEnv(1 << 16)
+	q := NewQueue(m, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(acc, uint64(i))
+		q.Pop(acc)
+	}
+}
+
+func BenchmarkArenaAlloc(b *testing.B) {
+	m, acc, _ := benchEnv(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%1000 == 0 {
+			// Fresh arena periodically so the benchmark never exhausts.
+			_, acc2, arena := benchEnv(1 << 16)
+			_ = m
+			acc = acc2
+			benchArena = arena
+		}
+		benchArena.Alloc(acc, 3)
+	}
+}
+
+var benchArena *Arena
+
+func init() {
+	_, _, benchArena = benchEnv(1 << 16)
+}

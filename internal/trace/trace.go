@@ -1,0 +1,166 @@
+// Package trace provides an optional, bounded event log for the TM
+// runtime: transaction begins, commits, aborts (with status), lock
+// acquisitions and scheme updates, each stamped with the virtual time and
+// hardware thread. It exists for debugging scheduler behaviour and for
+// the seerstat inspector's timeline view; tracing off (the default) costs
+// a single nil check per event.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+// Event kinds.
+const (
+	EvBegin    Kind = iota // hardware attempt started
+	EvCommit               // hardware transaction committed
+	EvAbort                // hardware transaction aborted
+	EvFallback             // single-global-lock path taken
+	EvLockAcq              // scheduler lock acquired
+	EvLockRel              // scheduler lock released
+	EvWait                 // cooperative wait started
+	EvScheme               // locking scheme recomputed
+	EvTune                 // thresholds re-tuned
+)
+
+// String returns the event kind's mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case EvBegin:
+		return "begin"
+	case EvCommit:
+		return "commit"
+	case EvAbort:
+		return "abort"
+	case EvFallback:
+		return "fallback"
+	case EvLockAcq:
+		return "lock+"
+	case EvLockRel:
+		return "lock-"
+	case EvWait:
+		return "wait"
+	case EvScheme:
+		return "scheme"
+	case EvTune:
+		return "tune"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one timeline entry.
+type Event struct {
+	Cycle  uint64 // virtual time
+	HW     int8   // hardware thread
+	Kind   Kind
+	TxID   int16  // atomic block (-1 when not applicable)
+	Detail uint32 // kind-specific payload (abort status, lock id, ...)
+}
+
+// String renders an event as one log line.
+func (e Event) String() string {
+	return fmt.Sprintf("%10d t%-2d %-8s tx=%-3d detail=%#x",
+		e.Cycle, e.HW, e.Kind, e.TxID, e.Detail)
+}
+
+// Log is a bounded ring buffer of events. A nil *Log is a valid,
+// disabled log: every method is a no-op, so call sites need no
+// conditionals.
+type Log struct {
+	events []Event
+	next   int
+	wrap   bool
+	total  uint64
+}
+
+// New creates a log retaining the most recent capacity events.
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Log{events: make([]Event, capacity)}
+}
+
+// Add appends an event (no-op on a nil log).
+func (l *Log) Add(e Event) {
+	if l == nil {
+		return
+	}
+	l.events[l.next] = e
+	l.next++
+	l.total++
+	if l.next == len(l.events) {
+		l.next = 0
+		l.wrap = true
+	}
+}
+
+// Record is Add with the fields spread, for terse call sites.
+func (l *Log) Record(cycle uint64, hw int, kind Kind, txID int, detail uint32) {
+	if l == nil {
+		return
+	}
+	l.Add(Event{Cycle: cycle, HW: int8(hw), Kind: kind, TxID: int16(txID), Detail: detail})
+}
+
+// Total returns the number of events ever recorded (including evicted).
+func (l *Log) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.total
+}
+
+// Events returns the retained events in chronological order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	if !l.wrap {
+		out := make([]Event, l.next)
+		copy(out, l.events[:l.next])
+		return out
+	}
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.next:]...)
+	out = append(out, l.events[:l.next]...)
+	return out
+}
+
+// Dump writes the retained timeline to w, optionally filtered by kind
+// (pass nil for all).
+func (l *Log) Dump(w io.Writer, kinds map[Kind]bool) {
+	for _, e := range l.Events() {
+		if kinds != nil && !kinds[e.Kind] {
+			continue
+		}
+		fmt.Fprintln(w, e.String())
+	}
+}
+
+// Summary returns per-kind counts over the retained window.
+func (l *Log) Summary() map[Kind]int {
+	out := map[Kind]int{}
+	for _, e := range l.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// FormatSummary renders Summary in a stable order.
+func (l *Log) FormatSummary() string {
+	s := l.Summary()
+	var b strings.Builder
+	for k := EvBegin; k <= EvTune; k++ {
+		if n := s[k]; n > 0 {
+			fmt.Fprintf(&b, "%s=%d ", k, n)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}

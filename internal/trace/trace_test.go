@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilLogIsNoOp(t *testing.T) {
+	var l *Log
+	l.Add(Event{}) // must not panic
+	l.Record(1, 2, EvBegin, 0, 0)
+	if l.Total() != 0 || l.Events() != nil {
+		t.Fatalf("nil log retained state")
+	}
+}
+
+func TestChronologicalOrder(t *testing.T) {
+	l := New(8)
+	for i := 0; i < 5; i++ {
+		l.Record(uint64(i*10), 0, EvBegin, 0, 0)
+	}
+	evs := l.Events()
+	if len(evs) != 5 {
+		t.Fatalf("events = %d, want 5", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Cycle < evs[i-1].Cycle {
+			t.Fatalf("out of order at %d: %v", i, evs)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 10; i++ {
+		l.Record(uint64(i), 0, EvCommit, 0, 0)
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	if evs[0].Cycle != 6 || evs[3].Cycle != 9 {
+		t.Fatalf("wrong window: %v", evs)
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total = %d, want 10", l.Total())
+	}
+}
+
+func TestSummaryAndDump(t *testing.T) {
+	l := New(16)
+	l.Record(1, 0, EvBegin, 0, 0)
+	l.Record(2, 0, EvAbort, 0, 4)
+	l.Record(3, 0, EvBegin, 0, 0)
+	l.Record(4, 0, EvCommit, 0, 0)
+	s := l.Summary()
+	if s[EvBegin] != 2 || s[EvAbort] != 1 || s[EvCommit] != 1 {
+		t.Fatalf("summary = %v", s)
+	}
+	if fs := l.FormatSummary(); !strings.Contains(fs, "begin=2") {
+		t.Fatalf("FormatSummary = %q", fs)
+	}
+	var b strings.Builder
+	l.Dump(&b, map[Kind]bool{EvAbort: true})
+	out := b.String()
+	if strings.Count(out, "\n") != 1 || !strings.Contains(out, "abort") {
+		t.Fatalf("filtered dump wrong:\n%s", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := EvBegin; k <= EvTune; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d missing mnemonic", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(200).String(), "kind(") {
+		t.Fatalf("unknown kind must render numerically")
+	}
+}
+
+// TestQuickRingInvariant: the retained window is always the last
+// min(total, capacity) events in order.
+func TestQuickRingInvariant(t *testing.T) {
+	f := func(cap8 uint8, n uint16) bool {
+		capacity := int(cap8%32) + 1
+		l := New(capacity)
+		for i := 0; i < int(n%500); i++ {
+			l.Record(uint64(i), 0, EvBegin, 0, 0)
+		}
+		evs := l.Events()
+		total := int(n % 500)
+		want := total
+		if want > capacity {
+			want = capacity
+		}
+		if len(evs) != want {
+			return false
+		}
+		for i, e := range evs {
+			if e.Cycle != uint64(total-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

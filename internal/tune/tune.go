@@ -1,0 +1,146 @@
+// Package tune implements the bi-dimensional stochastic hill climbing that
+// Seer uses to self-tune the inference thresholds Θ₁ and Θ₂ online. The
+// search space is [0,1]×[0,1]; the feedback signal is the TM throughput of
+// the last epoch (commits per cycle, measured with the simulator's virtual
+// clock, standing in for the paper's RDTSC measurements). With a small
+// probability p the climber jumps to a random point to escape local
+// optima, as in the paper (p = 0.1%).
+package tune
+
+import "seer/internal/machine"
+
+// Params is a point in the threshold space.
+type Params struct {
+	Th1 float64 // lower bound on the conjunctive abort probability
+	Th2 float64 // percentile cut on the conditional abort probability
+}
+
+// DefaultInit returns the paper's initial configuration
+// (Θ₁ = 0.3, Θ₂ = 0.8).
+func DefaultInit() Params { return Params{Th1: 0.3, Th2: 0.8} }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func (p Params) clamped() Params {
+	return Params{Th1: clamp01(p.Th1), Th2: clamp01(p.Th2)}
+}
+
+// Config sets the climber's exploration behaviour.
+type Config struct {
+	Step     float64 // neighbourhood radius per move
+	JumpProb float64 // probability of a random restart per move
+}
+
+// DefaultConfig returns the standard settings used in the evaluation
+// (step 0.06, jump probability 0.001 as in the paper).
+func DefaultConfig() Config {
+	return Config{Step: 0.06, JumpProb: 0.001}
+}
+
+// Sample is one evaluated point of the search trajectory.
+type Sample struct {
+	Point Params
+	Value float64
+}
+
+// historyCap bounds the retained trajectory.
+const historyCap = 256
+
+// HillClimber explores the threshold space one epoch at a time. Protocol:
+// the TM runtime configures the thresholds from Params(), runs an epoch,
+// measures throughput and calls Feedback; Params() then returns the next
+// point to evaluate.
+type HillClimber struct {
+	cfg Config
+	rng *machine.Rand
+
+	best      Params  // best point found so far
+	bestValue float64 // throughput measured at best
+	current   Params  // point currently being evaluated
+	evaluated bool    // whether best has a measured value yet
+	moves     int
+	history   []Sample // most recent evaluated samples
+}
+
+// New creates a climber starting at init.
+func New(init Params, cfg Config, rng *machine.Rand) *HillClimber {
+	return &HillClimber{
+		cfg:     cfg,
+		rng:     rng,
+		best:    init.clamped(),
+		current: init.clamped(),
+	}
+}
+
+// Params returns the thresholds to use for the next epoch.
+func (h *HillClimber) Params() Params { return h.current }
+
+// Best returns the best point found so far and its throughput.
+func (h *HillClimber) Best() (Params, float64) { return h.best, h.bestValue }
+
+// Moves returns how many feedback-driven moves have occurred (for tests
+// and the tuning example).
+func (h *HillClimber) Moves() int { return h.moves }
+
+// History returns the most recent evaluated (point, throughput) samples
+// in evaluation order (up to an internal cap).
+func (h *HillClimber) History() []Sample {
+	out := make([]Sample, len(h.history))
+	copy(out, h.history)
+	return out
+}
+
+// Feedback reports the throughput measured for the point returned by the
+// last Params() call, and advances the search.
+func (h *HillClimber) Feedback(throughput float64) {
+	h.moves++
+	h.history = append(h.history, Sample{Point: h.current, Value: throughput})
+	if len(h.history) > historyCap {
+		h.history = h.history[len(h.history)-historyCap:]
+	}
+	if !h.evaluated {
+		// First epoch measured the initial point.
+		h.evaluated = true
+		h.bestValue = throughput
+	} else if throughput > h.bestValue {
+		h.best = h.current
+		h.bestValue = throughput
+	}
+	h.current = h.propose()
+}
+
+// propose picks the next candidate: a random neighbour of the best point,
+// or (with probability JumpProb) a uniformly random point.
+func (h *HillClimber) propose() Params {
+	if h.rng.Bool(h.cfg.JumpProb) {
+		return Params{Th1: h.rng.Float64(), Th2: h.rng.Float64()}
+	}
+	p := h.best
+	// Perturb one or both dimensions by ±step.
+	switch h.rng.Intn(3) {
+	case 0:
+		p.Th1 += h.delta()
+	case 1:
+		p.Th2 += h.delta()
+	default:
+		p.Th1 += h.delta()
+		p.Th2 += h.delta()
+	}
+	return p.clamped()
+}
+
+func (h *HillClimber) delta() float64 {
+	d := h.cfg.Step * h.rng.Float64()
+	if h.rng.Bool(0.5) {
+		return -d
+	}
+	return d
+}

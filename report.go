@@ -1,0 +1,138 @@
+package seer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seer/internal/policy"
+	"seer/internal/tune"
+)
+
+// Report summarizes one System.Run.
+type Report struct {
+	Policy  string
+	Threads int
+
+	// MakespanCycles is the maximum final virtual clock over all worker
+	// threads — the run's duration in simulated time.
+	MakespanCycles uint64
+	// Modes is the commit-mode histogram summed over threads (Table 3).
+	Modes ModeCounts
+	// HTM aggregates hardware commit/abort events by cause.
+	HTM HTMCounters
+	// HWAttempts is the number of hardware transactions issued;
+	// Fallbacks counts single-global-lock acquisitions.
+	HWAttempts uint64
+	Fallbacks  uint64
+
+	// Seer holds scheduler internals when the Seer policy ran.
+	Seer *SeerReport
+}
+
+// SeerReport captures the scheduler state at the end of a run.
+type SeerReport struct {
+	Thresholds    tune.Params
+	SchemeUpdates uint64
+	MultiCASOk    uint64
+	MultiCASFail  uint64
+	// LockAcqEvents counts transactions that acquired a non-empty
+	// tx-lock set; LockFracMedian is the median fraction of all tx
+	// locks acquired in those events (the §5.2 "<23% in 50% of cases"
+	// statistic).
+	LockAcqEvents  uint64
+	LockFracMedian float64
+	// SchemeRows is the final locksToAcquire table (row per atomic
+	// block, sorted lock ids).
+	SchemeRows [][]int
+}
+
+// Commits returns the total committed atomic blocks.
+func (r Report) Commits() uint64 { return r.Modes.Total() }
+
+// Throughput returns commits per 1000 virtual cycles.
+func (r Report) Throughput() float64 {
+	if r.MakespanCycles == 0 {
+		return 0
+	}
+	return 1000 * float64(r.Commits()) / float64(r.MakespanCycles)
+}
+
+// AbortRate returns hardware aborts per issued hardware transaction.
+func (r Report) AbortRate() float64 {
+	if r.HWAttempts == 0 {
+		return 0
+	}
+	return float64(r.HTM.Aborts) / float64(r.HWAttempts)
+}
+
+// ModeFractions returns the Table 3 style percentage per mode.
+func (r Report) ModeFractions() [NumModes]float64 {
+	var out [NumModes]float64
+	total := r.Modes.Total()
+	if total == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = 100 * float64(r.Modes[i]) / float64(total)
+	}
+	return out
+}
+
+// String renders a human-readable summary.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s @ %d threads: %d commits in %d cycles (%.3f commits/kcycle, abort rate %.2f)\n",
+		r.Policy, r.Threads, r.Commits(), r.MakespanCycles, r.Throughput(), r.AbortRate())
+	fr := r.ModeFractions()
+	for m := Mode(0); m < NumModes; m++ {
+		if r.Modes[m] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-22s %6.2f%%\n", m.String(), fr[m])
+	}
+	if r.Seer != nil {
+		fmt.Fprintf(&b, "  seer: Th1=%.3f Th2=%.3f updates=%d multiCAS=%d/%d lockAcq=%d medianLockFrac=%.2f\n",
+			r.Seer.Thresholds.Th1, r.Seer.Thresholds.Th2, r.Seer.SchemeUpdates,
+			r.Seer.MultiCASOk, r.Seer.MultiCASOk+r.Seer.MultiCASFail,
+			r.Seer.LockAcqEvents, r.Seer.LockFracMedian)
+	}
+	return b.String()
+}
+
+// buildReport assembles the Report after a run.
+func (s *System) buildReport(makespan uint64, threads []*policy.Thread) Report {
+	r := Report{
+		Policy:         s.pol.Name(),
+		Threads:        s.cfg.Threads,
+		MakespanCycles: makespan,
+		HTM:            s.htm.Counters(),
+	}
+	for _, t := range threads {
+		if t == nil {
+			continue
+		}
+		r.Modes.Add(t.Modes)
+		r.HWAttempts += t.Attempts
+		r.Fallbacks += t.Fallbacks
+	}
+	if s.sched != nil {
+		sr := &SeerReport{
+			Thresholds:    s.sched.Thresholds(),
+			SchemeUpdates: s.sched.SchemeUpdates,
+			MultiCASOk:    s.sched.MultiCASOk,
+			MultiCASFail:  s.sched.MultiCASFail,
+			LockAcqEvents: s.sched.LockAcqEvents,
+			SchemeRows:    s.sched.Scheme(),
+		}
+		if n := len(s.sched.LockAcqSamples); n > 0 {
+			sizes := make([]int, n)
+			copy(sizes, s.sched.LockAcqSamples)
+			sort.Ints(sizes)
+			median := sizes[n/2]
+			sr.LockFracMedian = float64(median) / float64(s.sched.NumTx())
+		}
+		r.Seer = sr
+	}
+	return r
+}

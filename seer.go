@@ -1,0 +1,326 @@
+// Package seer is a reproduction of "Seer: Probabilistic Scheduling for
+// Hardware Transactional Memory" (Diegues, Romano, Garbatov — SPAA 2015)
+// as a self-contained Go library.
+//
+// Because Go exposes no HTM intrinsics, the library runs transactional
+// programs on a deterministic virtual-time multicore simulator with a
+// best-effort, TSX-semantics hardware transactional memory (see DESIGN.md
+// for the substitution argument). On top of that substrate it provides
+// the paper's Seer scheduler and the HLE/RTM/SCM baselines it is evaluated
+// against, the STAMP-style workloads of the evaluation, and a harness that
+// regenerates every table and figure.
+//
+// # Quick start
+//
+//	cfg := seer.DefaultConfig()
+//	cfg.Policy = seer.PolicySeer
+//	cfg.NumAtomicBlocks = 1
+//	sys, err := seer.NewSystem(cfg)
+//	// allocate shared state in simulated memory
+//	counter := sys.AllocAligned(1)
+//	workers := make([]seer.Worker, 4)
+//	for i := range workers {
+//		workers[i] = func(t *seer.Thread) {
+//			for n := 0; n < 1000; n++ {
+//				t.Atomic(0, func(a seer.Access) {
+//					a.Store(counter, a.Load(counter)+1)
+//				})
+//			}
+//		}
+//	}
+//	rep, err := sys.Run(workers)
+//	// sys.Peek(counter) == 4000; rep.MakespanCycles is the virtual time
+package seer
+
+import (
+	"fmt"
+
+	"seer/internal/core"
+	"seer/internal/htm"
+	"seer/internal/machine"
+	"seer/internal/mem"
+	"seer/internal/policy"
+	"seer/internal/spinlock"
+	"seer/internal/trace"
+)
+
+// Re-exported substrate types, so programs written against the public API
+// never import internal packages.
+type (
+	// Addr is a word address in simulated memory.
+	Addr = mem.Addr
+	// Access is the accessor passed to transaction bodies; it is backed
+	// by a hardware transaction or, on the fall-back path, by direct
+	// memory accesses under the single-global lock.
+	Access = mem.Access
+	// Rand is the deterministic per-thread pseudo-random generator.
+	Rand = machine.Rand
+	// CostModel assigns virtual-cycle costs to simulated actions.
+	CostModel = machine.CostModel
+	// HTMConfig sets capacity and noise parameters of the simulated HTM.
+	HTMConfig = htm.Config
+	// HTMCounters aggregates commit/abort events by cause.
+	HTMCounters = htm.Counters
+	// SeerOptions selects which Seer mechanisms are active.
+	SeerOptions = core.Options
+	// Mode classifies how a transaction committed (Table 3 rows).
+	Mode = policy.Mode
+	// ModeCounts is a histogram over commit modes.
+	ModeCounts = policy.ModeCounts
+)
+
+// NilAddr is the null simulated-memory address.
+const NilAddr = mem.Nil
+
+// Commit-mode values (re-exported from the runtime).
+const (
+	ModeHTM       = policy.ModeHTM
+	ModeHTMAux    = policy.ModeHTMAux
+	ModeHTMTx     = policy.ModeHTMTx
+	ModeHTMCore   = policy.ModeHTMCore
+	ModeHTMTxCore = policy.ModeHTMTxCore
+	ModeSGL       = policy.ModeSGL
+	NumModes      = policy.NumModes
+)
+
+// PolicyKind selects the TM runtime scheduling policy.
+type PolicyKind string
+
+// Available policies. The Seer variants beyond PolicySeer exist for the
+// evaluation's overhead and ablation studies (Figures 4 and 5).
+const (
+	// PolicyHLE models hardware lock elision: one hardware attempt and
+	// no contention management (lemming prone).
+	PolicyHLE PolicyKind = "HLE"
+	// PolicyRTM is the standard retry loop with lemming avoidance and a
+	// single-global-lock fall-back (the ATS-like baseline).
+	PolicyRTM PolicyKind = "RTM"
+	// PolicySCM serializes restarting transactions on one auxiliary
+	// lock (Software-assisted Conflict Management).
+	PolicySCM PolicyKind = "SCM"
+	// PolicySeer is the full Seer scheduler.
+	PolicySeer PolicyKind = "Seer"
+	// PolicyATS is Adaptive Transaction Scheduling (Yoo & Lee, SPAA'08):
+	// a per-thread contention-intensity signal gating one central
+	// dispatch lock — the coarse-grained imprecise-information scheduler
+	// of the paper's Table 1, provided as an extra baseline.
+	PolicyATS PolicyKind = "ATS"
+	// PolicyOracle serializes an aborted transaction behind its exact
+	// conflictor using the simulator's omniscient feedback — an upper
+	// bound no real HTM can implement (see policy.Oracle). Comparing it
+	// with PolicySeer measures how much of the value of precise
+	// feedback Seer's inference recovers.
+	PolicyOracle PolicyKind = "Oracle"
+	// PolicySeq executes bodies directly with no synchronization; used
+	// single-threaded as the speedup baseline.
+	PolicySeq PolicyKind = "seq"
+)
+
+// Config describes a simulated system: machine, HTM, memory and policy.
+type Config struct {
+	// Threads is the number of worker (= hardware) threads to use.
+	Threads int
+	// PhysCores is the number of physical cores; hardware threads t and
+	// t+PhysCores are hyperthread siblings. Must divide HWThreads.
+	PhysCores int
+	// HWThreads is the machine's total hardware thread count; it
+	// defaults to max(Threads, 2*PhysCores handled automatically).
+	HWThreads int
+	// Seed drives every pseudo-random choice in the run.
+	Seed int64
+	// MemWords sizes the simulated memory.
+	MemWords int
+	// NumAtomicBlocks is the number of distinct atomic blocks (static
+	// transactions) the program contains; Seer allocates one lock and
+	// one statistics row per block.
+	NumAtomicBlocks int
+	// MaxAttempts is the hardware retry budget before the fall-back
+	// (5 in the paper's evaluation).
+	MaxAttempts int
+	// Policy selects the TM runtime.
+	Policy PolicyKind
+	// Seer configures the Seer scheduler (ignored by other policies).
+	Seer SeerOptions
+	// HTM sets the simulated HTM's capacities and noise.
+	HTM HTMConfig
+	// Cost is the virtual-time cost model.
+	Cost CostModel
+	// MaxCycles aborts runaway runs (0 = unlimited).
+	MaxCycles uint64
+	// TraceEvents enables the bounded event log, retaining the most
+	// recent N runtime events (begins, commits, aborts, fall-backs).
+	// 0 disables tracing.
+	TraceEvents int
+}
+
+// DefaultConfig mirrors the paper's testbed: 8 hardware threads on 4
+// physical cores, 5 hardware attempts, full Seer options.
+func DefaultConfig() Config {
+	return Config{
+		Threads:         8,
+		PhysCores:       4,
+		Seed:            1,
+		MemWords:        1 << 20,
+		NumAtomicBlocks: 1,
+		MaxAttempts:     5,
+		Policy:          PolicySeer,
+		Seer:            core.DefaultOptions(),
+		HTM:             htm.DefaultConfig(),
+		Cost:            machine.DefaultCostModel(),
+		MaxCycles:       0,
+	}
+}
+
+// Worker is the code run by one thread of the simulated program.
+type Worker func(*Thread)
+
+// System is one simulated machine plus TM runtime, ready to run a
+// transactional program.
+type System struct {
+	cfg   Config
+	eng   *machine.Engine
+	mem   *mem.Memory
+	htm   *htm.Unit
+	sgl   spinlock.Lock
+	sched *core.Seer // nil unless the policy is Seer
+	pol   policy.Policy
+	trc   *trace.Log
+}
+
+// NewSystem builds a system from cfg. The returned system is single-use
+// per Run for meaningful statistics, though repeated Runs are allowed and
+// accumulate counters.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("seer: Threads must be positive, got %d", cfg.Threads)
+	}
+	if cfg.NumAtomicBlocks <= 0 {
+		return nil, fmt.Errorf("seer: NumAtomicBlocks must be positive, got %d", cfg.NumAtomicBlocks)
+	}
+	if cfg.MaxAttempts <= 0 {
+		return nil, fmt.Errorf("seer: MaxAttempts must be positive, got %d", cfg.MaxAttempts)
+	}
+	hw := cfg.HWThreads
+	if hw == 0 {
+		hw = cfg.Threads
+	}
+	if hw < cfg.Threads {
+		return nil, fmt.Errorf("seer: HWThreads (%d) < Threads (%d)", hw, cfg.Threads)
+	}
+	phys := cfg.PhysCores
+	if phys == 0 {
+		phys = hw
+	}
+	// Round the machine's thread count up so it is a multiple of the
+	// physical cores (idle hardware threads are harmless).
+	if hw%phys != 0 {
+		hw += phys - hw%phys
+	}
+	mach := machine.Config{
+		HWThreads: hw,
+		PhysCores: phys,
+		Seed:      cfg.Seed,
+		MaxCycles: cfg.MaxCycles,
+		Cost:      cfg.Cost,
+	}
+	eng, err := machine.New(mach)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, eng: eng}
+	if cfg.TraceEvents > 0 {
+		s.trc = trace.New(cfg.TraceEvents)
+	}
+	s.mem = mem.New(cfg.MemWords)
+	s.htm = htm.New(s.mem, mach, cfg.HTM)
+	s.sgl = spinlock.New(s.mem)
+
+	switch cfg.Policy {
+	case PolicyHLE:
+		s.pol = &policy.HLE{SGL: s.sgl}
+	case PolicyRTM:
+		s.pol = &policy.RTM{SGL: s.sgl, MaxAttempts: cfg.MaxAttempts}
+	case PolicySCM:
+		s.pol = &policy.SCM{SGL: s.sgl, Aux: spinlock.New(s.mem), MaxAttempts: cfg.MaxAttempts}
+	case PolicyATS:
+		s.pol = policy.NewATS(s.sgl, spinlock.New(s.mem), cfg.MaxAttempts, hw)
+	case PolicyOracle:
+		s.pol = policy.NewOracle(s.sgl, cfg.MaxAttempts)
+	case PolicySeer:
+		rng := machine.NewRand(uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03)
+		s.sched = core.New(cfg.NumAtomicBlocks, mach, s.mem, s.htm, cfg.Seer, &rng)
+		s.pol = &policy.Seer{SGL: s.sgl, MaxAttempts: cfg.MaxAttempts, Sched: s.sched}
+	case PolicySeq:
+		s.pol = &policy.Sequential{}
+	default:
+		return nil, fmt.Errorf("seer: unknown policy %q", cfg.Policy)
+	}
+	return s, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// PolicyName returns the active policy's name.
+func (s *System) PolicyName() string { return s.pol.Name() }
+
+// Scheduler exposes the Seer scheduler for inspection (nil for other
+// policies).
+func (s *System) Scheduler() *core.Seer { return s.sched }
+
+// Trace returns the event log (nil unless Config.TraceEvents > 0).
+func (s *System) Trace() *trace.Log { return s.trc }
+
+// Alloc reserves n words of simulated memory.
+func (s *System) Alloc(n int) Addr { return s.mem.Alloc(n) }
+
+// AllocAligned reserves n words starting at a cache-line boundary.
+func (s *System) AllocAligned(n int) Addr { return s.mem.AllocAligned(n) }
+
+// AllocLines reserves n whole cache lines.
+func (s *System) AllocLines(n int) Addr { return s.mem.AllocLines(n) }
+
+// FreeWords returns the remaining unallocated simulated memory.
+func (s *System) FreeWords() int { return s.mem.Free() }
+
+// Peek reads simulated memory outside a run (setup and verification).
+func (s *System) Peek(a Addr) uint64 { return s.mem.Peek(a) }
+
+// Poke writes simulated memory outside a run (setup and verification).
+func (s *System) Poke(a Addr, v uint64) { s.mem.Poke(a, v) }
+
+// Memory exposes the raw simulated memory for substrate-level code
+// (internal data structures, harness checks).
+func (s *System) Memory() *mem.Memory { return s.mem }
+
+// Run executes the workers (one per hardware thread, worker i on thread
+// i) until all return, and reports the run. It is an error to pass more
+// workers than configured threads.
+func (s *System) Run(workers []Worker) (Report, error) {
+	if len(workers) > s.cfg.Threads {
+		return Report{}, fmt.Errorf("seer: %d workers for %d threads", len(workers), s.cfg.Threads)
+	}
+	threads := make([]*policy.Thread, len(workers))
+	bodies := make([]func(*machine.Ctx), len(workers))
+	for i, w := range workers {
+		if w == nil {
+			continue
+		}
+		worker := w
+		idx := i
+		bodies[i] = func(ctx *machine.Ctx) {
+			pt := policy.NewThread(ctx, s.mem, s.htm)
+			pt.Trace = s.trc
+			if s.sched != nil {
+				pt.Seer = s.sched.NewThreadState(ctx)
+			}
+			threads[idx] = pt
+			worker(&Thread{sys: s, pt: pt})
+		}
+	}
+	makespan, err := s.eng.Run(bodies)
+	if err != nil {
+		return Report{}, err
+	}
+	return s.buildReport(makespan, threads), nil
+}

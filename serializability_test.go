@@ -1,0 +1,278 @@
+package seer_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seer"
+)
+
+// TestBankTransferConservation is the classic TM serializability check:
+// random transfers between accounts must conserve the total balance under
+// every policy, at every thread count, for random parameters.
+func TestBankTransferConservation(t *testing.T) {
+	for _, pol := range []seer.PolicyKind{seer.PolicyHLE, seer.PolicyRTM, seer.PolicySCM, seer.PolicySeer} {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			f := func(seed int64, nAccounts8 uint8, threads8 uint8) bool {
+				nAccounts := int(nAccounts8%16) + 2
+				threads := int(threads8%8) + 1
+				cfg := seer.DefaultConfig()
+				cfg.Policy = pol
+				cfg.Threads = threads
+				cfg.HWThreads = 8
+				cfg.PhysCores = 4
+				cfg.Seed = seed
+				cfg.NumAtomicBlocks = 2
+				cfg.MemWords = 1 << 14
+				cfg.MaxCycles = 1 << 32
+				sys, err := seer.NewSystem(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				accounts := sys.AllocLines(nAccounts)
+				const initial = 1000
+				for i := 0; i < nAccounts; i++ {
+					sys.Poke(accounts+seer.Addr(i*8), initial)
+				}
+				workers := make([]seer.Worker, threads)
+				for w := range workers {
+					workers[w] = func(th *seer.Thread) {
+						rng := th.Rand()
+						for n := 0; n < 60; n++ {
+							from := rng.Intn(nAccounts)
+							to := rng.Intn(nAccounts)
+							amount := uint64(rng.Intn(50))
+							if rng.Bool(0.8) {
+								th.Atomic(0, func(a seer.Access) {
+									fa := accounts + seer.Addr(from*8)
+									ta := accounts + seer.Addr(to*8)
+									bal := a.Load(fa)
+									if bal >= amount {
+										a.Store(fa, bal-amount)
+										a.Store(ta, a.Load(ta)+amount)
+									}
+								})
+							} else {
+								// Audit: sum all accounts (read-only).
+								th.Atomic(1, func(a seer.Access) {
+									var sum uint64
+									for i := 0; i < nAccounts; i++ {
+										sum += a.Load(accounts + seer.Addr(i*8))
+									}
+									_ = sum
+								})
+							}
+						}
+					}
+				}
+				if _, err := sys.Run(workers); err != nil {
+					t.Fatal(err)
+				}
+				var total uint64
+				for i := 0; i < nAccounts; i++ {
+					total += sys.Peek(accounts + seer.Addr(i*8))
+				}
+				return total == uint64(nAccounts)*initial
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestReadOnlyAuditsSeeConsistentSnapshots: an auditor transaction
+// summing two accounts while transfer transactions move money between
+// them must always observe the invariant total — transactions are atomic,
+// never partially visible.
+func TestReadOnlyAuditsSeeConsistentSnapshots(t *testing.T) {
+	cfg := seer.DefaultConfig()
+	cfg.Policy = seer.PolicySeer
+	cfg.Threads = 4
+	cfg.NumAtomicBlocks = 2
+	cfg.MemWords = 1 << 12
+	cfg.MaxCycles = 1 << 32
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := sys.AllocLines(1)
+	a2 := sys.AllocLines(1)
+	sys.Poke(a1, 500)
+	sys.Poke(a2, 500)
+	violations := 0
+	workers := make([]seer.Worker, 4)
+	for w := range workers {
+		id := w
+		workers[w] = func(th *seer.Thread) {
+			rng := th.Rand()
+			for n := 0; n < 150; n++ {
+				if id < 2 {
+					amount := uint64(rng.Intn(100))
+					th.Atomic(0, func(a seer.Access) {
+						b1 := a.Load(a1)
+						if b1 >= amount {
+							a.Store(a1, b1-amount)
+							a.Store(a2, a.Load(a2)+amount)
+						} else {
+							b2 := a.Load(a2)
+							a.Store(a2, 0)
+							a.Store(a1, b1+b2)
+						}
+					})
+				} else {
+					var sum uint64
+					th.Atomic(1, func(a seer.Access) {
+						sum = a.Load(a1) + a.Load(a2)
+					})
+					if sum != 1000 {
+						violations++ // assign-only accounting is unsafe
+						// inside bodies; counting here (outside) is not:
+						// sum carries the committed execution's value.
+					}
+				}
+			}
+		}
+	}
+	if _, err := sys.Run(workers); err != nil {
+		t.Fatal(err)
+	}
+	if violations > 0 {
+		t.Fatalf("%d audits observed torn state", violations)
+	}
+}
+
+// TestConfigValidation covers the public constructor's error paths.
+func TestConfigValidation(t *testing.T) {
+	base := seer.DefaultConfig()
+	cases := []struct {
+		name   string
+		mutate func(*seer.Config)
+	}{
+		{"zero threads", func(c *seer.Config) { c.Threads = 0 }},
+		{"zero blocks", func(c *seer.Config) { c.NumAtomicBlocks = 0 }},
+		{"zero attempts", func(c *seer.Config) { c.MaxAttempts = 0 }},
+		{"hwthreads below threads", func(c *seer.Config) { c.Threads = 8; c.HWThreads = 4 }},
+		{"unknown policy", func(c *seer.Config) { c.Policy = "Bogus" }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := seer.NewSystem(cfg); err == nil {
+			t.Errorf("%s: NewSystem accepted invalid config", tc.name)
+		}
+	}
+}
+
+// TestTxIDRangeChecked: out-of-range atomic block ids panic loudly
+// instead of corrupting the scheduler's tables.
+func TestTxIDRangeChecked(t *testing.T) {
+	cfg := seer.DefaultConfig()
+	cfg.Threads = 1
+	cfg.NumAtomicBlocks = 2
+	cfg.MemWords = 1 << 10
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Run([]seer.Worker{func(th *seer.Thread) {
+		th.Atomic(2, func(a seer.Access) {})
+	}})
+	if err == nil {
+		t.Fatalf("out-of-range txID did not error")
+	}
+}
+
+// TestWorkerCountChecked: more workers than threads is an error.
+func TestWorkerCountChecked(t *testing.T) {
+	cfg := seer.DefaultConfig()
+	cfg.Threads = 2
+	cfg.MemWords = 1 << 10
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(make([]seer.Worker, 3)); err == nil {
+		t.Fatalf("oversubscription not rejected")
+	}
+}
+
+// TestReportContents: the report carries coherent counters.
+func TestReportContents(t *testing.T) {
+	rep, _, _ := runCounter(t, seer.PolicySeer, 4, 200)
+	if rep.Policy != "Seer" || rep.Threads != 4 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if rep.Commits() != 800 {
+		t.Fatalf("commits = %d", rep.Commits())
+	}
+	if rep.Throughput() <= 0 {
+		t.Fatalf("throughput = %v", rep.Throughput())
+	}
+	if rep.HWAttempts < rep.HTM.Commits {
+		t.Fatalf("attempts (%d) < hardware commits (%d)", rep.HWAttempts, rep.HTM.Commits)
+	}
+	if rep.Seer == nil {
+		t.Fatalf("Seer policy report missing scheduler section")
+	}
+	if rep.String() == "" {
+		t.Fatalf("empty String()")
+	}
+	fr := rep.ModeFractions()
+	var sum float64
+	for _, f := range fr {
+		sum += f
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Fatalf("mode fractions sum to %v", sum)
+	}
+}
+
+// TestHyperthreadCapacityPenalty: the same capacity-heavy workload
+// commits via fall-back more often when the two workers share a physical
+// core than when they have one each.
+func TestHyperthreadCapacityPenalty(t *testing.T) {
+	run := func(physCores int) seer.Report {
+		cfg := seer.DefaultConfig()
+		cfg.Policy = seer.PolicyRTM
+		cfg.Threads = 2
+		cfg.HWThreads = 2
+		cfg.PhysCores = physCores
+		cfg.NumAtomicBlocks = 1
+		cfg.MemWords = 1 << 14
+		cfg.HTM.WriteSetLines = 16
+		cfg.MaxCycles = 1 << 32
+		sys, err := seer.NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions := []seer.Addr{sys.AllocLines(12), sys.AllocLines(12)}
+		workers := make([]seer.Worker, 2)
+		for w := range workers {
+			region := regions[w]
+			workers[w] = func(th *seer.Thread) {
+				for n := 0; n < 100; n++ {
+					th.Atomic(0, func(a seer.Access) {
+						for l := 0; l < 12; l++ {
+							addr := region + seer.Addr(l*8)
+							a.Store(addr, a.Load(addr)+1)
+						}
+					})
+					th.Work(10)
+				}
+			}
+		}
+		rep, err := sys.Run(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	shared := run(1)   // both workers on one physical core
+	separate := run(2) // one worker per core
+	if shared.HTM.CapacityAborts <= separate.HTM.CapacityAborts {
+		t.Fatalf("shared-core capacity aborts (%d) not above separate-core (%d)",
+			shared.HTM.CapacityAborts, separate.HTM.CapacityAborts)
+	}
+}
