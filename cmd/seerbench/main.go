@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|table3|fig4|fig5|lockfrac|ext|attempts|all")
+		experiment = flag.String("experiment", "all", "fig3|table3|fig4|fig5|lockfrac|ext|attempts|timeline|all")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor")
 		runs       = flag.Int("runs", 3, "repetitions per measurement")
 		seed       = flag.Int64("seed", 1, "base PRNG seed")
@@ -35,6 +35,7 @@ func main() {
 		csvPath    = flag.String("csv", "", "also write machine-readable results to this CSV file")
 		allPol     = flag.Bool("allpolicies", false, "fig3: include the ATS and Oracle extension baselines")
 		plotOut    = flag.Bool("plot", false, "fig3: render terminal line charts instead of tables")
+		interval   = flag.Uint64("metrics-interval", 0, "timeline: snapshot period in cycles (0 = default)")
 	)
 	flag.Parse()
 
@@ -129,6 +130,15 @@ func main() {
 				return err
 			}
 			d.Render(os.Stdout)
+		case "timeline":
+			d, err := harness.Timelines(opt, wls, nil, *interval, progress)
+			if err != nil {
+				return err
+			}
+			d.Render(os.Stdout)
+			if err := maybeCSV(d.WriteCSV); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -137,7 +147,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"fig3", "table3", "fig4", "fig5", "lockfrac", "ext", "attempts"}
+		names = []string{"fig3", "table3", "fig4", "fig5", "lockfrac", "ext", "attempts", "timeline"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

@@ -18,6 +18,7 @@ import (
 	"seer"
 	"seer/internal/harness"
 	"seer/internal/stamp"
+	"seer/internal/trace"
 )
 
 // jsonOut is the machine-readable shape of a seerstat run.
@@ -31,6 +32,7 @@ type jsonOut struct {
 	Modes          map[string]float64 `json:"mode_percent"`
 	HTM            seer.HTMCounters   `json:"htm"`
 	Seer           *seerJSON          `json:"seer,omitempty"`
+	Timeline       []seer.Snapshot    `json:"timeline,omitempty"`
 }
 
 type seerJSON struct {
@@ -81,6 +83,7 @@ func emitJSON(sys *seer.System, rep seer.Report) {
 		}
 		out.Seer = sj
 	}
+	out.Timeline = rep.Timeline
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
@@ -91,15 +94,27 @@ func emitJSON(sys *seer.System, rep seer.Report) {
 
 func main() {
 	var (
-		workload = flag.String("workload", "intruder", "workload name")
-		threads  = flag.Int("threads", 8, "worker threads")
-		scale    = flag.Float64("scale", 0.5, "workload scale")
-		seed     = flag.Int64("seed", 1, "PRNG seed")
-		policy   = flag.String("policy", "Seer", "policy (HLE|RTM|SCM|ATS|Seer|seq)")
-		traceN   = flag.Int("trace", 0, "dump the last N runtime events")
-		asJSON   = flag.Bool("json", false, "emit the report and inference state as JSON")
+		workload   = flag.String("workload", "intruder", "workload name")
+		threads    = flag.Int("threads", 8, "worker threads")
+		scale      = flag.Float64("scale", 0.5, "workload scale")
+		seed       = flag.Int64("seed", 1, "PRNG seed")
+		policy     = flag.String("policy", "Seer", "policy (HLE|RTM|SCM|ATS|Seer|seq)")
+		traceN     = flag.Int("trace", 0, "dump the last N runtime events")
+		kindsSpec  = flag.String("trace-kinds", "", "comma-separated event kinds to dump (e.g. abort,lock+); empty = all")
+		asJSON     = flag.Bool("json", false, "emit the report and inference state as JSON")
+		timeline   = flag.Bool("timeline", false, "render the per-interval metrics timeline (sparklines)")
+		interval   = flag.Uint64("metrics-interval", 0, "telemetry snapshot period in cycles (0 = harness default when -timeline/-timeline-* set, else disabled)")
+		csvPath    = flag.String("timeline-csv", "", "write the timeline as CSV to FILE")
+		jsonlPath  = flag.String("timeline-jsonl", "", "write the timeline as JSON Lines to FILE")
+		chromePath = flag.String("chrome-trace", "", "write a Chrome trace-event JSON document to FILE (enables tracing)")
 	)
 	flag.Parse()
+
+	kinds, err := trace.ParseKinds(*kindsSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seerstat: %v\n", err)
+		os.Exit(1)
+	}
 
 	wl, err := stamp.New(*workload, *scale)
 	if err != nil {
@@ -116,6 +131,14 @@ func main() {
 	cfg.MemWords = wl.MemWords() + (1 << 14)
 	cfg.MaxCycles = 1 << 36
 	cfg.TraceEvents = *traceN
+	if *chromePath != "" && cfg.TraceEvents == 0 {
+		cfg.TraceEvents = 1 << 16
+	}
+	needTimeline := *timeline || *csvPath != "" || *jsonlPath != ""
+	cfg.MetricsInterval = *interval
+	if cfg.MetricsInterval == 0 && needTimeline {
+		cfg.MetricsInterval = harness.DefaultMetricsInterval
+	}
 	sys, err := seer.NewSystem(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "seerstat: %v\n", err)
@@ -132,6 +155,29 @@ func main() {
 		os.Exit(1)
 	}
 
+	writeFile := func(path string, render func(w *os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seerstat: %v\n", err)
+			os.Exit(1)
+		}
+		if err := render(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seerstat: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+	writeFile(*csvPath, func(f *os.File) error { return rep.WriteTimelineCSV(f) })
+	writeFile(*jsonlPath, func(f *os.File) error { return rep.WriteTimelineJSONL(f) })
+	writeFile(*chromePath, func(f *os.File) error { return sys.WriteChromeTrace(f) })
+
 	if *asJSON {
 		emitJSON(sys, rep)
 		return
@@ -141,6 +187,11 @@ func main() {
 	fmt.Printf("HTM: commits=%d aborts=%d (conflict=%d capacity=%d explicit=%d spurious=%d) attempts=%d fallbacks=%d\n",
 		rep.HTM.Commits, rep.HTM.Aborts, rep.HTM.ConflictAborts, rep.HTM.CapacityAborts,
 		rep.HTM.ExplicitAborts, rep.HTM.SpuriousAborts, rep.HWAttempts, rep.Fallbacks)
+
+	if *timeline {
+		fmt.Printf("\nTimeline (interval = %d cycles):\n", cfg.MetricsInterval)
+		harness.RenderTimeline(os.Stdout, fmt.Sprintf("%s/%s", *workload, rep.Policy), rep.Timeline)
+	}
 
 	sched := sys.Scheduler()
 	if sched == nil {
@@ -184,6 +235,6 @@ func main() {
 
 	if *traceN > 0 {
 		fmt.Printf("\nLast %d runtime events (%s):\n", *traceN, sys.Trace().FormatSummary())
-		sys.Trace().Dump(os.Stdout, nil)
+		sys.Trace().Dump(os.Stdout, kinds)
 	}
 }

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"math"
 	"sort"
 
 	"seer/internal/htm"
@@ -24,6 +25,7 @@ import (
 	"seer/internal/mem"
 	"seer/internal/spinlock"
 	"seer/internal/stats"
+	"seer/internal/trace"
 	"seer/internal/tune"
 )
 
@@ -149,6 +151,7 @@ type Seer struct {
 	coreLocks []spinlock.Lock   // one per physical core
 	tuner     *tune.HillClimber
 	th        tune.Params
+	trc       *trace.Log // nil disables scheduler event tracing
 
 	// Bookkeeping for periodic updates and tuning epochs.
 	execsSinceUpdate uint64
@@ -211,6 +214,24 @@ func New(numTx int, mach machine.Config, m *mem.Memory, u *htm.Unit, opts Option
 
 // NumTx returns the number of atomic blocks.
 func (s *Seer) NumTx() int { return s.numTx }
+
+// SetTrace attaches an event log; scheme updates, threshold re-tunings
+// and scheduler lock operations are then recorded on it.
+func (s *Seer) SetTrace(l *trace.Log) { s.trc = l }
+
+// SchemePairs returns the number of serialized (x, y) block pairs in the
+// current locking scheme, counting each unordered pair once.
+func (s *Seer) SchemePairs() int {
+	pairs := 0
+	for x, row := range s.scheme {
+		for _, y := range row {
+			if y >= x {
+				pairs++
+			}
+		}
+	}
+	return pairs
+}
 
 // Thresholds returns the current (Θ₁, Θ₂).
 func (s *Seer) Thresholds() tune.Params { return s.th }
@@ -347,6 +368,7 @@ func (s *Seer) AcquireLocks(t *ThreadState, txID int, status htm.Status, attempt
 		core := s.mach.PhysCore(t.Ctx.ID())
 		s.coreLocks[core].Acquire(t.Ctx, s.mem)
 		t.AcquiredCoreLock = true
+		s.trc.Record2(t.Ctx.Clock(), t.Ctx.ID(), trace.EvLockAcq, txID, uint32(core), lockKindCore)
 	}
 	if s.opts.TxLocks && attemptsLeft == 1 && !t.AcquiredTxLocks {
 		s.acquireTxLocks(t, txID)
@@ -376,6 +398,7 @@ func (s *Seer) acquireTxLocks(t *ThreadState, txID int) {
 			s.MultiCASOk++
 			for _, id := range row {
 				t.heldTxLocks = append(t.heldTxLocks, s.lockFor(t, id))
+				s.trc.Record2(t.Ctx.Clock(), t.Ctx.ID(), trace.EvLockAcq, txID, uint32(id), lockKindTx)
 			}
 			return
 		}
@@ -385,12 +408,24 @@ func (s *Seer) acquireTxLocks(t *ThreadState, txID int) {
 		lk := s.lockFor(t, id)
 		lk.Acquire(t.Ctx, s.mem)
 		t.heldTxLocks = append(t.heldTxLocks, lk)
+		s.trc.Record2(t.Ctx.Clock(), t.Ctx.ID(), trace.EvLockAcq, txID, uint32(id), lockKindTx)
 	}
 }
+
+// lockKind values for the Detail2 payload of EvLockAcq/EvLockRel.
+const (
+	lockKindTx   uint32 = 0
+	lockKindCore uint32 = 1
+)
 
 // ReleaseLocks implements RELEASE-Seer-LOCKS.
 func (s *Seer) ReleaseLocks(t *ThreadState) {
 	if t.AcquiredTxLocks {
+		if n := len(t.heldTxLocks); n > 0 {
+			// One release event carrying the batch size (the individual
+			// ids were recorded at acquisition).
+			s.trc.Record2(t.Ctx.Clock(), t.Ctx.ID(), trace.EvLockRel, -1, uint32(n), lockKindTx)
+		}
 		for _, lk := range t.heldTxLocks {
 			lk.ReleaseOwned(t.Ctx, s.mem)
 		}
@@ -401,6 +436,7 @@ func (s *Seer) ReleaseLocks(t *ThreadState) {
 		core := s.mach.PhysCore(t.Ctx.ID())
 		s.coreLocks[core].ReleaseOwned(t.Ctx, s.mem)
 		t.AcquiredCoreLock = false
+		s.trc.Record2(t.Ctx.Clock(), t.Ctx.ID(), trace.EvLockRel, -1, uint32(core), lockKindCore)
 	}
 }
 
@@ -430,11 +466,13 @@ func (s *Seer) WaitLocks(t *ThreadState, txID int, sgl spinlock.Lock) {
 	const coopSpinBudget = 256
 	if s.opts.TxLocks && !t.AcquiredTxLocks {
 		if lk := s.lockFor(t, txID); lk.LockedFast(s.mem) {
+			s.trc.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvWait, txID, uint32(lockKindTx))
 			lk.SpinWhileLockedBounded(t.Ctx, s.mem, coopSpinBudget)
 		}
 	}
 	if s.opts.CoreLocks && !t.AcquiredCoreLock {
 		if lk := s.coreLocks[s.mach.PhysCore(t.Ctx.ID())]; lk.LockedFast(s.mem) {
+			s.trc.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvWait, txID, uint32(lockKindCore))
 			lk.SpinWhileLockedBounded(t.Ctx, s.mem, coopSpinBudget)
 		}
 	}
@@ -514,6 +552,7 @@ func (s *Seer) UpdateScheme(ctx *machine.Ctx) {
 	// Swap the table in one step (the pointer-indirection swap of the
 	// paper; our steps are atomic under the engine's serialization).
 	s.scheme = scheme
+	s.trc.Record(ctx.Clock(), ctx.ID(), trace.EvScheme, -1, uint32(s.SchemePairs()))
 }
 
 // maybeTune closes a tuning epoch if enough samples accumulated, feeding
@@ -534,6 +573,8 @@ func (s *Seer) maybeTune(ctx *machine.Ctx) {
 	throughput := float64(s.epochCommits) / float64(elapsed)
 	s.tuner.Feedback(throughput)
 	s.th = s.tuner.Params()
+	s.trc.Record2(now, ctx.ID(), trace.EvTune, -1,
+		math.Float32bits(float32(s.th.Th1)), math.Float32bits(float32(s.th.Th2)))
 	s.epochExecs = 0
 	s.epochCommits = 0
 	s.epochStartCycles = now

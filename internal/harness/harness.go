@@ -35,6 +35,10 @@ type Spec struct {
 	Threads     int
 	Runs        int
 	Seed        int64
+	// MetricsInterval enables the telemetry timeline on every run of
+	// this cell (cycles per snapshot; 0 = disabled). The snapshots are
+	// attached to each Report in Result.Reports.
+	MetricsInterval uint64
 }
 
 // Result aggregates the repetitions of one Spec.
@@ -99,6 +103,7 @@ func runOnce(spec Spec, seed int64) (seer.Report, error) {
 	} else {
 		cfg.Seer = core.DefaultOptions()
 	}
+	cfg.MetricsInterval = spec.MetricsInterval
 	sys, err := seer.NewSystem(cfg)
 	if err != nil {
 		return seer.Report{}, err

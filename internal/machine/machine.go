@@ -135,8 +135,13 @@ type Ctx struct {
 	grant    chan struct{}
 	yield    chan struct{}
 	finished bool
+	aborted  bool
 	panicked any
 }
+
+// errAbandonRun is the sentinel panic drain uses to unwind thread
+// goroutines abandoned on an error path.
+var errAbandonRun = errors.New("machine: run abandoned")
 
 // ID returns the hardware thread id (0-based).
 func (c *Ctx) ID() int { return c.id }
@@ -158,6 +163,9 @@ func (c *Ctx) Tick(cost uint64) {
 	c.clock += cost
 	c.yield <- struct{}{}
 	<-c.grant
+	if c.aborted {
+		panic(errAbandonRun)
+	}
 }
 
 // Advance adds cost cycles without yielding. Use only for accounting that
@@ -174,7 +182,16 @@ func (c *Ctx) Work(n uint64) {
 type Engine struct {
 	cfg     Config
 	threads []*Ctx
+	// tickHook, when set, observes the global virtual time (the minimum
+	// clock over runnable threads, non-decreasing within a run) once per
+	// scheduling step, before the next thread is granted. The telemetry
+	// recorder uses it to cut interval snapshots deterministically.
+	tickHook func(now uint64)
 }
+
+// SetTickHook installs (or clears, with nil) the scheduling-step observer.
+// Unset, the loop pays a single nil check per step.
+func (e *Engine) SetTickHook(hook func(now uint64)) { e.tickHook = hook }
 
 // New creates an engine for the given machine configuration.
 func New(cfg Config) (*Engine, error) {
@@ -220,18 +237,21 @@ func (e *Engine) Run(bodies []func(*Ctx)) (makespan uint64, err error) {
 		t := e.threads[i]
 		t.clock = 0
 		t.finished = false
+		t.aborted = false
 		t.panicked = nil
 		active++
 		go func(t *Ctx, body func(*Ctx)) {
 			<-t.grant
 			defer func() {
-				if r := recover(); r != nil {
+				if r := recover(); r != nil && r != errAbandonRun {
 					t.panicked = r
 				}
 				t.finished = true
 				t.yield <- struct{}{}
 			}()
-			body(t)
+			if !t.aborted {
+				body(t)
+			}
 		}(t, body)
 	}
 
@@ -239,6 +259,9 @@ func (e *Engine) Run(bodies []func(*Ctx)) (makespan uint64, err error) {
 		t := e.pickNext(bodies)
 		if t == nil {
 			break
+		}
+		if e.tickHook != nil {
+			e.tickHook(t.clock)
 		}
 		if e.cfg.MaxCycles > 0 && t.clock > e.cfg.MaxCycles {
 			// Drain every unfinished thread so its goroutine exits
@@ -286,12 +309,11 @@ func (e *Engine) pickNext(bodies []func(*Ctx)) *Ctx {
 	return best
 }
 
-// drain unblocks all remaining thread goroutines by feeding them grants
-// until they finish. Called only on the error paths; the bodies keep
-// running (and ticking) until they return naturally, which they do for
-// panics; for MaxCycles overruns the bodies are abandoned as daemons
-// attached to dedicated channels, so a fresh Engine should be used after
-// an ErrMaxCycles.
+// drain terminates all remaining thread goroutines. Called only on the
+// error paths: each unfinished goroutine is parked on <-grant (inside
+// Tick, or at its initial grant), so setting aborted and granting once
+// makes it unwind via the errAbandonRun sentinel panic and signal its
+// final yield. No goroutine outlives the run.
 func (e *Engine) drain(bodies []func(*Ctx)) {
 	for i := range bodies {
 		if bodies[i] == nil {
@@ -301,11 +323,9 @@ func (e *Engine) drain(bodies []func(*Ctx)) {
 		if t.finished {
 			continue
 		}
-		// Recreate the channels so the stuck goroutine, which holds
-		// references to the old ones, can never interfere with a
-		// future run of this engine.
-		t.grant = make(chan struct{})
-		t.yield = make(chan struct{})
+		t.aborted = true
+		t.grant <- struct{}{}
+		<-t.yield
 	}
 }
 

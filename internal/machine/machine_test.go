@@ -2,8 +2,10 @@ package machine
 
 import (
 	"errors"
+	"runtime"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -283,5 +285,45 @@ func TestEngineReuse(t *testing.T) {
 		if makespan != 9 {
 			t.Fatalf("round %d: makespan = %d, want 9 (clocks must reset)", round, makespan)
 		}
+	}
+}
+
+// TestDrainTerminatesGoroutines: error paths must unwind abandoned
+// thread goroutines rather than leak them, and the engine must remain
+// usable for a fresh run afterwards.
+func TestDrainTerminatesGoroutines(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HWThreads, cfg.PhysCores = 4, 2
+	cfg.MaxCycles = 1000
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spin := func(c *Ctx) {
+		for {
+			c.Tick(10)
+		}
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		if _, err := e.Run([]func(*Ctx){spin, spin, spin, spin}); err != ErrMaxCycles {
+			t.Fatalf("run %d: err = %v, want ErrMaxCycles", i, err)
+		}
+	}
+	// Give unwound goroutines a moment to exit before counting.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after 20 aborted runs", before, after)
+	}
+	// The engine stays usable: a finite body completes normally.
+	done := false
+	if _, err := e.Run([]func(*Ctx){func(c *Ctx) { c.Tick(5); done = true }}); err != nil {
+		t.Fatalf("engine unusable after drain: %v", err)
+	}
+	if !done {
+		t.Fatalf("post-drain run did not execute the body")
 	}
 }

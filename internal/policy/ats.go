@@ -59,7 +59,9 @@ func (p *ATS) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
 	serialized := false
 	if p.ci[hw] > p.Threshold {
 		// High contention: dispatch serially through the central lock.
+		start := t.Ctx.Clock()
 		p.Sched.Acquire(t.Ctx, t.Mem)
+		t.Tel.AddLockWait(t.Ctx.Clock() - start)
 		serialized = true
 	}
 	defer func() {
@@ -70,14 +72,14 @@ func (p *ATS) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
 
 	for attempts := p.MaxAttempts; attempts > 0; attempts-- {
 		if p.SGL.LockedFast(t.Mem) {
-			p.SGL.SpinWhileLocked(t.Ctx, t.Mem)
+			spinSGL(t, p.SGL)
 		}
 		if attempt(t, p.SGL, body) == 0 {
 			p.observe(hw, false)
 			if serialized {
-				t.Modes[ModeHTMAux]++
+				t.commit(ModeHTMAux)
 			} else {
-				t.Modes[ModeHTM]++
+				t.commit(ModeHTM)
 			}
 			return
 		}
@@ -85,7 +87,9 @@ func (p *ATS) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
 		// A thread that crosses the threshold mid-transaction joins the
 		// serial queue before retrying, as in the original design.
 		if !serialized && p.ci[hw] > p.Threshold {
+			start := t.Ctx.Clock()
 			p.Sched.Acquire(t.Ctx, t.Mem)
+			t.Tel.AddLockWait(t.Ctx.Clock() - start)
 			serialized = true
 		}
 	}

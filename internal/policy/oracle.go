@@ -36,11 +36,11 @@ func (p *Oracle) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
 	t.curTx = txID
 	for attempts := p.MaxAttempts; attempts > 0; attempts-- {
 		if p.SGL.LockedFast(t.Mem) {
-			p.SGL.SpinWhileLocked(t.Ctx, t.Mem)
+			spinSGL(t, p.SGL)
 		}
 		status := attempt(t, p.SGL, body)
 		if status == 0 {
-			t.Modes[ModeHTM]++
+			t.commit(ModeHTM)
 			return
 		}
 		if status.Conflict() {

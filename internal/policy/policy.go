@@ -20,6 +20,7 @@ import (
 	"seer/internal/machine"
 	"seer/internal/mem"
 	"seer/internal/spinlock"
+	"seer/internal/telemetry"
 	"seer/internal/trace"
 )
 
@@ -93,12 +94,37 @@ type Thread struct {
 	HTM    *htm.Unit
 	Direct *mem.Direct
 	Modes  ModeCounts
-	Trace  *trace.Log // nil disables event tracing
+	Trace  *trace.Log      // nil disables event tracing
+	Tel    *telemetry.Shard // nil disables interval metrics
 
 	Seer      *core.ThreadState // non-nil only under the Seer policy
 	Attempts  uint64            // hardware attempts issued
 	Fallbacks uint64            // SGL acquisitions
 	curTx     int               // txID of the in-flight Run, for tracing
+}
+
+// commit records a committed transaction in mode m, in both the
+// end-of-run histogram and the interval telemetry.
+func (t *Thread) commit(m Mode) {
+	t.Modes[m]++
+	t.Tel.IncMode(int(m))
+}
+
+// abortCause maps an HTM status to telemetry's cause breakdown, with the
+// same priority order as htm's own counters.
+func abortCause(s htm.Status) telemetry.Cause {
+	switch {
+	case s.Conflict():
+		return telemetry.CauseConflict
+	case s.Capacity():
+		return telemetry.CauseCapacity
+	case s.Explicit():
+		return telemetry.CauseExplicit
+	case s&htm.BitSpurious != 0:
+		return telemetry.CauseSpurious
+	default:
+		return telemetry.CauseOther
+	}
 }
 
 // NewThread builds the runtime state for ctx's hardware thread.
@@ -129,6 +155,7 @@ type Policy interface {
 // correct with respect to the fall-back path).
 func attempt(t *Thread, sgl spinlock.Lock, body func(mem.Access)) htm.Status {
 	t.Attempts++
+	t.Tel.IncAttempt()
 	t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvBegin, t.curTx, 0)
 	status := t.HTM.Run(t.Ctx, func(tx *htm.Tx) {
 		if sgl.LockedTx(tx) {
@@ -139,6 +166,7 @@ func attempt(t *Thread, sgl spinlock.Lock, body func(mem.Access)) htm.Status {
 	if status == 0 {
 		t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvCommit, t.curTx, 0)
 	} else {
+		t.Tel.IncAbort(abortCause(status))
 		t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvAbort, t.curTx, uint32(status))
 	}
 	return status
@@ -147,11 +175,23 @@ func attempt(t *Thread, sgl spinlock.Lock, body func(mem.Access)) htm.Status {
 // runSGL executes body under the single-global lock on the software path.
 func runSGL(t *Thread, sgl spinlock.Lock, body func(mem.Access)) {
 	t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvFallback, t.curTx, 0)
+	start := t.Ctx.Clock()
 	sgl.Acquire(t.Ctx, t.Mem)
+	t.Tel.AddLockWait(t.Ctx.Clock() - start)
 	body(t.Direct)
 	sgl.Release(t.Ctx, t.Mem)
 	t.Fallbacks++
-	t.Modes[ModeSGL]++
+	t.Tel.IncFallback()
+	t.commit(ModeSGL)
+}
+
+// spinSGL waits out a held single-global lock (lemming avoidance),
+// charging the spin to the thread's lock-wait telemetry.
+func spinSGL(t *Thread, sgl spinlock.Lock) {
+	t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvWait, t.curTx, 0)
+	start := t.Ctx.Clock()
+	sgl.SpinWhileLocked(t.Ctx, t.Mem)
+	t.Tel.AddLockWait(t.Ctx.Clock() - start)
 }
 
 // --- HLE ---
@@ -176,10 +216,10 @@ func (p *HLE) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
 	// back to acquiring the lock for real, which in turn aborts every
 	// concurrent elision: the lemming cascade.
 	if p.SGL.LockedFast(t.Mem) {
-		p.SGL.SpinWhileLocked(t.Ctx, t.Mem)
+		spinSGL(t, p.SGL)
 	}
 	if attempt(t, p.SGL, body) == 0 {
-		t.Modes[ModeHTM]++
+		t.commit(ModeHTM)
 		return
 	}
 	runSGL(t, p.SGL, body)
@@ -205,10 +245,10 @@ func (p *RTM) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
 	t.curTx = txID
 	for attempts := p.MaxAttempts; attempts > 0; attempts-- {
 		if p.SGL.LockedFast(t.Mem) {
-			p.SGL.SpinWhileLocked(t.Ctx, t.Mem)
+			spinSGL(t, p.SGL)
 		}
 		if attempt(t, p.SGL, body) == 0 {
-			t.Modes[ModeHTM]++
+			t.commit(ModeHTM)
 			return
 		}
 	}
@@ -242,20 +282,22 @@ func (p *SCM) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
 	}()
 	for attempts := p.MaxAttempts; attempts > 0; attempts-- {
 		if p.SGL.LockedFast(t.Mem) {
-			p.SGL.SpinWhileLocked(t.Ctx, t.Mem)
+			spinSGL(t, p.SGL)
 		}
 		if attempt(t, p.SGL, body) == 0 {
 			if holdingAux {
 				p.Aux.ReleaseOwned(t.Ctx, t.Mem)
 				holdingAux = false
-				t.Modes[ModeHTMAux]++
+				t.commit(ModeHTMAux)
 			} else {
-				t.Modes[ModeHTM]++
+				t.commit(ModeHTM)
 			}
 			return
 		}
 		if !holdingAux && attempts > 1 {
+			start := t.Ctx.Clock()
 			p.Aux.Acquire(t.Ctx, t.Mem)
+			t.Tel.AddLockWait(t.Ctx.Clock() - start)
 			holdingAux = true
 		}
 	}
@@ -286,11 +328,13 @@ func (p *Seer) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
 	p.Sched.Start(ts, txID, obj)
 	attempts := p.MaxAttempts
 	for {
+		waitStart := t.Ctx.Clock()
 		p.Sched.WaitLocks(ts, txID, p.SGL)
+		t.Tel.AddLockWait(t.Ctx.Clock() - waitStart)
 		status := attempt(t, p.SGL, body)
 		if status == 0 {
 			p.Sched.RegisterCommit(ts, txID)
-			t.Modes[seerMode(ts)]++
+			t.commit(seerMode(ts))
 			p.Sched.ReleaseLocks(ts)
 			p.Sched.Finish(ts)
 			return
@@ -303,7 +347,9 @@ func (p *Seer) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
 			p.Sched.Finish(ts)
 			return
 		}
+		acqStart := t.Ctx.Clock()
 		p.Sched.AcquireLocks(ts, txID, status, attempts)
+		t.Tel.AddLockWait(t.Ctx.Clock() - acqStart)
 	}
 }
 
@@ -333,6 +379,6 @@ func (p *Sequential) Name() string { return "seq" }
 
 // Run implements Policy.
 func (p *Sequential) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
-	t.Modes[ModeHTM]++ // counted as plain executions
+	t.commit(ModeHTM) // counted as plain executions
 	body(t.Direct)
 }

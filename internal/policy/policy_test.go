@@ -8,6 +8,7 @@ import (
 	"seer/internal/machine"
 	"seer/internal/mem"
 	"seer/internal/spinlock"
+	"seer/internal/telemetry"
 )
 
 // rig bundles a machine with all runtime pieces for policy tests.
@@ -366,5 +367,88 @@ func TestLastConflictorExposed(t *testing.T) {
 	}
 	if conflictor != 1 {
 		t.Fatalf("LastConflictor = %d, want 1", conflictor)
+	}
+}
+
+// TestTelemetryModeAlignment: telemetry mirrors the Mode indices (it sits
+// below policy in the import graph); the slots must stay in lockstep.
+func TestTelemetryModeAlignment(t *testing.T) {
+	pairs := [][2]int{
+		{int(ModeHTM), telemetry.ModeHTM},
+		{int(ModeHTMAux), telemetry.ModeHTMAux},
+		{int(ModeHTMTx), telemetry.ModeHTMTx},
+		{int(ModeHTMCore), telemetry.ModeHTMCore},
+		{int(ModeHTMTxCore), telemetry.ModeHTMTxCore},
+		{int(ModeSGL), telemetry.ModeSGL},
+		{int(NumModes), telemetry.NumModes},
+	}
+	for _, p := range pairs {
+		if p[0] != p[1] {
+			t.Fatalf("mode index drift: policy=%d telemetry=%d", p[0], p[1])
+		}
+	}
+	if int(NumModes) > telemetry.MaxModes {
+		t.Fatalf("NumModes %d exceeds telemetry.MaxModes %d", NumModes, telemetry.MaxModes)
+	}
+}
+
+// TestShardCountsCommitsAndAborts: a policy wired to a telemetry shard
+// must mirror its Modes histogram and attempt/abort accounting into it.
+func TestShardCountsCommitsAndAborts(t *testing.T) {
+	r := newRig(t, 4)
+	rec := telemetry.New(1<<16, 4)
+	pol := &RTM{SGL: r.sgl, MaxAttempts: 5}
+	counter := r.m.AllocLines(1)
+	threadsSlice := make([]*Thread, 4)
+	bodies := make([]func(*machine.Ctx), 4)
+	for i := range bodies {
+		idx := i
+		bodies[i] = func(c *machine.Ctx) {
+			th := NewThread(c, r.m, r.u)
+			th.Tel = rec.Shard(c.ID())
+			threadsSlice[idx] = th
+			for n := 0; n < 40; n++ {
+				pol.Run(th, 0, 0, func(a mem.Access) {
+					a.Store(counter, a.Load(counter)+1)
+					a.Work(20)
+				})
+			}
+		}
+	}
+	if _, err := r.eng.Run(bodies); err != nil {
+		t.Fatal(err)
+	}
+	var modes ModeCounts
+	var attempts, fallbacks uint64
+	for _, th := range threadsSlice {
+		modes.Add(th.Modes)
+		attempts += th.Attempts
+		fallbacks += th.Fallbacks
+	}
+	var telModes, telAttempts, telAborts, telFallbacks uint64
+	for i := 0; i < 4; i++ {
+		s := rec.Shard(i)
+		for _, m := range s.Modes {
+			telModes += m
+		}
+		for _, a := range s.Aborts {
+			telAborts += a
+		}
+		telAttempts += s.Attempts
+		telFallbacks += s.Fallbacks
+	}
+	if telModes != modes.Total() {
+		t.Fatalf("telemetry commits %d != thread commits %d", telModes, modes.Total())
+	}
+	if telAttempts != attempts {
+		t.Fatalf("telemetry attempts %d != thread attempts %d", telAttempts, attempts)
+	}
+	if telFallbacks != fallbacks {
+		t.Fatalf("telemetry fallbacks %d != thread fallbacks %d", telFallbacks, fallbacks)
+	}
+	// Every attempt either committed in hardware or aborted.
+	hwCommits := telModes - telFallbacks
+	if telAttempts != hwCommits+telAborts {
+		t.Fatalf("attempts %d != hw commits %d + aborts %d", telAttempts, hwCommits, telAborts)
 	}
 }

@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"seer/internal/trace"
+)
+
+// Exporters for the interval timeline and the event log. All three are
+// deterministic: identical inputs produce byte-identical output, so
+// exports double as regression artifacts for same-seed runs.
+
+// CSVHeader returns the column layout of WriteCSV; exported so harness
+// exhibits can prefix it with their own key columns.
+func CSVHeader() []string {
+	cols := []string{"index", "start_cycle", "end_cycle", "commits"}
+	for _, m := range ModeNames {
+		cols = append(cols, "mode_"+m)
+	}
+	cols = append(cols, "attempts")
+	for _, c := range CauseNames {
+		cols = append(cols, "aborts_"+c)
+	}
+	return append(cols,
+		"fallbacks", "lock_wait_cycles",
+		"th1", "th2", "scheme_pairs",
+		"throughput_per_kcycle", "abort_rate")
+}
+
+// CSVRecord renders one snapshot in CSVHeader's column order.
+func CSVRecord(s Snapshot) []string {
+	rec := []string{
+		strconv.Itoa(s.Index),
+		strconv.FormatUint(s.StartCycle, 10),
+		strconv.FormatUint(s.EndCycle, 10),
+		strconv.FormatUint(s.Commits, 10),
+	}
+	for m := 0; m < NumModes; m++ {
+		rec = append(rec, strconv.FormatUint(s.Modes[m], 10))
+	}
+	rec = append(rec, strconv.FormatUint(s.Attempts, 10))
+	for c := 0; c < int(NumCauses); c++ {
+		rec = append(rec, strconv.FormatUint(s.Aborts[c], 10))
+	}
+	return append(rec,
+		strconv.FormatUint(s.Fallbacks, 10),
+		strconv.FormatUint(s.LockWait, 10),
+		fmt.Sprintf("%.6f", s.Th1),
+		fmt.Sprintf("%.6f", s.Th2),
+		strconv.Itoa(s.SchemePairs),
+		fmt.Sprintf("%.6f", s.Throughput()),
+		fmt.Sprintf("%.6f", s.AbortRate()),
+	)
+}
+
+// WriteCSV renders the timeline as CSV, one row per interval.
+func WriteCSV(w io.Writer, snaps []Snapshot) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader()); err != nil {
+		return err
+	}
+	for _, s := range snaps {
+		if err := cw.Write(CSVRecord(s)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSONL renders the timeline as JSON Lines, one snapshot per line.
+func WriteJSONL(w io.Writer, snaps []Snapshot) error {
+	enc := json.NewEncoder(w)
+	for _, s := range snaps {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// array flavour readable by chrome://tracing and Perfetto). Field order
+// is fixed by the struct, keeping the export deterministic.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace synthesizes a Chrome trace-event JSON document from
+// the retained event log: begin→commit/abort windows become duration
+// ("X") slices per hardware thread, fall-backs and lock operations become
+// instant events, threshold re-tunings become counter ("C") tracks, and
+// scheme recomputations become instants carrying the pair count. Virtual
+// cycles are mapped 1:1 onto the format's microsecond timestamps.
+func WriteChromeTrace(w io.Writer, events []trace.Event) error {
+	type openTx struct {
+		start uint64
+		tx    int16
+		live  bool
+	}
+	open := map[int16]*openTx{}
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		hw := int(e.HW)
+		switch e.Kind {
+		case trace.EvBegin:
+			open[e.HW] = &openTx{start: e.Cycle, tx: e.TxID, live: true}
+		case trace.EvCommit, trace.EvAbort:
+			name := fmt.Sprintf("tx%d", e.TxID)
+			args := map[string]any{"outcome": e.Kind.String()}
+			if e.Kind == trace.EvAbort {
+				args["status"] = fmt.Sprintf("%#x", e.Detail)
+			}
+			if o := open[e.HW]; o != nil && o.live && o.tx == e.TxID {
+				o.live = false
+				out = append(out, chromeEvent{
+					Name: name, Ph: "X", Ts: o.start, Dur: e.Cycle - o.start,
+					Pid: 0, Tid: hw, Args: args,
+				})
+			} else {
+				// The begin fell out of the ring buffer: keep the outcome
+				// as an instant so the tail of the log still renders.
+				out = append(out, chromeEvent{
+					Name: name, Ph: "i", Ts: e.Cycle, Pid: 0, Tid: hw, S: "t", Args: args,
+				})
+			}
+		case trace.EvFallback:
+			out = append(out, chromeEvent{
+				Name: "sgl-fallback", Ph: "i", Ts: e.Cycle, Pid: 0, Tid: hw, S: "t",
+				Args: map[string]any{"tx": e.TxID},
+			})
+		case trace.EvLockAcq, trace.EvLockRel:
+			name := "lock-release"
+			if e.Kind == trace.EvLockAcq {
+				name = "lock-acquire"
+			}
+			kind := "tx"
+			if e.Detail2 != 0 {
+				kind = "core"
+			}
+			out = append(out, chromeEvent{
+				Name: name, Ph: "i", Ts: e.Cycle, Pid: 0, Tid: hw, S: "t",
+				Args: map[string]any{"lock": e.Detail, "kind": kind},
+			})
+		case trace.EvWait:
+			out = append(out, chromeEvent{
+				Name: "wait", Ph: "i", Ts: e.Cycle, Pid: 0, Tid: hw, S: "t",
+				Args: map[string]any{"tx": e.TxID},
+			})
+		case trace.EvScheme:
+			out = append(out, chromeEvent{
+				Name: "scheme-update", Ph: "i", Ts: e.Cycle, Pid: 0, Tid: hw, S: "p",
+				Args: map[string]any{"pairs": e.Detail},
+			})
+		case trace.EvTune:
+			out = append(out, chromeEvent{
+				Name: "thresholds", Ph: "C", Ts: e.Cycle, Pid: 0, Tid: hw,
+				Args: map[string]any{
+					"th1": float64(math.Float32frombits(e.Detail)),
+					"th2": float64(math.Float32frombits(e.Detail2)),
+				},
+			})
+		default:
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Ph: "i", Ts: e.Cycle, Pid: 0, Tid: hw, S: "t",
+			})
+		}
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: out, DisplayTimeUnit: "ns"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,289 @@
+// Package telemetry provides the runtime's interval-metrics layer: a
+// per-thread-sharded, single-writer set of counters that the machine's
+// tick loop samples on a fixed virtual-time interval. Because sampling is
+// driven by the deterministic simulator clock, the resulting timeline is
+// bit-for-bit reproducible for a fixed seed, which makes it usable both
+// for observing a live run (seerstat -timeline) and for regression-testing
+// scheduler dynamics.
+//
+// The layer is built so that disabling it costs nothing on the hot path:
+// every mutator is a method on a possibly-nil *Shard (one predictable
+// branch, no allocation), mirroring the trace.Log convention.
+package telemetry
+
+// Commit-mode slots mirrored from internal/policy. telemetry sits below
+// policy in the import graph, so the indices are declared here and policy
+// asserts (in its tests) that they line up with its Mode enum.
+const (
+	ModeHTM = iota
+	ModeHTMAux
+	ModeHTMTx
+	ModeHTMCore
+	ModeHTMTxCore
+	ModeSGL
+	NumModes
+	// MaxModes fixes the array size so adding a mode is a compile-time
+	// event here rather than a silent truncation.
+	MaxModes = 8
+)
+
+// ModeNames are the CSV/JSONL column names per mode slot.
+var ModeNames = [NumModes]string{"htm", "htm_aux", "htm_tx", "htm_core", "htm_tx_core", "sgl"}
+
+// Cause classifies hardware aborts for the per-interval breakdown,
+// mirroring the priority order of htm's counter accounting.
+type Cause int
+
+// Abort causes.
+const (
+	CauseConflict Cause = iota
+	CauseCapacity
+	CauseExplicit
+	CauseSpurious
+	CauseOther
+	NumCauses
+)
+
+// CauseNames are the CSV/JSONL column names per abort cause.
+var CauseNames = [NumCauses]string{"conflict", "capacity", "explicit", "spurious", "other"}
+
+// Shard is one hardware thread's counter block. Exactly one thread writes
+// it (the engine serializes execution), and the recorder reads all shards
+// only at scheduling points, so no synchronization is needed. A nil *Shard
+// is a valid, disabled shard: every mutator is a no-op.
+type Shard struct {
+	Modes     [MaxModes]uint64
+	Attempts  uint64
+	Aborts    [NumCauses]uint64
+	Fallbacks uint64
+	LockWait  uint64 // cycles spent spinning on locks (SGL, tx, core)
+}
+
+// IncMode counts a commit in mode slot m.
+func (s *Shard) IncMode(m int) {
+	if s == nil {
+		return
+	}
+	s.Modes[m]++
+}
+
+// IncAttempt counts an issued hardware transaction.
+func (s *Shard) IncAttempt() {
+	if s == nil {
+		return
+	}
+	s.Attempts++
+}
+
+// IncAbort counts a hardware abort by cause.
+func (s *Shard) IncAbort(c Cause) {
+	if s == nil {
+		return
+	}
+	s.Aborts[c]++
+}
+
+// IncFallback counts a single-global-lock acquisition.
+func (s *Shard) IncFallback() {
+	if s == nil {
+		return
+	}
+	s.Fallbacks++
+}
+
+// AddLockWait adds cycles spent waiting on locks.
+func (s *Shard) AddLockWait(cycles uint64) {
+	if s == nil {
+		return
+	}
+	s.LockWait += cycles
+}
+
+// Snapshot is the aggregate over one sampling interval, plus the
+// scheduler's control state at the interval boundary.
+type Snapshot struct {
+	Index      int    `json:"index"`
+	StartCycle uint64 `json:"start_cycle"`
+	EndCycle   uint64 `json:"end_cycle"`
+
+	Commits   uint64            `json:"commits"`
+	Modes     [MaxModes]uint64  `json:"modes"`
+	Attempts  uint64            `json:"attempts"`
+	Aborts    [NumCauses]uint64 `json:"aborts"`
+	Fallbacks uint64            `json:"fallbacks"`
+	LockWait  uint64            `json:"lock_wait_cycles"`
+
+	// Scheduler state sampled at EndCycle (zero unless a probe is set,
+	// i.e. for non-Seer policies).
+	Th1         float64 `json:"th1"`
+	Th2         float64 `json:"th2"`
+	SchemePairs int     `json:"scheme_pairs"`
+}
+
+// Cycles returns the interval's length in virtual cycles.
+func (s Snapshot) Cycles() uint64 { return s.EndCycle - s.StartCycle }
+
+// Throughput returns commits per 1000 virtual cycles in the interval.
+func (s Snapshot) Throughput() float64 {
+	if s.EndCycle == s.StartCycle {
+		return 0
+	}
+	return 1000 * float64(s.Commits) / float64(s.Cycles())
+}
+
+// AbortRate returns hardware aborts per issued hardware transaction in
+// the interval.
+func (s Snapshot) AbortRate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	var aborts uint64
+	for _, a := range s.Aborts {
+		aborts += a
+	}
+	return float64(aborts) / float64(s.Attempts)
+}
+
+// totals is the cumulative sum over shards, used to diff intervals.
+type totals struct {
+	modes     [MaxModes]uint64
+	attempts  uint64
+	aborts    [NumCauses]uint64
+	fallbacks uint64
+	lockWait  uint64
+}
+
+// Probe supplies the scheduler's control state at snapshot time:
+// the current thresholds and the locking scheme's pair count.
+type Probe func() (th1, th2 float64, schemePairs int)
+
+// Recorder owns the shards and cuts snapshots at interval boundaries. A
+// nil *Recorder is a valid, disabled recorder.
+type Recorder struct {
+	interval uint64
+	shards   []Shard
+	probe    Probe
+
+	snaps []Snapshot
+	prev  totals
+	start uint64 // start cycle of the interval being accumulated
+}
+
+// New creates a recorder cutting a snapshot every interval cycles for a
+// machine with threads hardware threads. interval must be positive.
+func New(interval uint64, threads int) *Recorder {
+	if interval == 0 {
+		panic("telemetry: interval must be positive (0 means disabled: use a nil Recorder)")
+	}
+	return &Recorder{interval: interval, shards: make([]Shard, threads)}
+}
+
+// Interval returns the sampling interval in cycles (0 on a nil recorder).
+func (r *Recorder) Interval() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.interval
+}
+
+// Shard returns hardware thread hw's counter block (nil on a nil
+// recorder, yielding disabled no-op shards downstream).
+func (r *Recorder) Shard(hw int) *Shard {
+	if r == nil {
+		return nil
+	}
+	return &r.shards[hw]
+}
+
+// SetProbe installs the scheduler-state probe.
+func (r *Recorder) SetProbe(p Probe) {
+	if r == nil {
+		return
+	}
+	r.probe = p
+}
+
+// BeginRun rewinds the interval origin to cycle 0. The engine resets the
+// virtual clocks at the start of every Run; cumulative counters carry
+// over, so interval diffs stay correct across repeated runs.
+func (r *Recorder) BeginRun() {
+	if r == nil {
+		return
+	}
+	r.start = 0
+}
+
+// OnTick is the engine's tick hook: now is the global virtual time (the
+// minimum clock over runnable threads, which is non-decreasing within a
+// run). It cuts one snapshot per fully elapsed interval.
+func (r *Recorder) OnTick(now uint64) {
+	if r == nil {
+		return
+	}
+	for now >= r.start+r.interval {
+		r.emit(r.start + r.interval)
+	}
+}
+
+// Flush closes the timeline at end (the run's makespan): it cuts any
+// fully elapsed intervals and then a trailing partial interval. A run
+// shorter than one interval therefore still yields one snapshot.
+func (r *Recorder) Flush(end uint64) {
+	if r == nil {
+		return
+	}
+	r.OnTick(end)
+	if end > r.start || len(r.snaps) == 0 {
+		r.emit(end)
+	}
+}
+
+// emit cuts the snapshot [r.start, end).
+func (r *Recorder) emit(end uint64) {
+	cur := r.sum()
+	snap := Snapshot{Index: len(r.snaps), StartCycle: r.start, EndCycle: end}
+	for i := range cur.modes {
+		snap.Modes[i] = cur.modes[i] - r.prev.modes[i]
+		snap.Commits += snap.Modes[i]
+	}
+	for i := range cur.aborts {
+		snap.Aborts[i] = cur.aborts[i] - r.prev.aborts[i]
+	}
+	snap.Attempts = cur.attempts - r.prev.attempts
+	snap.Fallbacks = cur.fallbacks - r.prev.fallbacks
+	snap.LockWait = cur.lockWait - r.prev.lockWait
+	if r.probe != nil {
+		snap.Th1, snap.Th2, snap.SchemePairs = r.probe()
+	}
+	r.snaps = append(r.snaps, snap)
+	r.prev = cur
+	r.start = end
+}
+
+// sum folds all shards into cumulative totals.
+func (r *Recorder) sum() totals {
+	var t totals
+	for i := range r.shards {
+		s := &r.shards[i]
+		for m := range s.Modes {
+			t.modes[m] += s.Modes[m]
+		}
+		for c := range s.Aborts {
+			t.aborts[c] += s.Aborts[c]
+		}
+		t.attempts += s.Attempts
+		t.fallbacks += s.Fallbacks
+		t.lockWait += s.LockWait
+	}
+	return t
+}
+
+// Snapshots returns a copy of the recorded timeline.
+func (r *Recorder) Snapshots() []Snapshot {
+	if r == nil {
+		return nil
+	}
+	out := make([]Snapshot, len(r.snaps))
+	copy(out, r.snaps)
+	return out
+}

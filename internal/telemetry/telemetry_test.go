@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderAndShardAreNoOps(t *testing.T) {
+	var r *Recorder
+	if r.Interval() != 0 || r.Shard(3) != nil || r.Snapshots() != nil {
+		t.Fatalf("nil recorder leaked state")
+	}
+	r.SetProbe(func() (float64, float64, int) { return 1, 2, 3 })
+	r.BeginRun()
+	r.OnTick(1 << 20)
+	r.Flush(1 << 20)
+
+	var s *Shard
+	s.IncMode(ModeSGL)
+	s.IncAttempt()
+	s.IncAbort(CauseConflict)
+	s.IncFallback()
+	s.AddLockWait(10)
+}
+
+func TestNilShardZeroAllocs(t *testing.T) {
+	var s *Shard
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.IncMode(ModeHTM)
+		s.IncAttempt()
+		s.IncAbort(CauseCapacity)
+		s.IncFallback()
+		s.AddLockWait(7)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil shard allocated %.1f per op, want 0", allocs)
+	}
+}
+
+func TestZeroIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("New(0, ...) did not panic")
+		}
+	}()
+	New(0, 4)
+}
+
+func TestIntervalBoundaries(t *testing.T) {
+	r := New(100, 2)
+	r.BeginRun()
+	r.Shard(0).IncMode(ModeHTM)
+	r.OnTick(50) // inside first interval: no snapshot yet
+	if got := len(r.Snapshots()); got != 0 {
+		t.Fatalf("early snapshot: %d", got)
+	}
+	r.Shard(1).IncMode(ModeHTM)
+	r.OnTick(100) // boundary reached
+	snaps := r.Snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %d, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.StartCycle != 0 || s.EndCycle != 100 || s.Commits != 2 || s.Modes[ModeHTM] != 2 {
+		t.Fatalf("bad first snapshot: %+v", s)
+	}
+}
+
+// TestMultiIntervalSkip: one tick jumping several intervals ahead must
+// cut one snapshot per elapsed interval, not one total.
+func TestMultiIntervalSkip(t *testing.T) {
+	r := New(10, 1)
+	r.BeginRun()
+	r.Shard(0).IncAttempt()
+	r.OnTick(35)
+	snaps := r.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("snapshots = %d, want 3", len(snaps))
+	}
+	for i, s := range snaps {
+		if s.Index != i || s.StartCycle != uint64(i*10) || s.EndCycle != uint64((i+1)*10) {
+			t.Fatalf("snapshot %d boundaries wrong: %+v", i, s)
+		}
+	}
+	// All activity lands in the first interval; the skipped ones are empty.
+	if snaps[0].Attempts != 1 || snaps[1].Attempts != 0 || snaps[2].Attempts != 0 {
+		t.Fatalf("attempts misattributed: %+v", snaps)
+	}
+}
+
+func TestFlushShortRun(t *testing.T) {
+	r := New(1000, 1)
+	r.BeginRun()
+	r.Shard(0).IncMode(ModeSGL)
+	r.Flush(42) // run far shorter than one interval
+	snaps := r.Snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %d, want 1", len(snaps))
+	}
+	if s := snaps[0]; s.StartCycle != 0 || s.EndCycle != 42 || s.Commits != 1 {
+		t.Fatalf("bad trailing snapshot: %+v", s)
+	}
+	// Flushing again at the same cycle must not duplicate the snapshot.
+	r.Flush(42)
+	if got := len(r.Snapshots()); got != 1 {
+		t.Fatalf("re-flush duplicated: %d", got)
+	}
+}
+
+func TestFlushPartialTail(t *testing.T) {
+	r := New(100, 1)
+	r.BeginRun()
+	r.Flush(250) // 2 full intervals + partial [200,250)
+	snaps := r.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("snapshots = %d, want 3", len(snaps))
+	}
+	last := snaps[2]
+	if last.StartCycle != 200 || last.EndCycle != 250 || last.Cycles() != 50 {
+		t.Fatalf("partial tail wrong: %+v", last)
+	}
+}
+
+func TestProbeSampledPerSnapshot(t *testing.T) {
+	r := New(10, 1)
+	calls := 0
+	r.SetProbe(func() (float64, float64, int) {
+		calls++
+		return float64(calls), 2 * float64(calls), calls
+	})
+	r.BeginRun()
+	r.OnTick(20)
+	snaps := r.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(snaps))
+	}
+	if snaps[0].Th1 != 1 || snaps[1].Th1 != 2 || snaps[1].Th2 != 4 || snaps[1].SchemePairs != 2 {
+		t.Fatalf("probe values wrong: %+v", snaps)
+	}
+}
+
+// TestBeginRunAcrossRuns: the engine clock resets per run while counters
+// accumulate; interval diffs must stay correct across the rewind.
+func TestBeginRunAcrossRuns(t *testing.T) {
+	r := New(100, 1)
+	r.BeginRun()
+	r.Shard(0).IncMode(ModeHTM)
+	r.Flush(100)
+	r.BeginRun() // clock rewinds to 0 for run 2
+	r.Shard(0).IncMode(ModeHTM)
+	r.Shard(0).IncMode(ModeHTM)
+	r.Flush(100)
+	snaps := r.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(snaps))
+	}
+	if snaps[0].Commits != 1 || snaps[1].Commits != 2 {
+		t.Fatalf("cross-run diffs wrong: %+v", snaps)
+	}
+	if snaps[1].StartCycle != 0 {
+		t.Fatalf("BeginRun did not rewind: %+v", snaps[1])
+	}
+}
+
+func TestCSVHeaderMatchesRecord(t *testing.T) {
+	h := CSVHeader()
+	rec := CSVRecord(Snapshot{})
+	if len(h) != len(rec) {
+		t.Fatalf("header has %d columns, record has %d", len(h), len(rec))
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []Snapshot{{Index: 0, EndCycle: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d, want 2", len(lines))
+	}
+}

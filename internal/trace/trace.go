@@ -9,6 +9,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -56,17 +57,22 @@ func (k Kind) String() string {
 
 // Event is one timeline entry.
 type Event struct {
-	Cycle  uint64 // virtual time
-	HW     int8   // hardware thread
-	Kind   Kind
-	TxID   int16  // atomic block (-1 when not applicable)
-	Detail uint32 // kind-specific payload (abort status, lock id, ...)
+	Cycle   uint64 // virtual time
+	HW      int16  // hardware thread
+	Kind    Kind
+	TxID    int16  // atomic block (-1 when not applicable)
+	Detail  uint32 // kind-specific payload (abort status, lock id, ...)
+	Detail2 uint32 // second payload (EvTune carries Θ₂ here as float32 bits)
 }
 
 // String renders an event as one log line.
 func (e Event) String() string {
-	return fmt.Sprintf("%10d t%-2d %-8s tx=%-3d detail=%#x",
+	s := fmt.Sprintf("%10d t%-2d %-8s tx=%-3d detail=%#x",
 		e.Cycle, e.HW, e.Kind, e.TxID, e.Detail)
+	if e.Detail2 != 0 {
+		s += fmt.Sprintf(" detail2=%#x", e.Detail2)
+	}
+	return s
 }
 
 // Log is a bounded ring buffer of events. A nil *Log is a valid,
@@ -106,7 +112,16 @@ func (l *Log) Record(cycle uint64, hw int, kind Kind, txID int, detail uint32) {
 	if l == nil {
 		return
 	}
-	l.Add(Event{Cycle: cycle, HW: int8(hw), Kind: kind, TxID: int16(txID), Detail: detail})
+	l.Add(Event{Cycle: cycle, HW: int16(hw), Kind: kind, TxID: int16(txID), Detail: detail})
+}
+
+// Record2 is Record with both payload fields (EvTune carries Θ₁/Θ₂ as
+// float32 bits in Detail/Detail2).
+func (l *Log) Record2(cycle uint64, hw int, kind Kind, txID int, detail, detail2 uint32) {
+	if l == nil {
+		return
+	}
+	l.Add(Event{Cycle: cycle, HW: int16(hw), Kind: kind, TxID: int16(txID), Detail: detail, Detail2: detail2})
 }
 
 // Total returns the number of events ever recorded (including evicted).
@@ -153,14 +168,63 @@ func (l *Log) Summary() map[Kind]int {
 	return out
 }
 
-// FormatSummary renders Summary in a stable order.
+// FormatSummary renders Summary in a stable order (ascending kind). It
+// iterates over the kinds actually retained rather than a hard-coded
+// range, so events of kinds added in the future are never dropped.
 func (l *Log) FormatSummary() string {
 	s := l.Summary()
+	kinds := make([]Kind, 0, len(s))
+	for k := range s {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
 	var b strings.Builder
-	for k := EvBegin; k <= EvTune; k++ {
-		if n := s[k]; n > 0 {
-			fmt.Fprintf(&b, "%s=%d ", k, n)
-		}
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%s=%d ", k, s[k])
 	}
 	return strings.TrimSpace(b.String())
+}
+
+// knownKinds lists every defined kind, for name-based lookups.
+var knownKinds = []Kind{
+	EvBegin, EvCommit, EvAbort, EvFallback,
+	EvLockAcq, EvLockRel, EvWait, EvScheme, EvTune,
+}
+
+// ParseKinds parses a comma-separated list of kind mnemonics (as printed
+// by Kind.String, e.g. "abort,lock+") into a Dump filter set. An empty
+// spec returns nil (no filtering).
+func ParseKinds(spec string) (map[Kind]bool, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	byName := make(map[string]Kind, len(knownKinds))
+	for _, k := range knownKinds {
+		byName[k.String()] = k
+	}
+	out := map[Kind]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		k, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("trace: unknown event kind %q (known: %s)", name, kindNames())
+		}
+		out[k] = true
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// kindNames renders the known mnemonics for error messages.
+func kindNames() string {
+	names := make([]string, len(knownKinds))
+	for i, k := range knownKinds {
+		names[i] = k.String()
+	}
+	return strings.Join(names, ",")
 }

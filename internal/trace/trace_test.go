@@ -109,3 +109,69 @@ func TestQuickRingInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFutureKindRetained: Summary and FormatSummary must count kinds that
+// do not exist yet (added by later versions) instead of dropping them.
+func TestFutureKindRetained(t *testing.T) {
+	l := New(8)
+	future := Kind(99)
+	l.Record(1, 0, EvBegin, 0, 0)
+	l.Add(Event{Cycle: 2, Kind: future})
+	s := l.Summary()
+	if s[future] != 1 {
+		t.Fatalf("future kind dropped from Summary: %v", s)
+	}
+	fs := l.FormatSummary()
+	if !strings.Contains(fs, "kind(99)=1") {
+		t.Fatalf("future kind missing from FormatSummary: %q", fs)
+	}
+	// Stable order: known kinds sort before the future one.
+	if strings.Index(fs, "begin=1") > strings.Index(fs, "kind(99)=1") {
+		t.Fatalf("FormatSummary order unstable: %q", fs)
+	}
+}
+
+func TestRecord2Detail2(t *testing.T) {
+	l := New(4)
+	l.Record2(7, 1, EvTune, -1, 0xAAAA, 0xBBBB)
+	evs := l.Events()
+	if len(evs) != 1 || evs[0].Detail != 0xAAAA || evs[0].Detail2 != 0xBBBB {
+		t.Fatalf("Record2 round-trip failed: %+v", evs)
+	}
+	if !strings.Contains(evs[0].String(), "detail2=0xbbbb") {
+		t.Fatalf("String omits detail2: %q", evs[0].String())
+	}
+	l.Record(8, 1, EvCommit, 0, 0)
+	if s := l.Events()[1].String(); strings.Contains(s, "detail2") {
+		t.Fatalf("String shows zero detail2: %q", s)
+	}
+}
+
+// TestWideHWThreadIDs: HW is int16, so hardware thread ids beyond int8's
+// range must survive the Record fast path.
+func TestWideHWThreadIDs(t *testing.T) {
+	l := New(2)
+	l.Record(1, 300, EvBegin, 0, 0)
+	if hw := l.Events()[0].HW; hw != 300 {
+		t.Fatalf("HW = %d, want 300", hw)
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	m, err := ParseKinds("abort, lock+,tune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || !m[EvAbort] || !m[EvLockAcq] || !m[EvTune] {
+		t.Fatalf("ParseKinds = %v", m)
+	}
+	if m, err := ParseKinds(""); err != nil || m != nil {
+		t.Fatalf("empty spec: %v, %v", m, err)
+	}
+	if m, err := ParseKinds(" , "); err != nil || m != nil {
+		t.Fatalf("blank spec: %v, %v", m, err)
+	}
+	if _, err := ParseKinds("abort,bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown kind accepted: %v", err)
+	}
+}

@@ -2,10 +2,12 @@ package seer
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
 	"seer/internal/policy"
+	"seer/internal/telemetry"
 	"seer/internal/tune"
 )
 
@@ -28,6 +30,11 @@ type Report struct {
 
 	// Seer holds scheduler internals when the Seer policy ran.
 	Seer *SeerReport
+
+	// Timeline is the interval-metrics series cut by the telemetry
+	// recorder (nil unless Config.MetricsInterval > 0). Snapshots from
+	// repeated Runs on one System accumulate.
+	Timeline []Snapshot
 }
 
 // SeerReport captures the scheduler state at the end of a run.
@@ -100,6 +107,26 @@ func (r Report) String() string {
 	return b.String()
 }
 
+// WriteTimelineCSV renders Report.Timeline as CSV, one row per interval.
+func (r Report) WriteTimelineCSV(w io.Writer) error {
+	return telemetry.WriteCSV(w, r.Timeline)
+}
+
+// WriteTimelineJSONL renders Report.Timeline as JSON Lines.
+func (r Report) WriteTimelineJSONL(w io.Writer) error {
+	return telemetry.WriteJSONL(w, r.Timeline)
+}
+
+// WriteChromeTrace synthesizes a Chrome trace-event JSON document
+// (loadable in chrome://tracing or Perfetto) from the system's retained
+// event log. It requires Config.TraceEvents > 0.
+func (s *System) WriteChromeTrace(w io.Writer) error {
+	if s.trc == nil {
+		return fmt.Errorf("seer: tracing disabled (set Config.TraceEvents)")
+	}
+	return telemetry.WriteChromeTrace(w, s.trc.Events())
+}
+
 // buildReport assembles the Report after a run.
 func (s *System) buildReport(makespan uint64, threads []*policy.Thread) Report {
 	r := Report{
@@ -133,6 +160,10 @@ func (s *System) buildReport(makespan uint64, threads []*policy.Thread) Report {
 			sr.LockFracMedian = float64(median) / float64(s.sched.NumTx())
 		}
 		r.Seer = sr
+	}
+	if s.tel != nil {
+		s.tel.Flush(makespan)
+		r.Timeline = s.tel.Snapshots()
 	}
 	return r
 }

@@ -41,6 +41,7 @@ import (
 	"seer/internal/mem"
 	"seer/internal/policy"
 	"seer/internal/spinlock"
+	"seer/internal/telemetry"
 	"seer/internal/trace"
 )
 
@@ -67,6 +68,12 @@ type (
 	Mode = policy.Mode
 	// ModeCounts is a histogram over commit modes.
 	ModeCounts = policy.ModeCounts
+	// Snapshot is one interval of the telemetry timeline
+	// (Report.Timeline; enabled by Config.MetricsInterval).
+	Snapshot = telemetry.Snapshot
+	// TraceEvent is one entry of the bounded runtime event log
+	// (enabled by Config.TraceEvents).
+	TraceEvent = trace.Event
 )
 
 // NilAddr is the null simulated-memory address.
@@ -151,6 +158,14 @@ type Config struct {
 	// recent N runtime events (begins, commits, aborts, fall-backs).
 	// 0 disables tracing.
 	TraceEvents int
+	// MetricsInterval enables the telemetry timeline: every
+	// MetricsInterval virtual cycles, the runtime cuts a snapshot of
+	// per-interval throughput, abort mix, commit modes, lock waits and
+	// the scheduler's Θ/locking-scheme state into Report.Timeline.
+	// Sampling is driven by the deterministic virtual clock, so the
+	// timeline is reproducible for a fixed seed. 0 disables it at zero
+	// hot-path cost.
+	MetricsInterval uint64
 }
 
 // DefaultConfig mirrors the paper's testbed: 8 hardware threads on 4
@@ -185,6 +200,7 @@ type System struct {
 	sched *core.Seer // nil unless the policy is Seer
 	pol   policy.Policy
 	trc   *trace.Log
+	tel   *telemetry.Recorder // nil unless Config.MetricsInterval > 0
 }
 
 // NewSystem builds a system from cfg. The returned system is single-use
@@ -255,6 +271,19 @@ func NewSystem(cfg Config) (*System, error) {
 	default:
 		return nil, fmt.Errorf("seer: unknown policy %q", cfg.Policy)
 	}
+	if s.sched != nil {
+		s.sched.SetTrace(s.trc)
+	}
+	if cfg.MetricsInterval > 0 {
+		s.tel = telemetry.New(cfg.MetricsInterval, hw)
+		if sched := s.sched; sched != nil {
+			s.tel.SetProbe(func() (float64, float64, int) {
+				th := sched.Thresholds()
+				return th.Th1, th.Th2, sched.SchemePairs()
+			})
+		}
+		s.eng.SetTickHook(s.tel.OnTick)
+	}
 	return s, nil
 }
 
@@ -270,6 +299,15 @@ func (s *System) Scheduler() *core.Seer { return s.sched }
 
 // Trace returns the event log (nil unless Config.TraceEvents > 0).
 func (s *System) Trace() *trace.Log { return s.trc }
+
+// Telemetry returns the interval-metrics recorder (nil unless
+// Config.MetricsInterval > 0). The recorder accumulates across repeated
+// Runs; Report.Timeline carries the snapshots cut so far.
+func (s *System) Telemetry() *telemetry.Recorder { return s.tel }
+
+// TraceEvents returns the retained runtime events in chronological order
+// (nil unless Config.TraceEvents > 0).
+func (s *System) TraceEvents() []TraceEvent { return s.trc.Events() }
 
 // Alloc reserves n words of simulated memory.
 func (s *System) Alloc(n int) Addr { return s.mem.Alloc(n) }
@@ -311,6 +349,7 @@ func (s *System) Run(workers []Worker) (Report, error) {
 		bodies[i] = func(ctx *machine.Ctx) {
 			pt := policy.NewThread(ctx, s.mem, s.htm)
 			pt.Trace = s.trc
+			pt.Tel = s.tel.Shard(ctx.ID())
 			if s.sched != nil {
 				pt.Seer = s.sched.NewThreadState(ctx)
 			}
@@ -318,6 +357,7 @@ func (s *System) Run(workers []Worker) (Report, error) {
 			worker(&Thread{sys: s, pt: pt})
 		}
 	}
+	s.tel.BeginRun()
 	makespan, err := s.eng.Run(bodies)
 	if err != nil {
 		return Report{}, err

@@ -1,0 +1,237 @@
+package seer_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"seer"
+)
+
+// buildTimelineSystem constructs a contended counter workload with
+// interval metrics (and optionally tracing) enabled.
+func buildTimelineSystem(t *testing.T, pol seer.PolicyKind, interval uint64, traceN int) (*seer.System, []seer.Worker) {
+	t.Helper()
+	cfg := seer.DefaultConfig()
+	cfg.Policy = pol
+	cfg.Threads = 4
+	cfg.PhysCores = 2
+	cfg.NumAtomicBlocks = 1
+	cfg.MemWords = 1 << 14
+	cfg.MaxCycles = 1 << 32
+	cfg.MetricsInterval = interval
+	cfg.TraceEvents = traceN
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	counter := sys.AllocAligned(1)
+	workers := make([]seer.Worker, cfg.Threads)
+	for i := range workers {
+		workers[i] = func(th *seer.Thread) {
+			for n := 0; n < 300; n++ {
+				th.Atomic(0, func(a seer.Access) {
+					a.Store(counter, a.Load(counter)+1)
+					a.Work(10)
+				})
+				th.Work(5)
+			}
+		}
+	}
+	return sys, workers
+}
+
+// TestTimelineInvariants: with MetricsInterval set, the Timeline is
+// non-empty, contiguous, closed at the makespan, and its commit total
+// matches the report's.
+func TestTimelineInvariants(t *testing.T) {
+	sys, workers := buildTimelineSystem(t, seer.PolicySeer, 2048, 0)
+	rep, err := sys.Run(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Timeline) == 0 {
+		t.Fatalf("Timeline empty with MetricsInterval set")
+	}
+	var commits uint64
+	for i, s := range rep.Timeline {
+		if s.Index != i {
+			t.Fatalf("snapshot %d has index %d", i, s.Index)
+		}
+		if i > 0 && s.StartCycle != rep.Timeline[i-1].EndCycle {
+			t.Fatalf("gap between snapshots %d and %d", i-1, i)
+		}
+		commits += s.Commits
+	}
+	if first := rep.Timeline[0]; first.StartCycle != 0 {
+		t.Fatalf("timeline starts at %d, want 0", first.StartCycle)
+	}
+	if last := rep.Timeline[len(rep.Timeline)-1]; last.EndCycle != rep.MakespanCycles {
+		t.Fatalf("timeline ends at %d, makespan is %d", last.EndCycle, rep.MakespanCycles)
+	}
+	if commits != rep.Commits() {
+		t.Fatalf("timeline commits %d != report commits %d", commits, rep.Commits())
+	}
+	// Under Seer the probe must report live thresholds.
+	for _, s := range rep.Timeline {
+		if s.Th1 == 0 || s.Th2 == 0 {
+			t.Fatalf("Seer snapshot missing threshold probe: %+v", s)
+		}
+	}
+	if sys.Telemetry() == nil {
+		t.Fatalf("Telemetry() nil with MetricsInterval set")
+	}
+}
+
+// TestTimelineShortRun: a run far shorter than the interval still yields
+// exactly one (partial) snapshot.
+func TestTimelineShortRun(t *testing.T) {
+	sys, workers := buildTimelineSystem(t, seer.PolicyRTM, 1<<40, 0)
+	rep, err := sys.Run(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Timeline) != 1 {
+		t.Fatalf("snapshots = %d, want 1", len(rep.Timeline))
+	}
+	s := rep.Timeline[0]
+	if s.StartCycle != 0 || s.EndCycle != rep.MakespanCycles || s.Commits != rep.Commits() {
+		t.Fatalf("partial snapshot wrong: %+v (makespan %d)", s, rep.MakespanCycles)
+	}
+}
+
+// TestTimelineDisabled: MetricsInterval 0 must leave the telemetry layer
+// entirely absent.
+func TestTimelineDisabled(t *testing.T) {
+	sys, workers := buildTimelineSystem(t, seer.PolicyRTM, 0, 0)
+	rep, err := sys.Run(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Timeline != nil {
+		t.Fatalf("Timeline non-nil with metrics disabled")
+	}
+	if sys.Telemetry() != nil {
+		t.Fatalf("Telemetry() non-nil with metrics disabled")
+	}
+}
+
+// TestTimelineExportsDeterministic: two same-seed runs must export
+// byte-identical CSV, JSONL and Chrome trace documents.
+func TestTimelineExportsDeterministic(t *testing.T) {
+	exports := func() (csv, jsonl, chrome string) {
+		sys, workers := buildTimelineSystem(t, seer.PolicySeer, 2048, 4096)
+		rep, err := sys.Run(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b1, b2, b3 bytes.Buffer
+		if err := rep.WriteTimelineCSV(&b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteTimelineJSONL(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.WriteChromeTrace(&b3); err != nil {
+			t.Fatal(err)
+		}
+		return b1.String(), b2.String(), b3.String()
+	}
+	csv1, jsonl1, chrome1 := exports()
+	csv2, jsonl2, chrome2 := exports()
+	if csv1 != csv2 {
+		t.Fatalf("CSV export not deterministic")
+	}
+	if jsonl1 != jsonl2 {
+		t.Fatalf("JSONL export not deterministic")
+	}
+	if chrome1 != chrome2 {
+		t.Fatalf("Chrome trace export not deterministic")
+	}
+	if lines := strings.Count(csv1, "\n"); lines < 2 {
+		t.Fatalf("CSV export trivially small: %d lines", lines)
+	}
+	if !strings.Contains(chrome1, `"traceEvents"`) || !strings.Contains(chrome1, `"ph":"X"`) {
+		t.Fatalf("Chrome trace missing duration events:\n%.300s", chrome1)
+	}
+}
+
+// TestChromeTraceRequiresTracing: synthesizing a Chrome trace without an
+// event log is an error, not silence.
+func TestChromeTraceRequiresTracing(t *testing.T) {
+	sys, workers := buildTimelineSystem(t, seer.PolicyRTM, 0, 0)
+	if _, err := sys.Run(workers); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := sys.WriteChromeTrace(&b); err == nil {
+		t.Fatalf("WriteChromeTrace succeeded without tracing")
+	}
+}
+
+// TestTraceEventsAccessor: the public TraceEvents accessor mirrors the
+// retained event log.
+func TestTraceEventsAccessor(t *testing.T) {
+	sys, workers := buildTimelineSystem(t, seer.PolicyRTM, 0, 256)
+	if _, err := sys.Run(workers); err != nil {
+		t.Fatal(err)
+	}
+	evs := sys.TraceEvents()
+	if len(evs) == 0 {
+		t.Fatalf("TraceEvents empty with tracing enabled")
+	}
+	sysOff, workersOff := buildTimelineSystem(t, seer.PolicyRTM, 0, 0)
+	if _, err := sysOff.Run(workersOff); err != nil {
+		t.Fatal(err)
+	}
+	if sysOff.TraceEvents() != nil {
+		t.Fatalf("TraceEvents non-nil with tracing disabled")
+	}
+}
+
+// BenchmarkMetricsOverhead compares a run with telemetry disabled against
+// one with interval metrics enabled. The disabled case must add no
+// allocations on the hot path (the nil-shard no-op convention).
+func BenchmarkMetricsOverhead(b *testing.B) {
+	for _, bc := range []struct {
+		name     string
+		interval uint64
+	}{
+		{"disabled", 0},
+		{"interval4k", 4096},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := seer.DefaultConfig()
+				cfg.Policy = seer.PolicyRTM
+				cfg.Threads = 4
+				cfg.PhysCores = 2
+				cfg.NumAtomicBlocks = 1
+				cfg.MemWords = 1 << 14
+				cfg.MaxCycles = 1 << 32
+				cfg.MetricsInterval = bc.interval
+				sys, err := seer.NewSystem(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				counter := sys.AllocAligned(1)
+				workers := make([]seer.Worker, cfg.Threads)
+				for w := range workers {
+					workers[w] = func(th *seer.Thread) {
+						for n := 0; n < 200; n++ {
+							th.Atomic(0, func(a seer.Access) {
+								a.Store(counter, a.Load(counter)+1)
+								a.Work(10)
+							})
+							th.Work(5)
+						}
+					}
+				}
+				if _, err := sys.Run(workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
