@@ -11,18 +11,46 @@
 //	-runs n      repetitions per cell (default 3)
 //	-seed n      base seed (default 1)
 //	-workloads s comma-separated subset (default: the full STAMP suite)
+//	-parallel n  run n grid cells concurrently (-1 = one per CPU; output
+//	             is byte-identical to a sequential run at any width)
+//	-bench-json f write executor timing/throughput stats to f as JSON
 //	-v           stream per-cell progress to stderr
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"seer/internal/harness"
 )
+
+// benchExperiment is the per-experiment slice of the -bench-json report.
+type benchExperiment struct {
+	Name      string  `json:"name"`
+	WallMS    float64 `json:"wall_ms"`
+	Cells     int64   `json:"cells"`
+	Runs      int64   `json:"runs"`
+	SimCycles uint64  `json:"sim_cycles"`
+	CellsPerS float64 `json:"cells_per_sec"`
+}
+
+// benchReport is the top-level -bench-json document.
+type benchReport struct {
+	GoVersion   string            `json:"go_version"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Parallel    int               `json:"parallel"`
+	Scale       float64           `json:"scale"`
+	Runs        int               `json:"runs"`
+	Seed        int64             `json:"seed"`
+	Experiments []benchExperiment `json:"experiments"`
+	TotalWallMS float64           `json:"total_wall_ms"`
+}
 
 func main() {
 	var (
@@ -36,10 +64,12 @@ func main() {
 		allPol     = flag.Bool("allpolicies", false, "fig3: include the ATS and Oracle extension baselines")
 		plotOut    = flag.Bool("plot", false, "fig3: render terminal line charts instead of tables")
 		interval   = flag.Uint64("metrics-interval", 0, "timeline: snapshot period in cycles (0 = default)")
+		parallel   = flag.Int("parallel", 0, "concurrent grid cells (0/1 = sequential, -1 = one per CPU)")
+		benchJSON  = flag.String("bench-json", "", "write executor timing stats to this JSON file")
 	)
 	flag.Parse()
 
-	opt := harness.Options{Scale: *scale, Runs: *runs, Seed: *seed}
+	opt := harness.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel}
 	var wls []string
 	if *workloads != "" {
 		wls = strings.Split(*workloads, ",")
@@ -149,8 +179,40 @@ func main() {
 	if *experiment == "all" {
 		names = []string{"fig3", "table3", "fig4", "fig5", "lockfrac", "ext", "attempts", "timeline"}
 	}
+	report := benchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Parallel:   *parallel,
+		Scale:      *scale,
+		Runs:       *runs,
+		Seed:       *seed,
+	}
 	for _, name := range names {
+		stats := &harness.BenchStats{}
+		opt.Stats = stats
+		start := time.Now()
 		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "seerbench: %v\n", err)
+			os.Exit(1)
+		}
+		wall := time.Since(start)
+		ms := float64(wall.Nanoseconds()) / 1e6
+		exp := benchExperiment{
+			Name: name, WallMS: ms,
+			Cells: stats.Cells(), Runs: stats.Runs(), SimCycles: stats.SimCycles(),
+		}
+		if wall > 0 {
+			exp.CellsPerS = float64(stats.Cells()) / wall.Seconds()
+		}
+		report.Experiments = append(report.Experiments, exp)
+		report.TotalWallMS += ms
+	}
+	if *benchJSON != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchJSON, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "seerbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -102,6 +102,7 @@ func main() {
 		traceN     = flag.Int("trace", 0, "dump the last N runtime events")
 		kindsSpec  = flag.String("trace-kinds", "", "comma-separated event kinds to dump (e.g. abort,lock+); empty = all")
 		asJSON     = flag.Bool("json", false, "emit the report and inference state as JSON")
+		summary    = flag.Bool("summary", false, "print the canonical deterministic report digest and exit")
 		timeline   = flag.Bool("timeline", false, "render the per-interval metrics timeline (sparklines)")
 		interval   = flag.Uint64("metrics-interval", 0, "telemetry snapshot period in cycles (0 = harness default when -timeline/-timeline-* set, else disabled)")
 		csvPath    = flag.String("timeline-csv", "", "write the timeline as CSV to FILE")
@@ -178,6 +179,10 @@ func main() {
 	writeFile(*jsonlPath, func(f *os.File) error { return rep.WriteTimelineJSONL(f) })
 	writeFile(*chromePath, func(f *os.File) error { return sys.WriteChromeTrace(f) })
 
+	if *summary {
+		fmt.Print(rep.Summary())
+		return
+	}
 	if *asJSON {
 		emitJSON(sys, rep)
 		return

@@ -1,0 +1,121 @@
+package seer_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seer"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata golden files")
+
+// detPolicies is every policy the runtime registers; each must be
+// bit-for-bit reproducible for a fixed seed.
+var detPolicies = []seer.PolicyKind{
+	seer.PolicyHLE, seer.PolicyRTM, seer.PolicySCM,
+	seer.PolicyATS, seer.PolicyOracle, seer.PolicySeer, seer.PolicySeq,
+}
+
+// detConfig is the fixed configuration of the golden run: 4 workers on a
+// hyperthreaded 8-thread/4-core machine, two atomic blocks, telemetry on.
+func detConfig(pol seer.PolicyKind) seer.Config {
+	cfg := seer.DefaultConfig()
+	cfg.Policy = pol
+	cfg.Threads = 4
+	cfg.HWThreads = 8
+	cfg.PhysCores = 4
+	cfg.Seed = 42
+	cfg.NumAtomicBlocks = 2
+	cfg.MemWords = 1 << 16
+	cfg.MetricsInterval = 1 << 15
+	cfg.MaxCycles = 1 << 32
+	if pol == seer.PolicySeq {
+		// Sequential runs unsynchronized; it is the single-thread baseline.
+		cfg.Threads = 1
+	}
+	return cfg
+}
+
+// detRun builds a fresh system, runs a small two-block contended workload
+// and returns the canonical Report digest.
+func detRun(t *testing.T, pol seer.PolicyKind) string {
+	t.Helper()
+	cfg := detConfig(pol)
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("%s: NewSystem: %v", pol, err)
+	}
+	const slots = 32
+	arr := sys.AllocAligned(slots)
+	sums := sys.AllocAligned(cfg.Threads)
+	workers := make([]seer.Worker, cfg.Threads)
+	for i := range workers {
+		id := i
+		workers[i] = func(th *seer.Thread) {
+			for n := 0; n < 200; n++ {
+				// Block 0: transfer between two random slots (writes, conflicts).
+				th.Atomic(0, func(a seer.Access) {
+					from := arr + seer.Addr(th.Rand().Intn(slots))
+					to := arr + seer.Addr(th.Rand().Intn(slots))
+					v := a.Load(from)
+					a.Store(from, v-1)
+					a.Store(to, a.Load(to)+1)
+				})
+				th.Work(20)
+				// Block 1: scan a stripe and publish the sum (read mostly).
+				th.Atomic(1, func(a seer.Access) {
+					var sum uint64
+					for k := 0; k < slots/4; k++ {
+						sum += a.Load(arr + seer.Addr((id*slots/4+k)%slots))
+					}
+					a.Store(sums+seer.Addr(id), sum)
+				})
+			}
+		}
+	}
+	rep, err := sys.Run(workers)
+	if err != nil {
+		t.Fatalf("%s: Run: %v", pol, err)
+	}
+	return rep.Summary()
+}
+
+// TestDeterminismGolden runs every policy three times on identical
+// configurations and seeds. Each repetition must produce a byte-identical
+// Report.Summary, and the concatenated per-policy digests must match the
+// checked-in golden file (regenerate with `go test -run Golden -update .`).
+func TestDeterminismGolden(t *testing.T) {
+	var all strings.Builder
+	for _, pol := range detPolicies {
+		first := detRun(t, pol)
+		for rep := 1; rep < 3; rep++ {
+			if again := detRun(t, pol); again != first {
+				t.Fatalf("%s: repetition %d differs from first run:\n--- first ---\n%s--- rep %d ---\n%s",
+					pol, rep, first, rep, again)
+			}
+		}
+		fmt.Fprintf(&all, "==== %s ====\n%s", pol, first)
+	}
+	golden := filepath.Join("testdata", "determinism.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(all.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run Golden -update .`): %v", err)
+	}
+	if got := all.String(); got != string(want) {
+		t.Fatalf("summaries diverge from %s — if the change is intentional, regenerate with -update.\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}

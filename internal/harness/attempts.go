@@ -33,31 +33,45 @@ func Attempts(opt Options, workloads []string, progress io.Writer) (*AttemptsDat
 		Policies:   policies,
 		Throughput: map[seer.PolicyKind][]float64{},
 	}
+	type cell struct {
+		pol  seer.PolicyKind
+		bi   int
+		last bool // last workload of the (pol, budget) block
+	}
+	var specs []Spec
+	var cells []cell
 	for _, pol := range policies {
-		series := make([]float64, len(AttemptBudgets))
+		data.Throughput[pol] = make([]float64, len(AttemptBudgets))
 		for bi, budget := range AttemptBudgets {
-			vals := make([]float64, 0, len(workloads))
-			for _, wl := range workloads {
-				res, err := RunOne(Spec{
+			for wi, wl := range workloads {
+				specs = append(specs, Spec{
 					Workload: wl, Scale: opt.Scale, Policy: pol,
 					MaxAttempts: budget,
 					Threads:     8, Runs: opt.Runs, Seed: opt.Seed,
 				})
-				if err != nil {
-					return nil, err
-				}
-				var tp float64
-				for _, rep := range res.Reports {
-					tp += rep.Throughput()
-				}
-				vals = append(vals, tp/float64(len(res.Reports)))
-			}
-			series[bi] = GeoMean(vals)
-			if progress != nil {
-				fmt.Fprintf(progress, "attempts %-5s budget=%-2d %.3f\n", pol, budget, series[bi])
+				cells = append(cells, cell{pol: pol, bi: bi, last: wi == len(workloads)-1})
 			}
 		}
-		data.Throughput[pol] = series
+	}
+	vals := make([]float64, 0, len(workloads))
+	_, err := RunGrid(opt, specs, func(i int, res Result) {
+		c := cells[i]
+		var tp float64
+		for _, rep := range res.Reports {
+			tp += rep.Throughput()
+		}
+		vals = append(vals, tp/float64(len(res.Reports)))
+		if !c.last {
+			return
+		}
+		data.Throughput[c.pol][c.bi] = GeoMean(vals)
+		vals = vals[:0]
+		if progress != nil {
+			fmt.Fprintf(progress, "attempts %-5s budget=%-2d %.3f\n", c.pol, AttemptBudgets[c.bi], data.Throughput[c.pol][c.bi])
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return data, nil
 }

@@ -17,6 +17,15 @@ type Options struct {
 	Scale float64
 	Runs  int
 	Seed  int64
+	// Parallel is the worker-pool width used to fan independent grid
+	// cells across real CPUs: 0 or 1 runs sequentially, N > 1 uses N
+	// workers, negative uses one worker per available CPU. Results and
+	// rendered output are bit-identical at any width (see RunGrid).
+	Parallel int
+	// Stats, when non-nil, accumulates executor-level counters (cells,
+	// runs, simulated cycles) across experiments; seerbench -bench-json
+	// reads them back.
+	Stats *BenchStats
 }
 
 // DefaultOptions returns full-scale settings (Figure 3 at scale 1 takes
@@ -82,29 +91,50 @@ func Fig3With(opt Options, workloads []string, policies []seer.PolicyKind, progr
 		Speedup:   map[string]map[seer.PolicyKind][]float64{},
 		Geomean:   map[seer.PolicyKind][]float64{},
 	}
+	// Grid: per workload, one sequential-baseline cell followed by the
+	// (policy × threads) cells. The ordered progress callback sees the
+	// baseline before any cell that divides by it.
+	type cell struct {
+		wl  string
+		pol seer.PolicyKind
+		ti  int // thread index; -1 marks the baseline cell
+	}
+	var specs []Spec
+	var cells []cell
 	for _, wl := range workloads {
-		base, err := SequentialBaseline(wl, opt.Scale, opt.Runs, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
-		data.Speedup[wl] = map[seer.PolicyKind][]float64{}
+		specs = append(specs, Spec{
+			Workload: wl, Scale: opt.Scale,
+			Policy: seer.PolicySeq, Threads: 1, Runs: opt.Runs, Seed: opt.Seed,
+		})
+		cells = append(cells, cell{wl: wl, ti: -1})
 		for _, pol := range policies {
-			series := make([]float64, len(Fig3Threads))
 			for ti, th := range Fig3Threads {
-				res, err := RunOne(Spec{
+				specs = append(specs, Spec{
 					Workload: wl, Scale: opt.Scale, Policy: pol,
 					Threads: th, Runs: opt.Runs, Seed: opt.Seed,
 				})
-				if err != nil {
-					return nil, err
-				}
-				series[ti] = Speedup(base, res)
-			}
-			data.Speedup[wl][pol] = series
-			if progress != nil {
-				fmt.Fprintf(progress, "fig3 %-14s %-5s %v\n", wl, pol, fmtSeries(series))
+				cells = append(cells, cell{wl: wl, pol: pol, ti: ti})
 			}
 		}
+	}
+	baselines := map[string]float64{}
+	_, err := RunGrid(opt, specs, func(i int, res Result) {
+		c := cells[i]
+		if c.ti < 0 {
+			baselines[c.wl] = res.MeanMakespan
+			data.Speedup[c.wl] = map[seer.PolicyKind][]float64{}
+			return
+		}
+		if c.ti == 0 {
+			data.Speedup[c.wl][c.pol] = make([]float64, len(Fig3Threads))
+		}
+		data.Speedup[c.wl][c.pol][c.ti] = Speedup(baselines[c.wl], res)
+		if c.ti == len(Fig3Threads)-1 && progress != nil {
+			fmt.Fprintf(progress, "fig3 %-14s %-5s %v\n", c.wl, c.pol, fmtSeries(data.Speedup[c.wl][c.pol]))
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, pol := range policies {
 		gm := make([]float64, len(Fig3Threads))
@@ -174,31 +204,45 @@ func Table3(opt Options, workloads []string, progress io.Writer) (*Table3Data, e
 		Threads:  Table3Threads,
 		Pct:      map[seer.PolicyKind][][seer.NumModes]float64{},
 	}
+	type cell struct {
+		pol  seer.PolicyKind
+		ti   int
+		last bool // last workload of the (pol, ti) block
+	}
+	var specs []Spec
+	var cells []cell
 	for _, pol := range Fig3Policies {
-		perThread := make([][seer.NumModes]float64, len(Table3Threads))
+		data.Pct[pol] = make([][seer.NumModes]float64, len(Table3Threads))
 		for ti, th := range Table3Threads {
-			var sum [seer.NumModes]float64
-			for _, wl := range workloads {
-				res, err := RunOne(Spec{
+			for wi, wl := range workloads {
+				specs = append(specs, Spec{
 					Workload: wl, Scale: opt.Scale, Policy: pol,
 					Threads: th, Runs: opt.Runs, Seed: opt.Seed,
 				})
-				if err != nil {
-					return nil, err
-				}
-				for m := range sum {
-					sum[m] += res.MeanModePct[m]
-				}
-			}
-			for m := range sum {
-				sum[m] /= float64(len(workloads))
-			}
-			perThread[ti] = sum
-			if progress != nil {
-				fmt.Fprintf(progress, "table3 %-5s %dt done\n", pol, th)
+				cells = append(cells, cell{pol: pol, ti: ti, last: wi == len(workloads)-1})
 			}
 		}
-		data.Pct[pol] = perThread
+	}
+	var sum [seer.NumModes]float64
+	_, err := RunGrid(opt, specs, func(i int, res Result) {
+		c := cells[i]
+		for m := range sum {
+			sum[m] += res.MeanModePct[m]
+		}
+		if !c.last {
+			return
+		}
+		for m := range sum {
+			sum[m] /= float64(len(workloads))
+		}
+		data.Pct[c.pol][c.ti] = sum
+		sum = [seer.NumModes]float64{}
+		if progress != nil {
+			fmt.Fprintf(progress, "table3 %-5s %dt done\n", c.pol, Table3Threads[c.ti])
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return data, nil
 }
@@ -257,30 +301,46 @@ func Fig4(opt Options, workloads []string, progress io.Writer) (*Fig4Data, error
 		Relative:    make([]float64, len(Fig3Threads)),
 		PerWorkload: map[string][]float64{},
 	}
+	// Grid: per (workload, threads), an RTM cell immediately followed by
+	// its profile-only partner; the ordered callback pairs them up.
+	type cell struct {
+		wl  string
+		ti  int
+		rtm bool
+	}
+	var specs []Spec
+	var cells []cell
 	for _, wl := range workloads {
-		rel := make([]float64, len(Fig3Threads))
+		data.PerWorkload[wl] = make([]float64, len(Fig3Threads))
 		for ti, th := range Fig3Threads {
-			rtm, err := RunOne(Spec{
+			specs = append(specs, Spec{
 				Workload: wl, Scale: opt.Scale, Policy: seer.PolicyRTM,
 				Threads: th, Runs: opt.Runs, Seed: opt.Seed,
 			})
-			if err != nil {
-				return nil, err
-			}
-			prof, err := RunOne(Spec{
+			cells = append(cells, cell{wl: wl, ti: ti, rtm: true})
+			specs = append(specs, Spec{
 				Workload: wl, Scale: opt.Scale, Policy: seer.PolicySeer,
 				SeerOpts: &profOpts,
 				Threads:  th, Runs: opt.Runs, Seed: opt.Seed,
 			})
-			if err != nil {
-				return nil, err
-			}
-			rel[ti] = rtm.MeanMakespan / prof.MeanMakespan
+			cells = append(cells, cell{wl: wl, ti: ti})
 		}
-		data.PerWorkload[wl] = rel
-		if progress != nil {
-			fmt.Fprintf(progress, "fig4 %-14s %v\n", wl, fmtSeries(rel))
+	}
+	var rtmMakespan float64
+	_, err := RunGrid(opt, specs, func(i int, res Result) {
+		c := cells[i]
+		if c.rtm {
+			rtmMakespan = res.MeanMakespan
+			return
 		}
+		rel := data.PerWorkload[c.wl]
+		rel[c.ti] = rtmMakespan / res.MeanMakespan
+		if c.ti == len(Fig3Threads)-1 && progress != nil {
+			fmt.Fprintf(progress, "fig4 %-14s %v\n", c.wl, fmtSeries(rel))
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	for ti := range Fig3Threads {
 		vals := make([]float64, 0, len(workloads))
@@ -344,39 +404,30 @@ func Fig5(opt Options, workloads []string, progress io.Writer) (*Fig5Data, error
 	for _, v := range variants {
 		data.Variants = append(data.Variants, v.Name)
 	}
-	for _, wl := range workloads {
-		data.Speedup[wl] = map[string][]float64{}
-		// Baseline: profile-only makespans per thread count.
-		base := make([]float64, len(data.Threads))
-		for ti, th := range data.Threads {
-			opts := variants[0].Opts
-			res, err := RunOne(Spec{
-				Workload: wl, Scale: opt.Scale, Policy: seer.PolicySeer,
-				SeerOpts: &opts, Threads: th, Runs: opt.Runs, Seed: opt.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			base[ti] = res.MeanMakespan
+	// Grid: per workload, the profile-only variant's cells come first and
+	// double as the baseline — a fixed seed makes re-running the identical
+	// spec pointless, so the old separate baseline sweep is folded away.
+	specs, cells := variantGrid(opt, workloads, data.Threads, variants)
+	base := make([]float64, len(data.Threads))
+	_, err := RunGrid(opt, specs, func(i int, res Result) {
+		c := cells[i]
+		if c.vi == 0 {
+			base[c.ti] = res.MeanMakespan
 		}
-		for _, v := range variants {
-			series := make([]float64, len(data.Threads))
-			for ti, th := range data.Threads {
-				opts := v.Opts
-				res, err := RunOne(Spec{
-					Workload: wl, Scale: opt.Scale, Policy: seer.PolicySeer,
-					SeerOpts: &opts, Threads: th, Runs: opt.Runs, Seed: opt.Seed,
-				})
-				if err != nil {
-					return nil, err
-				}
-				series[ti] = base[ti] / res.MeanMakespan
+		if c.ti == 0 {
+			if data.Speedup[c.wl] == nil {
+				data.Speedup[c.wl] = map[string][]float64{}
 			}
-			data.Speedup[wl][v.Name] = series
-			if progress != nil {
-				fmt.Fprintf(progress, "fig5 %-14s %-16s %v\n", wl, v.Name, fmtSeries(series))
-			}
+			data.Speedup[c.wl][c.name] = make([]float64, len(data.Threads))
 		}
+		series := data.Speedup[c.wl][c.name]
+		series[c.ti] = base[c.ti] / res.MeanMakespan
+		if c.ti == len(data.Threads)-1 && progress != nil {
+			fmt.Fprintf(progress, "fig5 %-14s %-16s %v\n", c.wl, c.name, fmtSeries(series))
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, v := range data.Variants {
 		gm := make([]float64, len(data.Threads))
@@ -417,6 +468,39 @@ func (d *Fig5Data) Render(w io.Writer) {
 	}
 }
 
+// variantCell locates one (workload, variant, thread) measurement in a
+// variant grid.
+type variantCell struct {
+	wl   string
+	name string
+	vi   int
+	ti   int
+}
+
+// variantGrid enumerates the (workload × variant × thread) cells of a
+// Seer-variant ablation. Variant 0 comes first within each workload so
+// its results can serve as the baseline in RunGrid's ordered callback.
+func variantGrid(opt Options, workloads []string, threads []int, variants []struct {
+	Name string
+	Opts seer.SeerOptions
+}) ([]Spec, []variantCell) {
+	var specs []Spec
+	var cells []variantCell
+	for _, wl := range workloads {
+		for vi, v := range variants {
+			opts := v.Opts
+			for ti, th := range threads {
+				specs = append(specs, Spec{
+					Workload: wl, Scale: opt.Scale, Policy: seer.PolicySeer,
+					SeerOpts: &opts, Threads: th, Runs: opt.Runs, Seed: opt.Seed,
+				})
+				cells = append(cells, variantCell{wl: wl, name: v.Name, vi: vi, ti: ti})
+			}
+		}
+	}
+	return specs, cells
+}
+
 // LockFracData summarizes the §5.2 fine-granularity statistic.
 type LockFracData struct {
 	PerWorkload map[string]struct {
@@ -439,14 +523,14 @@ func LockFrac(opt Options, workloads []string) (*LockFracData, error) {
 		AcqEvents  uint64
 		SGLPct     float64
 	}{}}
-	for _, wl := range workloads {
-		res, err := RunOne(Spec{
+	specs := make([]Spec, len(workloads))
+	for i, wl := range workloads {
+		specs[i] = Spec{
 			Workload: wl, Scale: opt.Scale, Policy: seer.PolicySeer,
 			Threads: 8, Runs: opt.Runs, Seed: opt.Seed,
-		})
-		if err != nil {
-			return nil, err
 		}
+	}
+	_, err := RunGrid(opt, specs, func(i int, res Result) {
 		var entry struct {
 			MedianFrac float64
 			AcqEvents  uint64
@@ -462,7 +546,10 @@ func LockFrac(opt Options, workloads []string) (*LockFracData, error) {
 		n := float64(len(res.Reports))
 		entry.MedianFrac /= n
 		entry.SGLPct /= n
-		data.PerWorkload[wl] = entry
+		data.PerWorkload[workloads[i]] = entry
+	})
+	if err != nil {
+		return nil, err
 	}
 	return data, nil
 }

@@ -71,38 +71,30 @@ func Extensions(opt Options, workloads []string, progress io.Writer) (*ExtData, 
 	for _, v := range variants {
 		data.Variants = append(data.Variants, v.Name)
 	}
-	for _, wl := range workloads {
-		data.Speedup[wl] = map[string][]float64{}
-		base := make([]float64, len(data.Threads))
-		for ti, th := range data.Threads {
-			opts := variants[0].Opts
-			res, err := RunOne(Spec{
-				Workload: wl, Scale: opt.Scale, Policy: seer.PolicySeer,
-				SeerOpts: &opts, Threads: th, Runs: opt.Runs, Seed: opt.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			base[ti] = res.MeanMakespan
+	// Grid: the stock variant's cells come first per workload and double
+	// as the baseline (fixed seeds make a separate baseline sweep a
+	// duplicate of variant 0).
+	specs, cells := variantGrid(opt, workloads, data.Threads, variants)
+	base := make([]float64, len(data.Threads))
+	_, err := RunGrid(opt, specs, func(i int, res Result) {
+		c := cells[i]
+		if c.vi == 0 {
+			base[c.ti] = res.MeanMakespan
 		}
-		for _, v := range variants {
-			series := make([]float64, len(data.Threads))
-			for ti, th := range data.Threads {
-				opts := v.Opts
-				res, err := RunOne(Spec{
-					Workload: wl, Scale: opt.Scale, Policy: seer.PolicySeer,
-					SeerOpts: &opts, Threads: th, Runs: opt.Runs, Seed: opt.Seed,
-				})
-				if err != nil {
-					return nil, err
-				}
-				series[ti] = base[ti] / res.MeanMakespan
+		if c.ti == 0 {
+			if data.Speedup[c.wl] == nil {
+				data.Speedup[c.wl] = map[string][]float64{}
 			}
-			data.Speedup[wl][v.Name] = series
-			if progress != nil {
-				fmt.Fprintf(progress, "ext %-14s %-12s %v\n", wl, v.Name, fmtSeries(series))
-			}
+			data.Speedup[c.wl][c.name] = make([]float64, len(data.Threads))
 		}
+		series := data.Speedup[c.wl][c.name]
+		series[c.ti] = base[c.ti] / res.MeanMakespan
+		if c.ti == len(data.Threads)-1 && progress != nil {
+			fmt.Fprintf(progress, "ext %-14s %-12s %v\n", c.wl, c.name, fmtSeries(series))
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, v := range data.Variants {
 		gm := make([]float64, len(data.Threads))

@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment grids are embarrassingly parallel: every Spec builds its
+// own simulated machine from its own seed, shares no mutable state with
+// any other cell, and produces a deterministic Result. RunGrid is the one
+// fan-out point all exhibits go through, so a single -parallel flag
+// accelerates every experiment while keeping output bit-identical to a
+// sequential sweep.
+
+// BenchStats accumulates executor-level counters across experiments, for
+// the machine-readable benchmark output of seerbench -bench-json. All
+// fields are updated atomically; a nil *BenchStats discards everything.
+type BenchStats struct {
+	cells     atomic.Int64
+	runs      atomic.Int64
+	simCycles atomic.Uint64
+}
+
+// record folds one completed cell into the totals.
+func (s *BenchStats) record(res Result) {
+	if s == nil {
+		return
+	}
+	s.cells.Add(1)
+	s.runs.Add(int64(len(res.Reports)))
+	var cycles uint64
+	for _, rep := range res.Reports {
+		cycles += rep.MakespanCycles
+	}
+	s.simCycles.Add(cycles)
+}
+
+// Cells returns the number of measurement cells executed so far.
+func (s *BenchStats) Cells() int64 { return s.cells.Load() }
+
+// Runs returns the number of simulated runs executed so far (cells ×
+// repetitions).
+func (s *BenchStats) Runs() int64 { return s.runs.Load() }
+
+// SimCycles returns the total virtual cycles simulated so far.
+func (s *BenchStats) SimCycles() uint64 { return s.simCycles.Load() }
+
+// Workers resolves the executor width: 0 and 1 mean sequential, negative
+// means one worker per available CPU, and anything larger is clamped to
+// the number of cells by RunGrid.
+func (o Options) workers() int {
+	if o.Parallel < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallel == 0 {
+		return 1
+	}
+	return o.Parallel
+}
+
+// RunGrid executes the specs as independent cells on a worker pool of
+// opt.Parallel goroutines and returns the results indexed like specs.
+//
+// Determinism: every cell's Result depends only on its Spec (fresh system,
+// fresh seed, no shared state), so the returned slice is identical
+// whatever the worker count or completion order. The progress callback is
+// invoked in strictly increasing index order — a cell's callback fires
+// only once all lower-indexed cells have completed — so streamed progress
+// output is also byte-identical with and without parallelism.
+//
+// On error, the first failing index (not the first to fail in wall-clock
+// order) determines the returned error, again for determinism.
+func RunGrid(opt Options, specs []Spec, progress func(i int, res Result)) ([]Result, error) {
+	results := make([]Result, len(specs))
+	errs := make([]error, len(specs))
+	workers := opt.workers()
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	if workers <= 1 {
+		for i, sp := range specs {
+			res, err := RunOne(sp)
+			if err != nil {
+				return results, err
+			}
+			opt.Stats.record(res)
+			results[i] = res
+			if progress != nil {
+				progress(i, res)
+			}
+		}
+		return results, nil
+	}
+
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex // guards done/emitted and orders progress calls
+		done    = make([]bool, len(specs))
+		emitted int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				res, err := RunOne(specs[i])
+				results[i], errs[i] = res, err
+				if err == nil {
+					opt.Stats.record(res)
+				}
+				mu.Lock()
+				done[i] = true
+				for emitted < len(specs) && done[emitted] {
+					if errs[emitted] == nil && progress != nil {
+						progress(emitted, results[emitted])
+					}
+					emitted++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"seer"
+)
+
+// gridSpecs returns a small mixed grid that exercises several policies
+// and thread counts cheaply.
+func gridSpecs() []Spec {
+	var specs []Spec
+	for _, pol := range []seer.PolicyKind{seer.PolicyRTM, seer.PolicySeer} {
+		for _, th := range []int{1, 2, 4} {
+			specs = append(specs, Spec{
+				Workload: "hashmap", Scale: 0.05, Policy: pol,
+				Threads: th, Runs: 1, Seed: 7,
+			})
+		}
+	}
+	return specs
+}
+
+// TestRunGridParallelMatchesSequential: results and the streamed progress
+// transcript must be identical at any worker count.
+func TestRunGridParallelMatchesSequential(t *testing.T) {
+	specs := gridSpecs()
+	run := func(parallel int) ([]Result, string) {
+		var log strings.Builder
+		res, err := RunGrid(Options{Parallel: parallel}, specs, func(i int, r Result) {
+			fmt.Fprintf(&log, "%d:%s/%d=%d\n", i, r.Spec.Policy, r.Spec.Threads, r.Reports[0].MakespanCycles)
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return res, log.String()
+	}
+	seqRes, seqLog := run(1)
+	for _, workers := range []int{2, 4, -1} {
+		parRes, parLog := run(workers)
+		if !reflect.DeepEqual(seqRes, parRes) {
+			t.Fatalf("parallel=%d results differ from sequential", workers)
+		}
+		if parLog != seqLog {
+			t.Fatalf("parallel=%d progress transcript differs:\nseq:\n%s\npar:\n%s", workers, seqLog, parLog)
+		}
+	}
+	// The transcript must also be in index order with every cell present.
+	for i := range specs {
+		if !strings.Contains(seqLog, fmt.Sprintf("%d:", i)) {
+			t.Fatalf("cell %d missing from transcript:\n%s", i, seqLog)
+		}
+	}
+}
+
+// TestRunGridStats: the executor counters must add up the same way at any
+// width.
+func TestRunGridStats(t *testing.T) {
+	specs := gridSpecs()
+	count := func(parallel int) (int64, int64, uint64) {
+		stats := &BenchStats{}
+		if _, err := RunGrid(Options{Parallel: parallel, Stats: stats}, specs, nil); err != nil {
+			t.Fatal(err)
+		}
+		return stats.Cells(), stats.Runs(), stats.SimCycles()
+	}
+	c1, r1, s1 := count(1)
+	c4, r4, s4 := count(4)
+	if c1 != int64(len(specs)) || r1 != int64(len(specs)) {
+		t.Fatalf("sequential stats: cells=%d runs=%d, want %d each", c1, r1, len(specs))
+	}
+	if s1 == 0 {
+		t.Fatalf("no simulated cycles recorded")
+	}
+	if c1 != c4 || r1 != r4 || s1 != s4 {
+		t.Fatalf("stats differ by width: (%d,%d,%d) vs (%d,%d,%d)", c1, r1, s1, c4, r4, s4)
+	}
+}
+
+// TestRunGridFirstErrorByIndex: with several failing cells, the reported
+// error must be the lowest-indexed one regardless of completion order.
+func TestRunGridFirstErrorByIndex(t *testing.T) {
+	specs := []Spec{
+		{Workload: "hashmap", Scale: 0.05, Policy: seer.PolicyRTM, Threads: 1, Runs: 1, Seed: 1},
+		{Workload: "no-such-workload-a", Scale: 0.05, Policy: seer.PolicyRTM, Threads: 1, Runs: 1, Seed: 1},
+		{Workload: "no-such-workload-b", Scale: 0.05, Policy: seer.PolicyRTM, Threads: 1, Runs: 1, Seed: 1},
+	}
+	for _, workers := range []int{1, 3} {
+		_, err := RunGrid(Options{Parallel: workers}, specs, nil)
+		if err == nil || !strings.Contains(err.Error(), "no-such-workload-a") {
+			t.Fatalf("parallel=%d: err = %v, want first failing index (workload a)", workers, err)
+		}
+	}
+}

@@ -48,22 +48,26 @@ func Timelines(opt Options, workloads []string, policies []seer.PolicyKind, inte
 		interval = DefaultMetricsInterval
 	}
 	data := &TimelineData{Interval: interval}
+	var specs []Spec
 	for _, wl := range workloads {
 		for _, pol := range policies {
-			res, err := RunOne(Spec{
+			specs = append(specs, Spec{
 				Workload: wl, Scale: opt.Scale, Policy: pol,
 				Threads: MachineHWThreads, Runs: 1, Seed: opt.Seed,
 				MetricsInterval: interval,
 			})
-			if err != nil {
-				return nil, err
-			}
-			rep := res.Reports[0]
-			data.Entries = append(data.Entries, TimelineEntry{Workload: wl, Policy: pol, Report: rep})
-			if progress != nil {
-				fmt.Fprintf(progress, "timeline %-14s %-6s %d intervals\n", wl, pol, len(rep.Timeline))
-			}
 		}
+	}
+	_, err := RunGrid(opt, specs, func(i int, res Result) {
+		sp := specs[i]
+		rep := res.Reports[0]
+		data.Entries = append(data.Entries, TimelineEntry{Workload: sp.Workload, Policy: sp.Policy, Report: rep})
+		if progress != nil {
+			fmt.Fprintf(progress, "timeline %-14s %-6s %d intervals\n", sp.Workload, sp.Policy, len(rep.Timeline))
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return data, nil
 }

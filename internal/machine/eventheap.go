@@ -1,0 +1,66 @@
+package machine
+
+// event is one pending wakeup in the engine's schedule: thread id resumes
+// when the global virtual time reaches cycle.
+type event struct {
+	cycle uint64
+	id    int32
+}
+
+// before orders events by (cycle, id): earlier virtual time first, ties
+// broken by the lower thread id. The id tie-break is what makes the
+// schedule total and therefore the whole simulation deterministic — it
+// mirrors the seed engine's linear scan, which resolved equal clocks in
+// favor of the lowest index.
+func (a event) before(b event) bool {
+	return a.cycle < b.cycle || (a.cycle == b.cycle && a.id < b.id)
+}
+
+// eventHeap is a binary min-heap of wakeup events, ordered by event.before.
+// It is hand-rolled rather than built on container/heap to keep the hot
+// path free of interface dispatch: push and pop are the only two
+// operations the scheduler loop performs per tick.
+type eventHeap []event
+
+// push inserts ev and restores the heap order.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. It must not be called on an
+// empty heap.
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	s = s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && s[l].before(s[min]) {
+			min = l
+		}
+		if r < len(s) && s[r].before(s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}

@@ -1,0 +1,108 @@
+package machine
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestEventHeapTieBreak: events with equal wakeup cycles must pop in
+// thread-id order — the rule that makes the schedule total and the
+// simulation deterministic.
+func TestEventHeapTieBreak(t *testing.T) {
+	insertions := [][]int32{
+		{3, 0, 2, 1},
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{1, 3, 0, 2},
+	}
+	for _, ids := range insertions {
+		var h eventHeap
+		for _, id := range ids {
+			h.push(event{cycle: 7, id: id})
+		}
+		for want := int32(0); want < 4; want++ {
+			if got := h.pop(); got.id != want || got.cycle != 7 {
+				t.Fatalf("insertion order %v: pop = %+v, want id %d", ids, got, want)
+			}
+		}
+	}
+}
+
+// TestEventHeapInterleavedTies mixes cycles and ids: pops must come out in
+// (cycle, id) lexicographic order even when pushes interleave with pops.
+func TestEventHeapInterleavedTies(t *testing.T) {
+	var h eventHeap
+	h.push(event{cycle: 10, id: 2})
+	h.push(event{cycle: 10, id: 1})
+	h.push(event{cycle: 5, id: 3})
+	if got := h.pop(); got != (event{cycle: 5, id: 3}) {
+		t.Fatalf("pop = %+v, want {5 3}", got)
+	}
+	h.push(event{cycle: 5, id: 0}) // earlier than both queued events
+	h.push(event{cycle: 10, id: 0})
+	want := []event{{5, 0}, {10, 0}, {10, 1}, {10, 2}}
+	for _, w := range want {
+		if got := h.pop(); got != w {
+			t.Fatalf("pop = %+v, want %+v", got, w)
+		}
+	}
+	if len(h) != 0 {
+		t.Fatalf("heap not empty after draining: %v", h)
+	}
+}
+
+// TestEventHeapQuickSorted: for random event multisets, popping yields the
+// (cycle, id)-sorted order.
+func TestEventHeapQuickSorted(t *testing.T) {
+	f := func(cycles []uint16, ids []uint8) bool {
+		n := len(cycles)
+		if len(ids) < n {
+			n = len(ids)
+		}
+		var h eventHeap
+		evs := make([]event, n)
+		for i := 0; i < n; i++ {
+			evs[i] = event{cycle: uint64(cycles[i]), id: int32(ids[i] % MaxHWThreads)}
+			h.push(evs[i])
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].before(evs[j]) })
+		for _, want := range evs {
+			if got := h.pop(); got != want {
+				return false
+			}
+		}
+		return len(h) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineEqualClockSchedulesLowestID: two threads ticking identical
+// costs must strictly alternate starting with thread 0 — the engine-level
+// consequence of the heap's tie-breaking rule.
+func TestEngineEqualClockSchedulesLowestID(t *testing.T) {
+	e := mustEngine(t, Config{HWThreads: 3, PhysCores: 3, Seed: 1, Cost: DefaultCostModel()})
+	var order []int
+	body := func(id int) func(*Ctx) {
+		return func(c *Ctx) {
+			for n := 0; n < 4; n++ {
+				order = append(order, id)
+				c.Tick(10)
+			}
+		}
+	}
+	if _, err := e.Run([]func(*Ctx){body(0), body(1), body(2)}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %d, want %d (full: %v)", i, order[i], want[i], order)
+		}
+	}
+}

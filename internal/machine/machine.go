@@ -3,13 +3,22 @@
 // transactional memory (internal/htm) and the Seer scheduler
 // (internal/core) run.
 //
-// The engine hosts N hardware threads, each executing user code in its own
-// goroutine. Execution is cooperative: a thread runs exclusively until it
-// calls Tick, at which point control returns to the engine, which always
-// resumes the runnable thread with the smallest virtual clock (ties broken
-// by thread id). Because exactly one thread executes between two scheduling
-// points, all simulator state can be manipulated without synchronization,
-// and whole runs are reproducible bit-for-bit for a fixed seed.
+// The engine hosts N hardware threads, each executing user code in a
+// resumable execution context (a coroutine). Execution is cooperative: a
+// thread runs exclusively until it calls Tick, at which point control
+// switches back to the engine's event loop, which always resumes the
+// runnable thread with the smallest virtual clock (ties broken by thread
+// id) by popping a (wakeup-cycle, thread-id) event from a min-heap.
+// Because exactly one thread executes between two scheduling points, all
+// simulator state can be manipulated without synchronization, and whole
+// runs are reproducible bit-for-bit for a fixed seed.
+//
+// The scheduler is a single event loop rather than one OS-scheduled
+// goroutine per simulated thread: suspending and resuming a context is a
+// direct coroutine switch (iter.Pull), not a channel handoff through the
+// Go runtime's scheduler, which makes a scheduling step several times
+// cheaper and keeps large experiment sweeps CPU-bound on the model rather
+// than on synchronization.
 //
 // Virtual time is measured in cycles. Every simulated action has a cost
 // from CostModel; a thread's clock advances by that cost at each Tick. The
@@ -20,6 +29,7 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"iter"
 )
 
 // CostModel assigns virtual-cycle costs to simulated actions. The absolute
@@ -82,20 +92,41 @@ func DefaultConfig() Config {
 	}
 }
 
+// MaxHWThreads is the machine-wide hardware-thread ceiling (lock words and
+// bitmask-based structures throughout the runtime assume thread ids fit in
+// 64 bits).
+const MaxHWThreads = 64
+
+// Named configuration errors, matchable with errors.Is. Validate wraps
+// each with the offending values.
+var (
+	// ErrHWThreads: HWThreads is zero or negative.
+	ErrHWThreads = errors.New("machine: HWThreads must be positive")
+	// ErrTooManyThreads: HWThreads exceeds MaxHWThreads.
+	ErrTooManyThreads = errors.New("machine: too many hardware threads")
+	// ErrPhysCores: PhysCores is zero or negative.
+	ErrPhysCores = errors.New("machine: PhysCores must be positive")
+	// ErrTopology: HWThreads is not a multiple of PhysCores, so hardware
+	// threads cannot be spread evenly over the cores.
+	ErrTopology = errors.New("machine: HWThreads must be a multiple of PhysCores")
+)
+
 // Validate reports whether the configuration is internally consistent.
+// Each failure mode wraps one of the named Err* sentinel errors.
 func (c Config) Validate() error {
 	if c.HWThreads <= 0 {
-		return fmt.Errorf("machine: HWThreads must be positive, got %d", c.HWThreads)
+		return fmt.Errorf("%w, got %d", ErrHWThreads, c.HWThreads)
 	}
-	if c.HWThreads > 64 {
-		return fmt.Errorf("machine: at most 64 hardware threads are supported, got %d", c.HWThreads)
+	if c.HWThreads > MaxHWThreads {
+		return fmt.Errorf("%w: at most %d are supported, got %d",
+			ErrTooManyThreads, MaxHWThreads, c.HWThreads)
 	}
 	if c.PhysCores <= 0 {
-		return fmt.Errorf("machine: PhysCores must be positive, got %d", c.PhysCores)
+		return fmt.Errorf("%w, got %d", ErrPhysCores, c.PhysCores)
 	}
 	if c.HWThreads%c.PhysCores != 0 {
-		return fmt.Errorf("machine: HWThreads (%d) must be a multiple of PhysCores (%d)",
-			c.HWThreads, c.PhysCores)
+		return fmt.Errorf("%w: %d threads over %d cores",
+			ErrTopology, c.HWThreads, c.PhysCores)
 	}
 	return nil
 }
@@ -132,15 +163,21 @@ type Ctx struct {
 	rng   Rand
 	eng   *Engine
 
-	grant    chan struct{}
-	yield    chan struct{}
-	finished bool
-	aborted  bool
+	// yield suspends this context and hands (clock) back to the event
+	// loop; it reports false when the engine has abandoned the run, in
+	// which case the context must unwind. next/stop are the engine-side
+	// resume and cancel handles. All three are live only during a Run.
+	yield func(uint64) bool
+	next  func() (uint64, bool)
+	stop  func()
+
 	panicked any
 }
 
-// errAbandonRun is the sentinel panic drain uses to unwind thread
-// goroutines abandoned on an error path.
+// errAbandonRun is the sentinel panic a context uses to unwind a body
+// abandoned on an error path (yield returned false). It is recovered by
+// the context's own trampoline, never seen by user code handlers that
+// rethrow foreign panics (e.g. htm.Tx).
 var errAbandonRun = errors.New("machine: run abandoned")
 
 // ID returns the hardware thread id (0-based).
@@ -161,9 +198,7 @@ func (c *Ctx) Machine() Config { return c.eng.cfg }
 // accounting and the interleaving point.
 func (c *Ctx) Tick(cost uint64) {
 	c.clock += cost
-	c.yield <- struct{}{}
-	<-c.grant
-	if c.aborted {
+	if !c.yield(c.clock) {
 		panic(errAbandonRun)
 	}
 }
@@ -178,13 +213,16 @@ func (c *Ctx) Work(n uint64) {
 }
 
 // Engine owns the hardware threads and drives the min-clock cooperative
-// schedule.
+// schedule from a wakeup-event heap.
 type Engine struct {
 	cfg     Config
 	threads []*Ctx
+	// heap holds one (wakeup-cycle, thread-id) event per live context,
+	// reused across Runs to stay allocation-free.
+	heap eventHeap
 	// tickHook, when set, observes the global virtual time (the minimum
 	// clock over runnable threads, non-decreasing within a run) once per
-	// scheduling step, before the next thread is granted. The telemetry
+	// scheduling step, before the next thread is resumed. The telemetry
 	// recorder uses it to cut interval snapshots deterministically.
 	tickHook func(now uint64)
 }
@@ -202,11 +240,9 @@ func New(cfg Config) (*Engine, error) {
 	e.threads = make([]*Ctx, cfg.HWThreads)
 	for i := range e.threads {
 		e.threads[i] = &Ctx{
-			id:    i,
-			rng:   NewRand(mix(cfg.Seed, int64(i))),
-			eng:   e,
-			grant: make(chan struct{}),
-			yield: make(chan struct{}),
+			id:  i,
+			rng: NewRand(mix(cfg.Seed, int64(i))),
+			eng: e,
 		}
 	}
 	return e, nil
@@ -219,6 +255,30 @@ func (e *Engine) Config() Config { return e.cfg }
 // simulator components between runs.
 func (e *Engine) Thread(i int) *Ctx { return e.threads[i] }
 
+// start binds body to context t as a fresh coroutine. The coroutine does
+// not run until the event loop first resumes it through t.next.
+func (t *Ctx) start(body func(*Ctx)) {
+	t.next, t.stop = iter.Pull(func(yield func(uint64) bool) {
+		t.yield = yield
+		defer func() {
+			t.yield = nil
+			if r := recover(); r != nil && r != errAbandonRun {
+				t.panicked = r
+			}
+		}()
+		body(t)
+	})
+}
+
+// finish releases a context's coroutine handles. stop is idempotent: on a
+// context whose body already returned it is a no-op, and on a suspended
+// context it resumes it once with yield reporting false, which makes Tick
+// unwind the body via the errAbandonRun sentinel.
+func (t *Ctx) finish() {
+	t.stop()
+	t.next, t.stop = nil, nil
+}
+
 // Run executes one body per hardware thread until all bodies return.
 // len(bodies) must be at most the number of hardware threads; threads
 // without a body stay idle at clock 0. It returns the makespan (maximum
@@ -229,55 +289,42 @@ func (e *Engine) Run(bodies []func(*Ctx)) (makespan uint64, err error) {
 		return 0, fmt.Errorf("machine: %d bodies for %d hardware threads",
 			len(bodies), len(e.threads))
 	}
-	active := 0
+	e.heap = e.heap[:0]
 	for i, body := range bodies {
 		if body == nil {
 			continue
 		}
 		t := e.threads[i]
 		t.clock = 0
-		t.finished = false
-		t.aborted = false
 		t.panicked = nil
-		active++
-		go func(t *Ctx, body func(*Ctx)) {
-			<-t.grant
-			defer func() {
-				if r := recover(); r != nil && r != errAbandonRun {
-					t.panicked = r
-				}
-				t.finished = true
-				t.yield <- struct{}{}
-			}()
-			if !t.aborted {
-				body(t)
-			}
-		}(t, body)
+		t.start(body)
+		e.heap.push(event{cycle: 0, id: int32(i)})
 	}
 
-	for active > 0 {
-		t := e.pickNext(bodies)
-		if t == nil {
-			break
-		}
+	for len(e.heap) > 0 {
+		ev := e.heap.pop()
+		t := e.threads[ev.id]
 		if e.tickHook != nil {
-			e.tickHook(t.clock)
+			e.tickHook(ev.cycle)
 		}
-		if e.cfg.MaxCycles > 0 && t.clock > e.cfg.MaxCycles {
-			// Drain every unfinished thread so its goroutine exits
-			// rather than leaking, then report the livelock.
+		if e.cfg.MaxCycles > 0 && ev.cycle > e.cfg.MaxCycles {
+			// Unwind every live context so no coroutine outlives the
+			// run, then report the livelock.
 			e.drain(bodies)
-			return t.clock, ErrMaxCycles
+			return ev.cycle, ErrMaxCycles
 		}
-		t.grant <- struct{}{}
-		<-t.yield
-		if t.finished {
-			active--
+		clock, ok := t.next()
+		if !ok {
+			// The body returned (or panicked); the context is done and
+			// is not re-queued.
+			t.finish()
 			if t.panicked != nil {
 				e.drain(bodies)
 				return t.clock, fmt.Errorf("machine: thread %d panicked: %v", t.id, t.panicked)
 			}
+			continue
 		}
+		e.heap.push(event{cycle: clock, id: ev.id})
 	}
 
 	for i, body := range bodies {
@@ -291,42 +338,21 @@ func (e *Engine) Run(bodies []func(*Ctx)) (makespan uint64, err error) {
 	return makespan, nil
 }
 
-// pickNext returns the unfinished thread with the smallest clock.
-func (e *Engine) pickNext(bodies []func(*Ctx)) *Ctx {
-	var best *Ctx
-	for i := range bodies {
-		if bodies[i] == nil {
-			continue
-		}
-		t := e.threads[i]
-		if t.finished {
-			continue
-		}
-		if best == nil || t.clock < best.clock {
-			best = t
-		}
-	}
-	return best
-}
-
-// drain terminates all remaining thread goroutines. Called only on the
-// error paths: each unfinished goroutine is parked on <-grant (inside
-// Tick, or at its initial grant), so setting aborted and granting once
-// makes it unwind via the errAbandonRun sentinel panic and signal its
-// final yield. No goroutine outlives the run.
+// drain unwinds all remaining live contexts. Called only on the error
+// paths: contexts suspended inside Tick resume with yield reporting false
+// and unwind via the errAbandonRun sentinel; contexts never resumed are
+// cancelled before their body starts. Either way the coroutine ends here,
+// synchronously, and the engine is immediately reusable.
 func (e *Engine) drain(bodies []func(*Ctx)) {
 	for i := range bodies {
 		if bodies[i] == nil {
 			continue
 		}
-		t := e.threads[i]
-		if t.finished {
-			continue
+		if t := e.threads[i]; t.next != nil {
+			t.finish()
 		}
-		t.aborted = true
-		t.grant <- struct{}{}
-		<-t.yield
 	}
+	e.heap = e.heap[:0]
 }
 
 // mix combines a seed and a thread id into a well-spread 64-bit PRNG seed

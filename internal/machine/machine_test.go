@@ -12,19 +12,75 @@ func TestConfigValidate(t *testing.T) {
 	cases := []struct {
 		name string
 		cfg  Config
-		ok   bool
+		want error // nil = valid; otherwise the named sentinel to match
 	}{
-		{"default", DefaultConfig(), true},
-		{"zero threads", Config{HWThreads: 0, PhysCores: 1}, false},
-		{"too many threads", Config{HWThreads: 65, PhysCores: 1}, false},
-		{"zero cores", Config{HWThreads: 4, PhysCores: 0}, false},
-		{"non-multiple", Config{HWThreads: 6, PhysCores: 4}, false},
-		{"single", Config{HWThreads: 1, PhysCores: 1}, true},
-		{"smt4", Config{HWThreads: 16, PhysCores: 4}, true},
+		{"default", DefaultConfig(), nil},
+		{"single", Config{HWThreads: 1, PhysCores: 1}, nil},
+		{"smt4", Config{HWThreads: 16, PhysCores: 4}, nil},
+		{"zero threads", Config{HWThreads: 0, PhysCores: 1}, ErrHWThreads},
+		{"negative threads", Config{HWThreads: -4, PhysCores: 1}, ErrHWThreads},
+		{"too many threads", Config{HWThreads: MaxHWThreads + 1, PhysCores: 1}, ErrTooManyThreads},
+		{"zero cores", Config{HWThreads: 4, PhysCores: 0}, ErrPhysCores},
+		{"negative cores", Config{HWThreads: 4, PhysCores: -2}, ErrPhysCores},
+		{"non-multiple", Config{HWThreads: 6, PhysCores: 4}, ErrTopology},
+		{"fewer threads than cores", Config{HWThreads: 2, PhysCores: 4}, ErrTopology},
 	}
 	for _, c := range cases {
-		if err := c.cfg.Validate(); (err == nil) != c.ok {
-			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		err := c.cfg.Validate()
+		if c.want == nil {
+			if err != nil {
+				t.Errorf("%s: Validate() = %v, want nil", c.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: Validate() = %v, want errors.Is(%v)", c.name, err, c.want)
+		}
+	}
+}
+
+// TestSiblingsPartition: {hw} ∪ Siblings(hw) must partition the hardware
+// threads into PhysCores groups of equal size, with membership symmetric
+// and consistent with PhysCore.
+func TestSiblingsPartition(t *testing.T) {
+	for _, cfg := range []Config{
+		{HWThreads: 8, PhysCores: 4},
+		{HWThreads: 16, PhysCores: 4},
+		{HWThreads: 6, PhysCores: 3},
+		{HWThreads: 4, PhysCores: 4},
+		{HWThreads: 1, PhysCores: 1},
+	} {
+		seen := make(map[int]int, cfg.HWThreads) // thread -> core of its group
+		for hw := 0; hw < cfg.HWThreads; hw++ {
+			group := append([]int{hw}, cfg.Siblings(hw)...)
+			if want := cfg.HWThreads / cfg.PhysCores; len(group) != want {
+				t.Fatalf("%+v: group of %d has %d members, want %d", cfg, hw, len(group), want)
+			}
+			for _, m := range group {
+				if cfg.PhysCore(m) != cfg.PhysCore(hw) {
+					t.Fatalf("%+v: %d and %d grouped but on cores %d and %d",
+						cfg, hw, m, cfg.PhysCore(hw), cfg.PhysCore(m))
+				}
+				if prev, ok := seen[m]; ok && prev != cfg.PhysCore(m) {
+					t.Fatalf("%+v: thread %d assigned to two cores", cfg, m)
+				}
+				seen[m] = cfg.PhysCore(m)
+			}
+			// Symmetry: hw appears in each sibling's group.
+			for _, s := range cfg.Siblings(hw) {
+				found := false
+				for _, back := range cfg.Siblings(s) {
+					if back == hw {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("%+v: %d lists sibling %d but not vice versa", cfg, hw, s)
+				}
+			}
+		}
+		if len(seen) != cfg.HWThreads {
+			t.Fatalf("%+v: groups cover %d of %d threads", cfg, len(seen), cfg.HWThreads)
 		}
 	}
 }

@@ -107,6 +107,39 @@ func (r Report) String() string {
 	return b.String()
 }
 
+// Summary renders a canonical, deterministic digest of the report: every
+// counter the runtime maintains, in a fixed order and fixed formatting.
+// Two runs of the same Config and seed must produce byte-identical
+// summaries — the determinism golden test and `seerstat -summary` are
+// built on this. Unlike String, zero counters are printed, so the digest
+// shape is independent of which events happened to occur.
+func (r Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy=%s threads=%d\n", r.Policy, r.Threads)
+	fmt.Fprintf(&b, "makespan=%d commits=%d\n", r.MakespanCycles, r.Commits())
+	for m := Mode(0); m < NumModes; m++ {
+		fmt.Fprintf(&b, "mode[%s]=%d\n", m.String(), r.Modes[m])
+	}
+	fmt.Fprintf(&b, "htm commits=%d aborts=%d conflict=%d capacity=%d explicit=%d spurious=%d\n",
+		r.HTM.Commits, r.HTM.Aborts, r.HTM.ConflictAborts, r.HTM.CapacityAborts,
+		r.HTM.ExplicitAborts, r.HTM.SpuriousAborts)
+	fmt.Fprintf(&b, "hwattempts=%d fallbacks=%d\n", r.HWAttempts, r.Fallbacks)
+	if r.Seer != nil {
+		fmt.Fprintf(&b, "seer th1=%.6f th2=%.6f updates=%d multicas=%d/%d lockacq=%d medianfrac=%.6f\n",
+			r.Seer.Thresholds.Th1, r.Seer.Thresholds.Th2, r.Seer.SchemeUpdates,
+			r.Seer.MultiCASOk, r.Seer.MultiCASFail, r.Seer.LockAcqEvents, r.Seer.LockFracMedian)
+		for i, row := range r.Seer.SchemeRows {
+			fmt.Fprintf(&b, "scheme[%d]=%v\n", i, row)
+		}
+	}
+	fmt.Fprintf(&b, "timeline intervals=%d\n", len(r.Timeline))
+	for _, s := range r.Timeline {
+		fmt.Fprintf(&b, "interval[%d] %d..%d commits=%d attempts=%d aborts=%v fallbacks=%d lockwait=%d modes=%v\n",
+			s.Index, s.StartCycle, s.EndCycle, s.Commits, s.Attempts, s.Aborts, s.Fallbacks, s.LockWait, s.Modes)
+	}
+	return b.String()
+}
+
 // WriteTimelineCSV renders Report.Timeline as CSV, one row per interval.
 func (r Report) WriteTimelineCSV(w io.Writer) error {
 	return telemetry.WriteCSV(w, r.Timeline)

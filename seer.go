@@ -33,6 +33,7 @@
 package seer
 
 import (
+	"errors"
 	"fmt"
 
 	"seer/internal/core"
@@ -186,6 +187,76 @@ func DefaultConfig() Config {
 	}
 }
 
+// Named configuration errors, matchable with errors.Is. Validate (and
+// therefore NewSystem) wraps these with the offending value.
+var (
+	ErrThreads         = errors.New("seer: Threads must be positive")
+	ErrNumAtomicBlocks = errors.New("seer: NumAtomicBlocks must be positive")
+	ErrMaxAttempts     = errors.New("seer: MaxAttempts must be positive")
+	ErrHWThreads       = errors.New("seer: HWThreads < Threads")
+	ErrPolicy          = errors.New("seer: unknown policy")
+)
+
+// valid reports whether p names a registered policy.
+func (p PolicyKind) valid() bool {
+	switch p {
+	case PolicyHLE, PolicyRTM, PolicySCM, PolicyATS, PolicyOracle, PolicySeer, PolicySeq:
+		return true
+	}
+	return false
+}
+
+// machineShape resolves the defaults for the machine topology: HWThreads
+// falls back to Threads, PhysCores to one hardware thread per core, and
+// the thread count is rounded up to a multiple of the physical cores
+// (idle hardware threads are harmless).
+func (c Config) machineShape() (hw, phys int) {
+	hw = c.HWThreads
+	if hw == 0 {
+		hw = c.Threads
+	}
+	phys = c.PhysCores
+	if phys == 0 {
+		phys = hw
+	}
+	if phys > 0 && hw%phys != 0 {
+		hw += phys - hw%phys
+	}
+	return hw, phys
+}
+
+// Validate checks the configuration without building a system. All
+// violations are reported as wrapped named errors (ErrThreads,
+// ErrNumAtomicBlocks, ErrMaxAttempts, ErrHWThreads, ErrPolicy, or the
+// machine package's sentinels for topology violations), so callers can
+// match with errors.Is.
+func (c Config) Validate() error {
+	if c.Threads <= 0 {
+		return fmt.Errorf("%w, got %d", ErrThreads, c.Threads)
+	}
+	if c.NumAtomicBlocks <= 0 {
+		return fmt.Errorf("%w, got %d", ErrNumAtomicBlocks, c.NumAtomicBlocks)
+	}
+	if c.MaxAttempts <= 0 {
+		return fmt.Errorf("%w, got %d", ErrMaxAttempts, c.MaxAttempts)
+	}
+	if c.HWThreads != 0 && c.HWThreads < c.Threads {
+		return fmt.Errorf("%w: %d < %d", ErrHWThreads, c.HWThreads, c.Threads)
+	}
+	if !c.Policy.valid() {
+		return fmt.Errorf("%w %q", ErrPolicy, c.Policy)
+	}
+	hw, phys := c.machineShape()
+	mach := machine.Config{
+		HWThreads: hw,
+		PhysCores: phys,
+		Seed:      c.Seed,
+		MaxCycles: c.MaxCycles,
+		Cost:      c.Cost,
+	}
+	return mach.Validate()
+}
+
 // Worker is the code run by one thread of the simulated program.
 type Worker func(*Thread)
 
@@ -207,31 +278,10 @@ type System struct {
 // per Run for meaningful statistics, though repeated Runs are allowed and
 // accumulate counters.
 func NewSystem(cfg Config) (*System, error) {
-	if cfg.Threads <= 0 {
-		return nil, fmt.Errorf("seer: Threads must be positive, got %d", cfg.Threads)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.NumAtomicBlocks <= 0 {
-		return nil, fmt.Errorf("seer: NumAtomicBlocks must be positive, got %d", cfg.NumAtomicBlocks)
-	}
-	if cfg.MaxAttempts <= 0 {
-		return nil, fmt.Errorf("seer: MaxAttempts must be positive, got %d", cfg.MaxAttempts)
-	}
-	hw := cfg.HWThreads
-	if hw == 0 {
-		hw = cfg.Threads
-	}
-	if hw < cfg.Threads {
-		return nil, fmt.Errorf("seer: HWThreads (%d) < Threads (%d)", hw, cfg.Threads)
-	}
-	phys := cfg.PhysCores
-	if phys == 0 {
-		phys = hw
-	}
-	// Round the machine's thread count up so it is a multiple of the
-	// physical cores (idle hardware threads are harmless).
-	if hw%phys != 0 {
-		hw += phys - hw%phys
-	}
+	hw, phys := cfg.machineShape()
 	mach := machine.Config{
 		HWThreads: hw,
 		PhysCores: phys,

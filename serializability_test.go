@@ -1,6 +1,7 @@
 package seer_test
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -143,25 +144,221 @@ func TestReadOnlyAuditsSeeConsistentSnapshots(t *testing.T) {
 	}
 }
 
-// TestConfigValidation covers the public constructor's error paths.
+// TestCapacityAbortConservation: when every transaction's footprint
+// exceeds the HTM write-set budget, hardware attempts must capacity-abort
+// and the runtime must push all commits through the fall-back paths
+// (SGL, or Seer's tx/core locks) without losing atomicity. Each committed
+// transaction increments every line of a shared region by one, so after
+// the run every line must equal the total committed count.
+func TestCapacityAbortConservation(t *testing.T) {
+	const lines = 8
+	for _, pol := range []seer.PolicyKind{seer.PolicyHLE, seer.PolicyRTM, seer.PolicySCM, seer.PolicyATS, seer.PolicyOracle, seer.PolicySeer} {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			f := func(seed int64, threads8 uint8) bool {
+				threads := int(threads8%4) + 2
+				cfg := seer.DefaultConfig()
+				cfg.Policy = pol
+				cfg.Threads = threads
+				cfg.HWThreads = 8
+				cfg.PhysCores = 4
+				cfg.Seed = seed
+				cfg.NumAtomicBlocks = 1
+				cfg.MemWords = 1 << 14
+				cfg.HTM.WriteSetLines = lines / 2 // footprint is 2x the budget
+				cfg.MaxCycles = 1 << 32
+				sys, err := seer.NewSystem(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				region := sys.AllocLines(lines)
+				const iters = 30
+				workers := make([]seer.Worker, threads)
+				for w := range workers {
+					workers[w] = func(th *seer.Thread) {
+						for n := 0; n < iters; n++ {
+							th.Atomic(0, func(a seer.Access) {
+								for l := 0; l < lines; l++ {
+									addr := region + seer.Addr(l*8)
+									a.Store(addr, a.Load(addr)+1)
+								}
+							})
+							th.Work(15)
+						}
+					}
+				}
+				rep, err := sys.Run(workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.HTM.CapacityAborts == 0 {
+					t.Fatalf("%s: no capacity aborts despite oversized footprint", pol)
+				}
+				want := uint64(threads * iters)
+				for l := 0; l < lines; l++ {
+					if got := sys.Peek(region + seer.Addr(l*8)); got != want {
+						t.Fatalf("%s: line %d = %d, want %d (lost or duplicated increments)", pol, l, got, want)
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMixedBlockConservation runs four distinct atomic blocks — two
+// intra-half transfer blocks, one cross-half block and a read-only global
+// audit — concurrently. With NumAtomicBlocks > 2 Seer's pairwise
+// statistics and locking scheme get distinct rows per block; whatever
+// scheme it infers, money must be conserved and every audit must observe
+// the full total.
+func TestMixedBlockConservation(t *testing.T) {
+	for _, pol := range []seer.PolicyKind{seer.PolicyRTM, seer.PolicySeer} {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			f := func(seed int64, threads8 uint8) bool {
+				threads := int(threads8%6) + 2
+				const nAccounts = 8 // two halves of 4
+				const initial = 1000
+				cfg := seer.DefaultConfig()
+				cfg.Policy = pol
+				cfg.Threads = threads
+				cfg.HWThreads = 8
+				cfg.PhysCores = 4
+				cfg.Seed = seed
+				cfg.NumAtomicBlocks = 4
+				cfg.MemWords = 1 << 14
+				cfg.MaxCycles = 1 << 32
+				sys, err := seer.NewSystem(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				accounts := sys.AllocLines(nAccounts)
+				addr := func(i int) seer.Addr { return accounts + seer.Addr(i*8) }
+				for i := 0; i < nAccounts; i++ {
+					sys.Poke(addr(i), initial)
+				}
+				transfer := func(a seer.Access, from, to int, amount uint64) {
+					bal := a.Load(addr(from))
+					if bal >= amount {
+						a.Store(addr(from), bal-amount)
+						a.Store(addr(to), a.Load(addr(to))+amount)
+					}
+				}
+				torn := make([]int, threads)
+				workers := make([]seer.Worker, threads)
+				for w := range workers {
+					id := w
+					workers[w] = func(th *seer.Thread) {
+						rng := th.Rand()
+						for n := 0; n < 60; n++ {
+							amount := uint64(rng.Intn(40))
+							switch rng.Intn(4) {
+							case 0: // lower half only
+								th.Atomic(0, func(a seer.Access) {
+									transfer(a, rng.Intn(4), rng.Intn(4), amount)
+								})
+							case 1: // upper half only
+								th.Atomic(1, func(a seer.Access) {
+									transfer(a, 4+rng.Intn(4), 4+rng.Intn(4), amount)
+								})
+							case 2: // across the halves
+								th.Atomic(2, func(a seer.Access) {
+									transfer(a, rng.Intn(4), 4+rng.Intn(4), amount)
+								})
+							default: // global audit
+								var sum uint64
+								th.Atomic(3, func(a seer.Access) {
+									sum = 0
+									for i := 0; i < nAccounts; i++ {
+										sum += a.Load(addr(i))
+									}
+								})
+								if sum != nAccounts*initial {
+									torn[id]++
+								}
+							}
+						}
+					}
+				}
+				if _, err := sys.Run(workers); err != nil {
+					t.Fatal(err)
+				}
+				for id, v := range torn {
+					if v > 0 {
+						t.Fatalf("%s: thread %d saw %d torn audits", pol, id, v)
+					}
+				}
+				var total uint64
+				for i := 0; i < nAccounts; i++ {
+					total += sys.Peek(addr(i))
+				}
+				return total == nAccounts*initial
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConfigValidation covers the public constructor's error paths; each
+// violation must map to its named sentinel so callers can errors.Is.
 func TestConfigValidation(t *testing.T) {
 	base := seer.DefaultConfig()
 	cases := []struct {
 		name   string
 		mutate func(*seer.Config)
+		want   error
 	}{
-		{"zero threads", func(c *seer.Config) { c.Threads = 0 }},
-		{"zero blocks", func(c *seer.Config) { c.NumAtomicBlocks = 0 }},
-		{"zero attempts", func(c *seer.Config) { c.MaxAttempts = 0 }},
-		{"hwthreads below threads", func(c *seer.Config) { c.Threads = 8; c.HWThreads = 4 }},
-		{"unknown policy", func(c *seer.Config) { c.Policy = "Bogus" }},
+		{"zero threads", func(c *seer.Config) { c.Threads = 0 }, seer.ErrThreads},
+		{"negative threads", func(c *seer.Config) { c.Threads = -3 }, seer.ErrThreads},
+		{"zero blocks", func(c *seer.Config) { c.NumAtomicBlocks = 0 }, seer.ErrNumAtomicBlocks},
+		{"zero attempts", func(c *seer.Config) { c.MaxAttempts = 0 }, seer.ErrMaxAttempts},
+		{"hwthreads below threads", func(c *seer.Config) { c.Threads = 8; c.HWThreads = 4 }, seer.ErrHWThreads},
+		{"unknown policy", func(c *seer.Config) { c.Policy = "Bogus" }, seer.ErrPolicy},
 	}
 	for _, tc := range cases {
 		cfg := base
 		tc.mutate(&cfg)
-		if _, err := seer.NewSystem(cfg); err == nil {
-			t.Errorf("%s: NewSystem accepted invalid config", tc.name)
+		if err := cfg.Validate(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Validate = %v, want %v", tc.name, err, tc.want)
 		}
+		if _, err := seer.NewSystem(cfg); !errors.Is(err, tc.want) {
+			t.Errorf("%s: NewSystem = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDefaultConfigInvariants pins the paper's testbed shape: the default
+// configuration must validate as-is and encode 8 hyperthreads on 4 cores
+// with Intel's recommended 5-attempt retry budget and full Seer options.
+func TestDefaultConfigInvariants(t *testing.T) {
+	cfg := seer.DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("DefaultConfig does not validate: %v", err)
+	}
+	if cfg.Threads != 8 || cfg.PhysCores != 4 {
+		t.Fatalf("testbed shape = %d threads / %d cores, want 8/4", cfg.Threads, cfg.PhysCores)
+	}
+	if cfg.MaxAttempts != 5 {
+		t.Fatalf("MaxAttempts = %d, want the paper's 5", cfg.MaxAttempts)
+	}
+	if cfg.Policy != seer.PolicySeer {
+		t.Fatalf("default policy = %s, want Seer", cfg.Policy)
+	}
+	if cfg.NumAtomicBlocks <= 0 || cfg.MemWords <= 0 {
+		t.Fatalf("degenerate defaults: blocks=%d memwords=%d", cfg.NumAtomicBlocks, cfg.MemWords)
+	}
+	if cfg.MaxCycles != 0 {
+		t.Fatalf("MaxCycles = %d, want unlimited default", cfg.MaxCycles)
+	}
+	// A default system must actually build and run.
+	if _, err := seer.NewSystem(cfg); err != nil {
+		t.Fatalf("NewSystem(DefaultConfig) failed: %v", err)
 	}
 }
 
