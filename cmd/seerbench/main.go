@@ -14,6 +14,8 @@
 //	-parallel n  run n grid cells concurrently (-1 = one per CPU; output
 //	             is byte-identical to a sequential run at any width)
 //	-bench-json f write executor timing/throughput stats to f as JSON
+//	-cpuprofile f write a pprof CPU profile of the run to f
+//	-memprofile f write a pprof heap profile (taken at exit, after a GC) to f
 //	-v           stream per-cell progress to stderr
 package main
 
@@ -24,6 +26,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -66,8 +69,27 @@ func main() {
 		interval   = flag.Uint64("metrics-interval", 0, "timeline: snapshot period in cycles (0 = default)")
 		parallel   = flag.Int("parallel", 0, "concurrent grid cells (0/1 = sequential, -1 = one per CPU)")
 		benchJSON  = flag.String("bench-json", "", "write executor timing stats to this JSON file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	// fail stops an in-flight CPU profile (StopCPUProfile is a no-op when
+	// none is running) so partial profiles are flushed, then exits.
+	fail := func(err error) {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "seerbench: %v\n", err)
+		os.Exit(1)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+	}
 
 	opt := harness.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel}
 	var wls []string
@@ -83,8 +105,7 @@ func main() {
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "seerbench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		csvOut = f
@@ -192,8 +213,7 @@ func main() {
 		opt.Stats = stats
 		start := time.Now()
 		if err := run(name); err != nil {
-			fmt.Fprintf(os.Stderr, "seerbench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		wall := time.Since(start)
 		ms := float64(wall.Nanoseconds()) / 1e6
@@ -213,8 +233,19 @@ func main() {
 			err = os.WriteFile(*benchJSON, append(buf, '\n'), 0o644)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "seerbench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
+	}
+	pprof.StopCPUProfile()
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC() // report live heap, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
 	}
 }

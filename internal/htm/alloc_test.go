@@ -1,0 +1,94 @@
+package htm
+
+import (
+	"testing"
+
+	"seer/internal/machine"
+	"seer/internal/mem"
+)
+
+// TestCommittedTxnZeroAllocs is the regression guard for the allocation-
+// free fast path: a committed, uncontended transaction must not touch the
+// heap at all. The measurement runs inside the engine body (AllocsPerRun
+// suspends and resumes the coroutine freely), after one warm-up attempt so
+// the thread's reusable buffers are at steady-state capacity.
+func TestCommittedTxnZeroAllocs(t *testing.T) {
+	cfg := machine.Config{HWThreads: 1, PhysCores: 1, Seed: 1, Cost: machine.DefaultCostModel()}
+	eng, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(1 << 12)
+	u := New(m, cfg, Config{ReadSetLines: 64, WriteSetLines: 16, SpuriousProb: 0})
+	base := m.AllocLines(4)
+
+	body := func(tx *Tx) {
+		for l := 0; l < 4; l++ {
+			a := base + mem.Addr(l*mem.LineWords)
+			tx.Store(a, tx.Load(a)+1)
+		}
+		tx.Work(8)
+	}
+	if _, err := eng.Run([]func(*machine.Ctx){func(c *machine.Ctx) {
+		if st := u.Run(c, body); st != 0 {
+			t.Errorf("warm-up attempt aborted: %v", st)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if st := u.Run(c, body); st != 0 {
+				t.Errorf("measured attempt aborted: %v", st)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("committed uncontended transaction allocates %.1f times per run, want 0", allocs)
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteBufReuseAcrossAttempts: the write buffer grows once for a large
+// write set, then later attempts — including larger-footprint retries of
+// the same shape — reuse the grown table without allocating.
+func TestWriteBufReuseAcrossAttempts(t *testing.T) {
+	cfg := machine.Config{HWThreads: 1, PhysCores: 1, Seed: 1, Cost: machine.DefaultCostModel()}
+	eng, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(1 << 16)
+	u := New(m, cfg, Config{ReadSetLines: 4096, WriteSetLines: 512, SpuriousProb: 0})
+	base := m.AllocLines(64)
+
+	// 256 distinct words across 32 lines: well past wbInitSlots, so the
+	// first attempt grows the table; the rest must not.
+	wide := func(tx *Tx) {
+		for l := 0; l < 32; l++ {
+			for w := 0; w < 8; w++ {
+				tx.Store(base+mem.Addr(l*mem.LineWords+w), uint64(l*8+w))
+			}
+		}
+	}
+	if _, err := eng.Run([]func(*machine.Ctx){func(c *machine.Ctx) {
+		if st := u.Run(c, wide); st != 0 {
+			t.Errorf("warm-up attempt aborted: %v", st)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if st := u.Run(c, wide); st != 0 {
+				t.Errorf("measured attempt aborted: %v", st)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("steady-state wide transaction allocates %.1f times per run, want 0", allocs)
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// The committed values must all have landed.
+	for l := 0; l < 32; l++ {
+		for w := 0; w < 8; w++ {
+			if got := m.Peek(base + mem.Addr(l*mem.LineWords+w)); got != uint64(l*8+w) {
+				t.Fatalf("word (%d,%d) = %d, want %d", l, w, got, l*8+w)
+			}
+		}
+	}
+}

@@ -26,6 +26,7 @@ package htm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"seer/internal/machine"
 	"seer/internal/mem"
@@ -131,25 +132,38 @@ func (c *Counters) Add(other Counters) {
 	c.SpuriousAborts += other.SpuriousAborts
 }
 
-// txnState is the per-hardware-thread transaction context.
+// txnState is the per-hardware-thread transaction context. All of its
+// buffers — the registered-line list, the epoch-stamped write buffer and
+// the reusable Tx handle — live for the thread's lifetime and are reused
+// across attempts, so a committed transaction allocates nothing.
+//
+// Read/write-set membership is not tracked here at all: the memory's
+// conflict registry (mem.lineState) is the authoritative set
+// representation, and RegisterRead/RegisterWrite report exactly when a set
+// grows. txnState only keeps the two footprint counters the capacity model
+// needs, plus the flat list of registered lines for O(set-size)
+// unregistration.
 type txnState struct {
-	active     bool
-	doomed     bool
-	doomStatus Status
-	doomedBy   int8 // hw thread whose access doomed this txn (-1 unknown)
-	readLines  map[mem.Line]struct{}
-	writeLines map[mem.Line]struct{}
-	writeBuf   map[mem.Addr]uint64
-	lines      []mem.Line // every registered line, for unregistering
+	active      bool
+	doomed      bool
+	doomStatus  Status
+	doomedBy    int8       // hw thread whose access doomed this txn (-1 unknown)
+	nReadLines  int        // lines counted against the read budget
+	nWriteLines int        // lines counted against the write budget
+	lines       []mem.Line // every registered line, for unregistering
+	wb          writeBuf   // buffered stores, reused across attempts
+	tx          Tx         // reusable per-attempt transaction handle
 }
 
+// reset clears the per-attempt state while keeping every reusable buffer's
+// capacity: lines is truncated in place and the write buffer's backing
+// arrays stay armed for the next begin().
 func (t *txnState) reset() {
 	t.active = false
 	t.doomed = false
 	t.doomStatus = 0
-	t.readLines = nil
-	t.writeLines = nil
-	t.writeBuf = nil
+	t.nReadLines = 0
+	t.nWriteLines = 0
 	t.lines = t.lines[:0]
 }
 
@@ -161,6 +175,11 @@ type Unit struct {
 	cfg  Config
 	txns []txnState
 	cnt  []Counters // per hardware thread
+	// coreActive[core] counts the hardware threads of one physical core
+	// currently inside a transaction, maintained at transaction begin/end
+	// so the capacity model reads it in O(1) instead of scanning the
+	// core's siblings on every set growth.
+	coreActive []int8
 	// lastConflictor[hw] records who doomed hw's latest conflict abort
 	// (simulator-only oracle; see LastConflictor).
 	lastConflictor []int8
@@ -174,6 +193,7 @@ func New(m *mem.Memory, mach machine.Config, cfg Config) *Unit {
 		cfg:            cfg,
 		txns:           make([]txnState, mach.HWThreads),
 		cnt:            make([]Counters, mach.HWThreads),
+		coreActive:     make([]int8, mach.PhysCores),
 		lastConflictor: make([]int8, mach.HWThreads),
 	}
 	for i := range u.lastConflictor {
@@ -211,7 +231,7 @@ func (u *Unit) Active(hw int) bool { return u.txns[hw].active }
 // DoomReaders aborts every transaction in the readers bitmask except self.
 func (u *Unit) DoomReaders(readers uint64, self int) {
 	for readers != 0 {
-		hw := trailingZeros(readers)
+		hw := bits.TrailingZeros64(readers)
 		readers &^= 1 << uint(hw)
 		if hw != self {
 			u.doom(hw, BitConflict|BitRetry, self)
@@ -251,8 +271,8 @@ func (u *Unit) doom(hw int, status Status, by int) {
 	u.lastConflictor[hw] = int8(by)
 	u.mem.Unregister(hw, t.lines)
 	t.lines = t.lines[:0]
-	t.readLines = nil
-	t.writeLines = nil
+	t.nReadLines = 0
+	t.nWriteLines = 0
 }
 
 // abortSignal is the panic payload used to unwind a transaction body, the
@@ -261,32 +281,29 @@ type abortSignal struct{ status Status }
 
 // Tx is a running hardware transaction bound to one hardware thread. It
 // implements the same Load/Store accessor shape as mem.Direct, so workload
-// code is oblivious to which path (HTM or fall-back) executes it.
+// code is oblivious to which path (HTM or fall-back) executes it. The
+// struct lives inside its thread's txnState and is reused across attempts.
 type Tx struct {
-	u   *Unit
-	ctx *machine.Ctx
-	hw  int
+	u    *Unit
+	ctx  *machine.Ctx
+	cost *machine.CostModel
+	hw   int
 }
 
 // activeOnCore counts hardware threads of hw's physical core currently
 // running a transaction (including hw itself); the L1 line budget is
-// divided by it.
+// divided by it. The count is maintained incrementally at transaction
+// begin/end (see Run), so this is an array read.
 func (u *Unit) activeOnCore(hw int) int {
-	n := 0
-	core := u.mach.PhysCore(hw)
-	for t := core; t < u.mach.HWThreads; t += u.mach.PhysCores {
-		if u.txns[t].active {
-			n++
-		}
-	}
+	n := int(u.coreActive[u.mach.PhysCore(hw)])
 	if n == 0 {
 		n = 1
 	}
 	return n
 }
 
-func (u *Unit) readCap(hw int) int  { return maxInt(1, u.cfg.ReadSetLines/u.activeOnCore(hw)) }
-func (u *Unit) writeCap(hw int) int { return maxInt(1, u.cfg.WriteSetLines/u.activeOnCore(hw)) }
+func (u *Unit) readCap(hw int) int  { return max(1, u.cfg.ReadSetLines/u.activeOnCore(hw)) }
+func (u *Unit) writeCap(hw int) int { return max(1, u.cfg.WriteSetLines/u.activeOnCore(hw)) }
 
 // step advances virtual time by cost and delivers any pending asynchronous
 // abort.
@@ -302,21 +319,20 @@ func (t *Tx) step(cost uint64) {
 	}
 }
 
-// Load performs a transactional load.
+// Load performs a transactional load. The conflict registry doubles as
+// the read-set representation: RegisterRead reports whether the set grew,
+// so the only per-access bookkeeping is a counter bump and a slice append.
 func (t *Tx) Load(a mem.Addr) uint64 {
-	t.step(t.ctx.Machine().Cost.TxLoad)
+	t.step(t.cost.TxLoad)
 	st := &t.u.txns[t.hw]
-	if v, ok := st.writeBuf[a]; ok {
+	if v, ok := st.wb.get(a); ok {
 		return v
 	}
-	if t.u.mem.RegisterRead(t.hw, a) {
-		ln := mem.LineOf(a)
-		if _, dup := st.writeLines[ln]; !dup {
-			st.readLines[ln] = struct{}{}
-			st.lines = append(st.lines, ln)
-			if len(st.readLines) > t.u.readCap(t.hw) {
-				panic(abortSignal{BitCapacity})
-			}
+	if grew, ownWrite := t.u.mem.RegisterRead(t.hw, a); grew && !ownWrite {
+		st.nReadLines++
+		st.lines = append(st.lines, mem.LineOf(a))
+		if st.nReadLines > t.u.readCap(t.hw) {
+			panic(abortSignal{BitCapacity})
 		}
 	}
 	return t.u.mem.Peek(a)
@@ -324,19 +340,18 @@ func (t *Tx) Load(a mem.Addr) uint64 {
 
 // Store performs a transactional (buffered) store.
 func (t *Tx) Store(a mem.Addr, v uint64) {
-	t.step(t.ctx.Machine().Cost.TxStore)
+	t.step(t.cost.TxStore)
 	st := &t.u.txns[t.hw]
-	if t.u.mem.RegisterWrite(t.hw, a) {
-		ln := mem.LineOf(a)
-		st.writeLines[ln] = struct{}{}
-		if _, wasRead := st.readLines[ln]; !wasRead {
-			st.lines = append(st.lines, ln)
+	if grew, wasReader := t.u.mem.RegisterWrite(t.hw, a); grew {
+		st.nWriteLines++
+		if !wasReader {
+			st.lines = append(st.lines, mem.LineOf(a))
 		}
-		if len(st.writeLines) > t.u.writeCap(t.hw) {
+		if st.nWriteLines > t.u.writeCap(t.hw) {
 			panic(abortSignal{BitCapacity})
 		}
 	}
-	st.writeBuf[a] = v
+	st.wb.put(a, v)
 }
 
 // Work simulates n units of in-transaction computation (with abort
@@ -344,7 +359,7 @@ func (t *Tx) Store(a mem.Addr, v uint64) {
 // step).
 func (t *Tx) Work(n uint64) {
 	if n > 0 {
-		t.step(n * t.ctx.Machine().Cost.Work)
+		t.step(n * t.cost.Work)
 	}
 }
 
@@ -358,8 +373,12 @@ func (t *Tx) Abort(code uint8) {
 }
 
 // ReadSetLines and WriteSetLines report the current footprint, for tests.
-func (t *Tx) ReadSetLines() int  { return len(t.u.txns[t.hw].readLines) }
-func (t *Tx) WriteSetLines() int { return len(t.u.txns[t.hw].writeLines) }
+func (t *Tx) ReadSetLines() int  { return t.u.txns[t.hw].nReadLines }
+func (t *Tx) WriteSetLines() int { return t.u.txns[t.hw].nWriteLines }
+
+// WriteSetWords reports the number of distinct buffered store addresses,
+// for tests.
+func (t *Tx) WriteSetWords() int { return t.u.txns[t.hw].wb.count() }
 
 // Run executes body as one hardware transaction attempt on ctx's thread.
 // It returns status 0 if the transaction committed, and the abort status
@@ -371,18 +390,22 @@ func (u *Unit) Run(ctx *machine.Ctx, body func(*Tx)) (status Status) {
 	if st.active {
 		panic("htm: nested hardware transactions are not supported")
 	}
-	ctx.Tick(ctx.Machine().Cost.XBegin)
+	cost := ctx.Cost()
+	ctx.Tick(cost.XBegin)
 	st.active = true
+	u.coreActive[u.mach.PhysCore(hw)]++
 	st.doomed = false
 	st.doomStatus = 0
-	st.readLines = make(map[mem.Line]struct{}, 16)
-	st.writeLines = make(map[mem.Line]struct{}, 8)
-	st.writeBuf = make(map[mem.Addr]uint64, 8)
+	st.nReadLines = 0
+	st.nWriteLines = 0
 	st.lines = st.lines[:0]
+	st.wb.begin()
 
-	tx := &Tx{u: u, ctx: ctx, hw: hw}
+	tx := &st.tx
+	tx.u, tx.ctx, tx.cost, tx.hw = u, ctx, cost, hw
 	defer func() {
 		if r := recover(); r != nil {
+			u.coreActive[u.mach.PhysCore(hw)]--
 			sig, ok := r.(abortSignal)
 			if !ok {
 				st.reset()
@@ -396,7 +419,7 @@ func (u *Unit) Run(ctx *machine.Ctx, body func(*Tx)) (status Status) {
 			u.mem.Unregister(hw, st.lines)
 			st.reset()
 			u.recordAbort(hw, status)
-			ctx.Tick(ctx.Machine().Cost.AbortHandle)
+			ctx.Tick(cost.AbortHandle)
 		}
 	}()
 
@@ -404,12 +427,11 @@ func (u *Unit) Run(ctx *machine.Ctx, body func(*Tx)) (status Status) {
 
 	// Commit: one scheduling point, then the write buffer becomes
 	// globally visible atomically (single-threaded step).
-	tx.step(ctx.Machine().Cost.XEnd)
-	for a, v := range st.writeBuf {
-		u.mem.Poke(a, v)
-	}
+	tx.step(cost.XEnd)
+	st.wb.apply(u.mem)
 	u.mem.Unregister(hw, st.lines)
 	st.reset()
+	u.coreActive[u.mach.PhysCore(hw)]--
 	u.cnt[hw].Commits++
 	return 0
 }
@@ -427,22 +449,6 @@ func (u *Unit) recordAbort(hw int, s Status) {
 	case s&BitSpurious != 0:
 		c.SpuriousAborts++
 	}
-}
-
-func trailingZeros(x uint64) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Compile-time check: a hardware transaction satisfies the uniform

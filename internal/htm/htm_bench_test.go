@@ -51,6 +51,28 @@ func BenchmarkConflictingTxns(b *testing.B) {
 	eng.Run([]func(*machine.Ctx){body, body})
 }
 
+// BenchmarkWriteHeavyTxn measures store-dominated transactions: every
+// access is a buffered write, so this isolates the write-buffer put path
+// and the commit apply loop.
+func BenchmarkWriteHeavyTxn(b *testing.B) {
+	cfg := machine.Config{HWThreads: 1, PhysCores: 1, Seed: 1, Cost: machine.DefaultCostModel()}
+	eng, _ := machine.New(cfg)
+	m := mem.New(1 << 12)
+	u := New(m, cfg, DefaultConfig())
+	base := m.AllocLines(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Run([]func(*machine.Ctx){func(c *machine.Ctx) {
+		for i := 0; i < b.N; i++ {
+			u.Run(c, func(tx *Tx) {
+				for w := 0; w < 16; w++ {
+					tx.Store(base+mem.Addr(w), uint64(i))
+				}
+			})
+		}
+	}})
+}
+
 // BenchmarkLargeWriteSet measures per-access cost with a wide footprint.
 func BenchmarkLargeWriteSet(b *testing.B) {
 	cfg := machine.Config{HWThreads: 1, PhysCores: 1, Seed: 1, Cost: machine.DefaultCostModel()}

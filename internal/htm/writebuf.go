@@ -1,0 +1,138 @@
+package htm
+
+import "seer/internal/mem"
+
+// writeBuf is the transactional store buffer: an open-addressed hash table
+// from word address to buffered value, with epoch-stamped slot occupancy.
+// A slot is live only when its stamp equals the buffer's current epoch, so
+// starting a new transaction attempt is O(1): begin bumps the epoch and
+// every slot of the previous attempt becomes free without touching memory.
+// The backing arrays are owned by one hardware thread's txnState and are
+// retained across attempts, which is what makes the committed, uncontended
+// transaction path allocation-free in steady state (the table only ever
+// allocates when a write set outgrows every previous one on that thread).
+//
+// order records the slot index of every live entry in first-store order.
+// Commit applies the buffer by walking order, giving a deterministic apply
+// order (the Go map this replaces iterated in randomized order; with
+// distinct keys any order yields the same memory image, but a fixed order
+// keeps that property by construction and costs no extra hashing).
+type writeBuf struct {
+	slots []wbSlot
+	order []uint32
+	epoch uint32
+	mask  uint32
+}
+
+// wbSlot is one table entry; live iff epoch matches writeBuf.epoch.
+type wbSlot struct {
+	addr  mem.Addr
+	epoch uint32
+	val   uint64
+}
+
+// wbInitSlots is the initial table size: at the 1/2 max load factor it
+// covers write sets up to 32 words without growing, which is larger than
+// the common case across the STAMP workloads.
+const wbInitSlots = 64
+
+// begin arms the buffer for a new transaction attempt, invalidating every
+// entry of the previous one in O(1).
+func (w *writeBuf) begin() {
+	if w.slots == nil {
+		w.slots = make([]wbSlot, wbInitSlots)
+		w.order = make([]uint32, 0, wbInitSlots/2)
+		w.mask = wbInitSlots - 1
+	}
+	w.order = w.order[:0]
+	w.epoch++
+	if w.epoch == 0 {
+		// uint32 wraparound: ancient stamps would become ambiguous, so
+		// clear them once every 2^32 attempts.
+		for i := range w.slots {
+			w.slots[i].epoch = 0
+		}
+		w.epoch = 1
+	}
+}
+
+// hash spreads a word address over the table (Knuth multiplicative hash;
+// linear probing resolves collisions).
+func (w *writeBuf) hash(a mem.Addr) uint32 {
+	return (uint32(a) * 2654435761) & w.mask
+}
+
+// probe returns the slot index for address a: the live entry holding a, or
+// the first free slot on a's probe chain. The ≤1/2 load factor guarantees
+// a free slot terminates every chain.
+func (w *writeBuf) probe(a mem.Addr) uint32 {
+	idx := w.hash(a)
+	for {
+		s := &w.slots[idx]
+		if s.epoch != w.epoch || s.addr == a {
+			return idx
+		}
+		idx = (idx + 1) & w.mask
+	}
+}
+
+// get returns the buffered value for a, if this attempt stored one.
+func (w *writeBuf) get(a mem.Addr) (uint64, bool) {
+	if len(w.slots) == 0 {
+		return 0, false
+	}
+	idx := w.hash(a)
+	for {
+		s := &w.slots[idx]
+		if s.epoch != w.epoch {
+			return 0, false
+		}
+		if s.addr == a {
+			return s.val, true
+		}
+		idx = (idx + 1) & w.mask
+	}
+}
+
+// put buffers a store of v to a, growing the table when the live count
+// would exceed half the slots.
+func (w *writeBuf) put(a mem.Addr, v uint64) {
+	idx := w.probe(a)
+	s := &w.slots[idx]
+	if s.epoch == w.epoch {
+		s.val = v
+		return
+	}
+	if 2*(len(w.order)+1) > len(w.slots) {
+		w.grow()
+		idx = w.probe(a)
+		s = &w.slots[idx]
+	}
+	s.addr, s.epoch, s.val = a, w.epoch, v
+	w.order = append(w.order, idx)
+}
+
+// grow doubles the table and rehashes the live entries, preserving their
+// first-store order.
+func (w *writeBuf) grow() {
+	old := w.slots
+	w.slots = make([]wbSlot, 2*len(old))
+	w.mask = uint32(len(w.slots) - 1)
+	for i, oi := range w.order {
+		s := old[oi]
+		idx := w.probe(s.addr)
+		w.slots[idx] = s
+		w.order[i] = idx
+	}
+}
+
+// count returns the number of distinct addresses stored this attempt.
+func (w *writeBuf) count() int { return len(w.order) }
+
+// apply pokes every buffered store into memory in first-store order.
+func (w *writeBuf) apply(m *mem.Memory) {
+	for _, idx := range w.order {
+		s := &w.slots[idx]
+		m.Poke(s.addr, s.val)
+	}
+}

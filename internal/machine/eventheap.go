@@ -45,7 +45,25 @@ func (h *eventHeap) pop() event {
 	last := len(s) - 1
 	s[0] = s[last]
 	*h = s[:last]
-	s = s[:last]
+	s[:last].siftDown()
+	return top
+}
+
+// replaceMin swaps ev in for the minimum event and returns that minimum,
+// in one sift instead of push's sift-up followed by pop's sift-down. The
+// scheduler loop uses it for the common yield: the resumed thread's new
+// wakeup goes in as the old minimum comes out. It must not be called on an
+// empty heap, and ev must not precede the current minimum (the loop
+// handles that case without touching the heap at all).
+func (h eventHeap) replaceMin(ev event) event {
+	top := h[0]
+	h[0] = ev
+	h.siftDown()
+	return top
+}
+
+// siftDown restores the heap order after the root was replaced.
+func (s eventHeap) siftDown() {
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
@@ -62,5 +80,4 @@ func (h *eventHeap) pop() event {
 		s[i], s[min] = s[min], s[i]
 		i = min
 	}
-	return top
 }

@@ -1,0 +1,26 @@
+package mem
+
+import "testing"
+
+// TestDirectAccessZeroAllocs is the regression guard for the
+// non-transactional fast path: Direct loads, stores and work units must
+// never touch the heap (DirectStore dooms via the registry without
+// recording anything per access).
+func TestDirectAccessZeroAllocs(t *testing.T) {
+	m, _ := newTestMem(1 << 10)
+	a := m.AllocLines(2)
+	var elapsed uint64
+	d := NewDirect(m, 0, func(cost uint64) { elapsed += cost }, 2, 3, 1)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		d.Store(a, d.Load(a)+1)
+		d.Store(a+LineWords, 7)
+		d.Work(4)
+	})
+	if allocs != 0 {
+		t.Errorf("direct access allocates %.1f times per run, want 0", allocs)
+	}
+	if elapsed == 0 {
+		t.Fatalf("tick function never invoked")
+	}
+}

@@ -195,40 +195,52 @@ func (m *Memory) DirectStore(self int, a Addr, v uint64) {
 
 // RegisterRead adds hardware thread hw as a reader of the line holding a,
 // dooming a conflicting transactional writer (requester wins). It returns
-// true if the line was not yet in hw's read set (i.e. the read set grew).
-func (m *Memory) RegisterRead(hw int, a Addr) bool {
+// grew = true if the line was not yet in hw's read set (i.e. the read set
+// got bigger), and ownWrite = true if hw itself holds the line in its
+// write set — such lines are already accounted for by the write-set budget
+// and must not count against the read budget a second time.
+//
+// The two booleans exist so the HTM can maintain exact read/write line
+// counters without any per-transaction membership map: the registry entry
+// itself is the authoritative set representation.
+func (m *Memory) RegisterRead(hw int, a Addr) (grew, ownWrite bool) {
 	m.checkAddr(a)
 	ls := &m.lines[LineOf(a)]
 	if ls.writer >= 0 && int(ls.writer) != hw {
 		m.doomer.DoomWriter(int(ls.writer), hw)
 	}
+	ownWrite = int(ls.writer) == hw
 	bit := uint64(1) << uint(hw)
 	if ls.readers&bit != 0 {
-		return false
+		return false, ownWrite
 	}
 	ls.readers |= bit
-	return true
+	return true, ownWrite
 }
 
 // RegisterWrite makes hardware thread hw the transactional writer of the
 // line holding a, dooming conflicting readers and a conflicting writer
-// (requester wins). It returns true if the line was not yet in hw's write
-// set.
-func (m *Memory) RegisterWrite(hw int, a Addr) bool {
+// (requester wins). It returns grew = true if the line was not yet in hw's
+// write set, and wasReader = true if hw already holds the line in its read
+// set — such lines are already recorded in the transaction's line list and
+// must not be recorded again.
+func (m *Memory) RegisterWrite(hw int, a Addr) (grew, wasReader bool) {
 	m.checkAddr(a)
 	ls := &m.lines[LineOf(a)]
-	otherReaders := ls.readers &^ (uint64(1) << uint(hw))
+	bit := uint64(1) << uint(hw)
+	otherReaders := ls.readers &^ bit
 	if otherReaders != 0 {
 		m.doomer.DoomReaders(otherReaders, hw)
 	}
 	if ls.writer >= 0 && int(ls.writer) != hw {
 		m.doomer.DoomWriter(int(ls.writer), hw)
 	}
+	wasReader = ls.readers&bit != 0
 	if int(ls.writer) == hw {
-		return false
+		return false, wasReader
 	}
 	ls.writer = int8(hw)
-	return true
+	return true, wasReader
 }
 
 // Unregister removes hardware thread hw from the registry entries of the

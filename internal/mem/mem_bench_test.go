@@ -1,0 +1,34 @@
+package mem
+
+import "testing"
+
+// BenchmarkDirectAccess measures the non-transactional load/store path —
+// the fall-back mode's inner loop — including the strong-isolation
+// registry checks.
+func BenchmarkDirectAccess(b *testing.B) {
+	m, _ := newTestMem(1 << 12)
+	a := m.AllocLines(1)
+	var elapsed uint64
+	d := NewDirect(m, 0, func(cost uint64) { elapsed += cost }, 2, 3, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Store(a, d.Load(a)+1)
+	}
+	_ = elapsed
+}
+
+// BenchmarkRegistry measures the transactional conflict-registry
+// operations that every htm.Tx access performs.
+func BenchmarkRegistry(b *testing.B) {
+	m, _ := newTestMem(1 << 12)
+	a := m.AllocLines(1)
+	lines := []Line{LineOf(a)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RegisterRead(1, a)
+		m.RegisterWrite(1, a)
+		m.Unregister(1, lines)
+	}
+}

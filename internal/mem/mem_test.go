@@ -21,13 +21,6 @@ func (d *recordingDoomer) DoomWriter(writer, self int) {
 	}
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 func newTestMem(words int) (*Memory, *recordingDoomer) {
 	m := New(words)
 	d := &recordingDoomer{}
@@ -116,13 +109,13 @@ func TestLineOf(t *testing.T) {
 func TestRegisterReadTracksReaders(t *testing.T) {
 	m, d := newTestMem(256)
 	a := m.AllocLines(1)
-	if !m.RegisterRead(3, a) {
+	if grew, _ := m.RegisterRead(3, a); !grew {
 		t.Fatalf("first RegisterRead should grow the read set")
 	}
-	if m.RegisterRead(3, a) {
+	if grew, _ := m.RegisterRead(3, a); grew {
 		t.Fatalf("repeated RegisterRead of same line should not grow")
 	}
-	if !m.RegisterRead(5, a+1) { // same line, different word, other thread
+	if grew, _ := m.RegisterRead(5, a+1); !grew { // same line, different word, other thread
 		t.Fatalf("second thread should register")
 	}
 	ln := LineOf(a)
@@ -139,7 +132,7 @@ func TestRegisterWriteDoomsReadersAndWriter(t *testing.T) {
 	a := m.AllocLines(1)
 	m.RegisterRead(1, a)
 	m.RegisterRead(2, a)
-	if !m.RegisterWrite(4, a) {
+	if grew, _ := m.RegisterWrite(4, a); !grew {
 		t.Fatalf("RegisterWrite should grow the write set")
 	}
 	if len(d.doomedReaders) != 1 || d.doomedReaders[0] != (1<<1|1<<2) {
@@ -176,6 +169,35 @@ func TestOwnWriteThenReadNoDoom(t *testing.T) {
 	m.RegisterWrite(3, a+1)
 	if len(d.doomedWriters) != 0 && len(d.doomedReaders) != 0 {
 		t.Fatalf("own accesses doomed self: %v %v", d.doomedWriters, d.doomedReaders)
+	}
+}
+
+// TestRegisterReturnFlags: the grew/ownWrite/wasReader returns are what
+// let the HTM keep exact footprint counters without membership maps.
+func TestRegisterReturnFlags(t *testing.T) {
+	m, _ := newTestMem(256)
+	a := m.AllocLines(1)
+	// Write first, then read the same line: the read grows the reader
+	// bitmask but reports ownWrite, so it must not count against the
+	// read budget.
+	if grew, wasReader := m.RegisterWrite(3, a); !grew || wasReader {
+		t.Fatalf("fresh write: grew=%v wasReader=%v, want true,false", grew, wasReader)
+	}
+	if grew, ownWrite := m.RegisterRead(3, a); !grew || !ownWrite {
+		t.Fatalf("read of own written line: grew=%v ownWrite=%v, want true,true", grew, ownWrite)
+	}
+	// Read first, then write on a fresh line: the write reports
+	// wasReader, so the line must not be recorded twice.
+	b := m.AllocLines(1)
+	if grew, ownWrite := m.RegisterRead(4, b); !grew || ownWrite {
+		t.Fatalf("fresh read: grew=%v ownWrite=%v, want true,false", grew, ownWrite)
+	}
+	if grew, wasReader := m.RegisterWrite(4, b); !grew || !wasReader {
+		t.Fatalf("write of own read line: grew=%v wasReader=%v, want true,true", grew, wasReader)
+	}
+	// Repeated write: the write set does not grow again.
+	if grew, wasReader := m.RegisterWrite(4, b); grew || !wasReader {
+		t.Fatalf("repeated write: grew=%v wasReader=%v, want false,true", grew, wasReader)
 	}
 }
 

@@ -34,7 +34,7 @@ func (l Lock) Addr() mem.Addr { return l.addr }
 // Locked reports whether the lock is held, using a non-transactional load
 // (one scheduling point).
 func (l Lock) Locked(ctx *machine.Ctx, m *mem.Memory) bool {
-	ctx.Tick(ctx.Machine().Cost.DirectLoad)
+	ctx.Tick(ctx.Cost().DirectLoad)
 	return m.DirectLoad(ctx.ID(), l.addr) != 0
 }
 
@@ -59,7 +59,7 @@ func (l Lock) LockedTx(t *htm.Tx) bool {
 // execute within a single scheduling point, so the CAS is atomic under the
 // engine's serialization.
 func (l Lock) TryAcquire(ctx *machine.Ctx, m *mem.Memory) bool {
-	ctx.Tick(ctx.Machine().Cost.LockOp)
+	ctx.Tick(ctx.Cost().LockOp)
 	if m.DirectLoad(ctx.ID(), l.addr) != 0 {
 		return false
 	}
@@ -70,14 +70,14 @@ func (l Lock) TryAcquire(ctx *machine.Ctx, m *mem.Memory) bool {
 // Acquire spins (test-and-test-and-set) until the lock is taken.
 func (l Lock) Acquire(ctx *machine.Ctx, m *mem.Memory) {
 	for {
-		ctx.Tick(ctx.Machine().Cost.DirectLoad)
+		ctx.Tick(ctx.Cost().DirectLoad)
 		if m.DirectLoad(ctx.ID(), l.addr) == 0 {
 			if l.TryAcquire(ctx, m) {
 				return
 			}
 			continue
 		}
-		ctx.Tick(ctx.Machine().Cost.SpinQuantum)
+		ctx.Tick(ctx.Cost().SpinQuantum)
 	}
 }
 
@@ -85,11 +85,11 @@ func (l Lock) Acquire(ctx *machine.Ctx, m *mem.Memory) {
 // does not acquire the lock; Seer uses it to cooperate with lock holders.
 func (l Lock) SpinWhileLocked(ctx *machine.Ctx, m *mem.Memory) {
 	for {
-		ctx.Tick(ctx.Machine().Cost.DirectLoad)
+		ctx.Tick(ctx.Cost().DirectLoad)
 		if m.DirectLoad(ctx.ID(), l.addr) == 0 {
 			return
 		}
-		ctx.Tick(ctx.Machine().Cost.SpinQuantum)
+		ctx.Tick(ctx.Cost().SpinQuantum)
 	}
 }
 
@@ -101,21 +101,21 @@ func (l Lock) SpinWhileLocked(ctx *machine.Ctx, m *mem.Memory) {
 // core lock while waiting on each other would otherwise form.
 func (l Lock) SpinWhileLockedBounded(ctx *machine.Ctx, m *mem.Memory, maxSpins int) bool {
 	for i := 0; ; i++ {
-		ctx.Tick(ctx.Machine().Cost.DirectLoad)
+		ctx.Tick(ctx.Cost().DirectLoad)
 		if m.DirectLoad(ctx.ID(), l.addr) == 0 {
 			return true
 		}
 		if i >= maxSpins {
 			return false
 		}
-		ctx.Tick(ctx.Machine().Cost.SpinQuantum)
+		ctx.Tick(ctx.Cost().SpinQuantum)
 	}
 }
 
 // Release frees the lock. It panics if the caller does not hold it, which
 // would be a bug in the TM runtime.
 func (l Lock) Release(ctx *machine.Ctx, m *mem.Memory) {
-	ctx.Tick(ctx.Machine().Cost.LockOp)
+	ctx.Tick(ctx.Cost().LockOp)
 	if owner := m.DirectLoad(ctx.ID(), l.addr); owner != uint64(ctx.ID())+1 {
 		panic("spinlock: release by non-owner")
 	}
@@ -136,7 +136,7 @@ func (l Lock) AcquireTx(t *htm.Tx, ownerHW int) {
 // ReleaseOwned frees a lock known to be held by ctx's thread without the
 // owner check (used when releasing batches acquired via AcquireTx).
 func (l Lock) ReleaseOwned(ctx *machine.Ctx, m *mem.Memory) {
-	ctx.Tick(ctx.Machine().Cost.LockOp)
+	ctx.Tick(ctx.Cost().LockOp)
 	m.DirectStore(ctx.ID(), l.addr, 0)
 }
 
