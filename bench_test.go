@@ -193,6 +193,29 @@ func BenchmarkLockFrac(b *testing.B) {
 	}
 }
 
+// BenchmarkContendedSGL measures the simulator on a maximally contended
+// cell: HLE at 8 threads funnels nearly every transaction through the
+// single global lock, so run time is dominated by the spinlock park/wake
+// path. Reports the parked share of lock-wait virtual time.
+func BenchmarkContendedSGL(b *testing.B) {
+	var lockWait, parkSkipped uint64
+	for i := 0; i < b.N; i++ {
+		res := runCell(b, harness.Spec{
+			Workload: "intruder", Scale: benchScale, Policy: seer.PolicyHLE,
+			Threads: 8, Runs: 1, Seed: int64(i + 1),
+			MetricsInterval: 1 << 16,
+		})
+		lockWait, parkSkipped = 0, 0
+		for _, snap := range res.Reports[0].Timeline {
+			lockWait += snap.LockWait
+			parkSkipped += snap.ParkSkipped
+		}
+	}
+	if lockWait > 0 {
+		b.ReportMetric(100*float64(parkSkipped)/float64(lockWait), "park_skip_%")
+	}
+}
+
 // BenchmarkEngineTick measures the simulator's own speed: virtual-time
 // scheduling points per second on this host.
 func BenchmarkEngineTick(b *testing.B) {

@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	seerbench -experiment fig3|table3|fig4|fig5|lockfrac|ext|attempts|all [flags]
+//	seerbench -experiment fig3|table3|fig4|fig5|lockfrac|ext|attempts|contended|all [flags]
+//
+// The contended experiment is a stress view of the SGL park/wake path
+// (HLE at 8 threads) and is not part of "all", which regenerates only
+// the paper's exhibits.
 //
 // Flags:
 //
@@ -57,7 +61,7 @@ type benchReport struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|table3|fig4|fig5|lockfrac|ext|attempts|timeline|all")
+		experiment = flag.String("experiment", "all", "fig3|table3|fig4|fig5|lockfrac|ext|attempts|timeline|contended|all")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor")
 		runs       = flag.Int("runs", 3, "repetitions per measurement")
 		seed       = flag.Int64("seed", 1, "base PRNG seed")
@@ -163,6 +167,12 @@ func main() {
 			if err := maybeCSV(d.WriteCSV); err != nil {
 				return err
 			}
+		case "contended":
+			d, err := harness.Contended(opt, wls, progress)
+			if err != nil {
+				return err
+			}
+			d.Render(os.Stdout)
 		case "lockfrac":
 			d, err := harness.LockFrac(opt, wls)
 			if err != nil {

@@ -17,9 +17,43 @@ import (
 
 	"seer"
 	"seer/internal/harness"
+	"seer/internal/plot"
 	"seer/internal/stamp"
 	"seer/internal/trace"
 )
+
+// renderEngineCounters appends the engine-efficiency lines to a rendered
+// timeline: lock-wait cycles the event loop fast-forwarded by parking
+// waiters, and scheme updates that reused all row capacity. These quantify
+// simulator-side savings (host time, allocations), not modeled behavior,
+// so they live here rather than in the shared exhibit renderer.
+func renderEngineCounters(snaps []seer.Snapshot) {
+	if len(snaps) == 0 {
+		return
+	}
+	const width = 64
+	parked := make([]float64, len(snaps))
+	var totalParked, totalWait, totalReuse uint64
+	anyReuse := false
+	for i, s := range snaps {
+		parked[i] = float64(s.ParkSkipped)
+		totalParked += s.ParkSkipped
+		totalWait += s.LockWait
+		totalReuse += s.SchemeReuse
+		if s.SchemeReuse != 0 {
+			anyReuse = true
+		}
+	}
+	frac := 0.0
+	if totalWait > 0 {
+		frac = 100 * float64(totalParked) / float64(totalWait)
+	}
+	fmt.Printf("  park skip   %s  [%d cycles, %.1f%% of lock wait]\n",
+		plot.Sparkline(parked, width), totalParked, frac)
+	if anyReuse {
+		fmt.Printf("  scheme reuse: %d updates reused all row capacity\n", totalReuse)
+	}
+}
 
 // jsonOut is the machine-readable shape of a seerstat run.
 type jsonOut struct {
@@ -196,6 +230,7 @@ func main() {
 	if *timeline {
 		fmt.Printf("\nTimeline (interval = %d cycles):\n", cfg.MetricsInterval)
 		harness.RenderTimeline(os.Stdout, fmt.Sprintf("%s/%s", *workload, rep.Policy), rep.Timeline)
+		renderEngineCounters(rep.Timeline)
 	}
 
 	sched := sys.Scheduler()

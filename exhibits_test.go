@@ -1,0 +1,146 @@
+package seer_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seer/internal/harness"
+)
+
+// TestExhibitGoldens regenerates every seerbench exhibit at a reduced
+// scale and compares the rendered text byte-for-byte against checked-in
+// goldens. It is the regression net for "perf changes must not move the
+// science": any scheduling, inference or rendering change that alters an
+// exhibit fails here with a diffable artifact.
+//
+// The sweep simulates a few hundred million cycles, so it only runs when
+// SEER_EXHIBITS=1 is set (CI has a dedicated job). Regenerate after an
+// intentional change with:
+//
+//	SEER_EXHIBITS=1 go test -run TestExhibitGoldens -update
+func TestExhibitGoldens(t *testing.T) {
+	if os.Getenv("SEER_EXHIBITS") == "" {
+		t.Skip("set SEER_EXHIBITS=1 to run the exhibit regression sweep")
+	}
+	// Parallel fan-out is byte-identical to sequential (see RunGrid), so
+	// using every CPU here does not weaken the byte-for-byte guarantee.
+	opt := harness.Options{Scale: 0.05, Runs: 1, Seed: 1, Parallel: -1}
+
+	exhibits := []struct {
+		name   string
+		render func(opt harness.Options) (string, error)
+	}{
+		{"fig3", func(opt harness.Options) (string, error) {
+			d, err := harness.Fig3With(opt, nil, harness.Fig3Policies, nil)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			d.Render(&buf)
+			return buf.String(), nil
+		}},
+		{"table3", func(opt harness.Options) (string, error) {
+			d, err := harness.Table3(opt, nil, nil)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			d.Render(&buf)
+			return buf.String(), nil
+		}},
+		{"fig4", func(opt harness.Options) (string, error) {
+			d, err := harness.Fig4(opt, nil, nil)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			d.Render(&buf)
+			return buf.String(), nil
+		}},
+		{"fig5", func(opt harness.Options) (string, error) {
+			d, err := harness.Fig5(opt, nil, nil)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			d.Render(&buf)
+			return buf.String(), nil
+		}},
+		{"lockfrac", func(opt harness.Options) (string, error) {
+			d, err := harness.LockFrac(opt, nil)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			d.Render(&buf)
+			return buf.String(), nil
+		}},
+		{"ext", func(opt harness.Options) (string, error) {
+			d, err := harness.Extensions(opt, nil, nil)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			d.Render(&buf)
+			return buf.String(), nil
+		}},
+		{"attempts", func(opt harness.Options) (string, error) {
+			d, err := harness.Attempts(opt, nil, nil)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			d.Render(&buf)
+			return buf.String(), nil
+		}},
+		{"timeline", func(opt harness.Options) (string, error) {
+			d, err := harness.Timelines(opt, nil, nil, 0, nil)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			d.Render(&buf)
+			return buf.String(), nil
+		}},
+		{"contended", func(opt harness.Options) (string, error) {
+			d, err := harness.Contended(opt, nil, nil)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			d.Render(&buf)
+			return buf.String(), nil
+		}},
+	}
+
+	for _, ex := range exhibits {
+		ex := ex
+		t.Run(ex.name, func(t *testing.T) {
+			got, err := ex.render(opt)
+			if err != nil {
+				t.Fatalf("%s: %v", ex.name, err)
+			}
+			path := filepath.Join("testdata", "exhibits", ex.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				dump := filepath.Join(t.TempDir(), ex.name+".got")
+				os.WriteFile(dump, []byte(got), 0o644)
+				t.Errorf("%s output differs from %s (got written to %s)", ex.name, path, dump)
+			}
+		})
+	}
+}

@@ -18,7 +18,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"math/bits"
 
 	"seer/internal/htm"
 	"seer/internal/machine"
@@ -115,7 +115,8 @@ type ThreadState struct {
 	AcquiredCoreLock bool
 
 	// heldTxLocks snapshots the locks actually acquired, so release
-	// stays correct even if the scheme is swapped mid-transaction.
+	// stays correct even if the scheme is swapped mid-transaction. Its
+	// capacity is reused across transactions.
 	heldTxLocks []spinlock.Lock
 
 	// obj is the object identifier of the in-flight transaction
@@ -123,7 +124,18 @@ type ThreadState struct {
 	obj uint64
 
 	mats *stats.Matrices // per-thread commit/abort statistics
-	seen []bool          // scratch for per-event deduplication in scans
+
+	// seen deduplicates atomic blocks within one activeTxs scan. A slot
+	// counts as marked when it holds the current epoch, so starting a new
+	// scan is one counter increment instead of an O(numTx) clear.
+	seen      []uint32
+	seenEpoch uint32
+
+	// rowScratch holds the thread's private copy of its scheme row during
+	// lock acquisition: the scheme table is rebuilt in place by
+	// UpdateScheme, which may run (on thread 0) while this thread is
+	// suspended mid-acquisition.
+	rowScratch []int
 }
 
 // Mats exposes the thread's statistics matrices (tests and inspection).
@@ -144,7 +156,7 @@ type Seer struct {
 
 	activeTxs []int32           // one single-writer slot per hardware thread
 	threads   []*ThreadState    // all registered thread states
-	merged    *stats.Matrices   // global matrices, rebuilt on each update
+	merged    *stats.Matrices   // global matrices, fed per-thread deltas on update
 	scheme    [][]int           // locksToAcquire: row per tx, sorted lock ids
 	txLocks   []spinlock.Lock   // one per atomic block
 	objLocks  [][]spinlock.Lock // per block × stripe, when ObjLocks is on
@@ -152,6 +164,16 @@ type Seer struct {
 	tuner     *tune.HillClimber
 	th        tune.Params
 	trc       *trace.Log // nil disables scheduler event tracing
+
+	// Reusable scratch for UpdateScheme, so the periodic recomputation is
+	// allocation-free in steady state. schemeBits is a flat numTx×numTx
+	// bitset (schemeWords words per row) of serialized pairs from which
+	// the scheme rows are rebuilt in place.
+	schemeBits    []uint64
+	schemeWords   int
+	updRow        []float64
+	updCandidates []int
+	updCondVals   []float64
 
 	// Bookkeeping for periodic updates and tuning epochs.
 	execsSinceUpdate uint64
@@ -165,6 +187,9 @@ type Seer struct {
 	SchemeUpdates  uint64
 	MultiCASOk     uint64
 	MultiCASFail   uint64
+	// SchemeReuseHits counts scheme updates that completed without growing
+	// any row's capacity — the steady-state, allocation-free case.
+	SchemeReuseHits uint64
 }
 
 // New creates a Seer instance for numTx atomic blocks on the given
@@ -182,7 +207,13 @@ func New(numTx int, mach machine.Config, m *mem.Memory, u *htm.Unit, opts Option
 		txLocks:   make([]spinlock.Lock, numTx),
 		coreLocks: make([]spinlock.Lock, mach.PhysCores),
 		th:        opts.Init,
+
+		schemeWords:   (numTx + 63) / 64,
+		updRow:        make([]float64, numTx),
+		updCandidates: make([]int, 0, numTx),
+		updCondVals:   make([]float64, 0, numTx),
 	}
+	s.schemeBits = make([]uint64, numTx*s.schemeWords)
 	for i := range s.activeTxs {
 		s.activeTxs[i] = NoTx
 	}
@@ -237,7 +268,8 @@ func (s *Seer) SchemePairs() int {
 func (s *Seer) Thresholds() tune.Params { return s.th }
 
 // Scheme returns the current locksToAcquire table (rows of sorted lock
-// ids). The returned slices must not be modified.
+// ids). The returned slices must not be modified, and are rebuilt in
+// place by the next scheme update.
 func (s *Seer) Scheme() [][]int { return s.scheme }
 
 // Merged returns the last merged global statistics (for inspection).
@@ -248,7 +280,7 @@ func (s *Seer) Tuner() *tune.HillClimber { return s.tuner }
 
 // NewThreadState registers a worker thread with the scheduler.
 func (s *Seer) NewThreadState(ctx *machine.Ctx) *ThreadState {
-	t := &ThreadState{Ctx: ctx, mats: stats.NewMatrices(s.numTx), seen: make([]bool, s.numTx)}
+	t := &ThreadState{Ctx: ctx, mats: stats.NewMatrices(s.numTx), seen: make([]uint32, s.numTx)}
 	s.threads = append(s.threads, t)
 	return t
 }
@@ -264,7 +296,7 @@ func (s *Seer) Start(t *ThreadState, txID int, obj uint64) {
 	t.AcquiredCoreLock = false
 	t.heldTxLocks = t.heldTxLocks[:0]
 	t.obj = obj
-	t.Ctx.Tick(t.Ctx.Machine().Cost.DirectStore)
+	t.Ctx.Tick(t.Ctx.Cost().DirectStore)
 	s.activeTxs[t.Ctx.ID()] = int32(txID)
 }
 
@@ -291,15 +323,16 @@ func mix64(k uint64) uint64 {
 
 // Finish clears the thread's slot in the active-transactions list.
 func (s *Seer) Finish(t *ThreadState) {
-	t.Ctx.Tick(t.Ctx.Machine().Cost.DirectStore)
+	t.Ctx.Tick(t.Ctx.Cost().DirectStore)
 	s.activeTxs[t.Ctx.ID()] = NoTx
 }
 
 // --- Algorithm 3: statistics registration ---
 
 // scanActive folds the active-transactions list into the per-thread
-// matrices via add. One scheduling point covers the whole scan: the list
-// is read with plain loads, synchronization-free by design.
+// matrices, as aborts when abort is set and commits otherwise. One
+// scheduling point covers the whole scan: the list is read with plain
+// loads, synchronization-free by design.
 //
 // Each atomic block is counted at most once per event, even when several
 // threads are running it concurrently: the paper's Algorithm 5 interprets
@@ -308,7 +341,12 @@ func (s *Seer) Finish(t *ThreadState) {
 // P(x aborts ∩ x‖y) above 1 for any block that often runs on several
 // threads, putting it permanently out of reach of the Θ₁ threshold and
 // its self-tuning range [0, 1].
-func (s *Seer) scanActive(t *ThreadState, txID int, add func(x, y int)) {
+//
+// This runs on every commit and every abort, so it avoids both an
+// O(numTx) clear of the dedup array (epoch stamps instead of booleans)
+// and closure indirection for the matrix update (a direct branch on
+// abort).
+func (s *Seer) scanActive(t *ThreadState, txID int, abort bool) {
 	s.epochExecs++
 	s.execsSinceUpdate++
 	if s.opts.SampleShift > 0 {
@@ -318,16 +356,25 @@ func (s *Seer) scanActive(t *ThreadState, txID int, add func(x, y int)) {
 			return
 		}
 	}
-	t.Ctx.Tick(t.Ctx.Machine().Cost.StatsSlot * uint64(len(s.activeTxs)))
+	t.Ctx.Tick(t.Ctx.Cost().StatsSlot * uint64(len(s.activeTxs)))
 	self := t.Ctx.ID()
 	t.mats.IncExec(txID)
-	for i := range t.seen {
-		t.seen[i] = false
+	t.seenEpoch++
+	if t.seenEpoch == 0 {
+		// uint32 wraparound: one real clear every 2³²-1 scans keeps stale
+		// stamps from a previous epoch cycle from masking slots.
+		clear(t.seen)
+		t.seenEpoch = 1
 	}
+	epoch := t.seenEpoch
 	for i, a := range s.activeTxs {
-		if i != self && a != NoTx && !t.seen[a] {
-			t.seen[a] = true
-			add(txID, int(a))
+		if i != self && a != NoTx && t.seen[a] != epoch {
+			t.seen[a] = epoch
+			if abort {
+				t.mats.AddAbort(txID, int(a))
+			} else {
+				t.mats.AddCommit(txID, int(a))
+			}
 		}
 	}
 }
@@ -339,7 +386,7 @@ func (s *Seer) RegisterAbort(t *ThreadState, txID int) {
 	if s.opts.PreciseOracle {
 		s.epochExecs++
 		s.execsSinceUpdate++
-		t.Ctx.Tick(t.Ctx.Machine().Cost.StatsSlot)
+		t.Ctx.Tick(t.Ctx.Cost().StatsSlot)
 		t.mats.IncExec(txID)
 		if c := s.htm.LastConflictor(t.Ctx.ID()); c >= 0 {
 			if a := s.activeTxs[c]; a != NoTx {
@@ -348,13 +395,13 @@ func (s *Seer) RegisterAbort(t *ThreadState, txID int) {
 		}
 		return
 	}
-	s.scanActive(t, txID, t.mats.AddAbort)
+	s.scanActive(t, txID, true)
 }
 
 // RegisterCommit records a commit of txID against all currently active
 // transactions.
 func (s *Seer) RegisterCommit(t *ThreadState, txID int) {
-	s.scanActive(t, txID, t.mats.AddCommit)
+	s.scanActive(t, txID, false)
 	s.epochCommits++
 }
 
@@ -382,10 +429,14 @@ func (s *Seer) AcquireLocks(t *ThreadState, txID int, status htm.Status, attempt
 // falling back to sequential blocking acquisition on abort. The acquired
 // set is recorded for release.
 func (s *Seer) acquireTxLocks(t *ThreadState, txID int) {
-	row := s.scheme[txID]
-	if len(row) == 0 {
+	if len(s.scheme[txID]) == 0 {
 		return
 	}
+	// Snapshot the row: the acquisition below yields (lock waits, the
+	// multi-CAS transaction), during which thread 0 may rebuild the scheme
+	// rows in place. The snapshot reuses the thread's scratch capacity.
+	t.rowScratch = append(t.rowScratch[:0], s.scheme[txID]...)
+	row := t.rowScratch
 	s.LockAcqEvents++
 	s.LockAcqSamples = append(s.LockAcqSamples, len(row))
 	if s.opts.HTMLockAcq && len(row) >= 2 {
@@ -480,29 +531,37 @@ func (s *Seer) WaitLocks(t *ThreadState, txID int, sgl spinlock.Lock) {
 
 // --- Algorithm 5: devising the locking scheme ---
 
-// UpdateScheme merges the per-thread statistics and recomputes the
-// locksToAcquire table using the current thresholds. The whole update is
-// one scheduling point whose cost scales with the number of pairs.
+// UpdateScheme drains the per-thread statistics deltas into the global
+// matrices and recomputes the locksToAcquire table using the current
+// thresholds. The whole update is one scheduling point whose cost scales
+// with the number of pairs.
+//
+// The recomputation is allocation-free in steady state: the merged
+// matrices, the pair bitset and the threshold scratch are reused across
+// updates, and the scheme rows are rebuilt in place (growing a row only
+// when it serializes more pairs than it ever has). Threads that read a
+// row across a scheduling point snapshot it first (see acquireTxLocks).
 func (s *Seer) UpdateScheme(ctx *machine.Ctx) {
-	cost := ctx.Machine().Cost
+	cost := ctx.Cost()
 	ctx.Tick(cost.UpdateBase + cost.UpdatePair*uint64(s.numTx*s.numTx))
 	s.execsSinceUpdate = 0
 	s.SchemeUpdates++
 
-	merged := stats.NewMatrices(s.numTx)
+	// Per-thread matrices hold only the delta since the previous update:
+	// draining them into the persistent global matrices yields the same
+	// totals as re-merging full histories, in O(new events) instead of
+	// O(all events).
 	for _, t := range s.threads {
-		merged.MergeFrom(t.mats)
+		s.merged.MergeFrom(t.mats)
+		t.mats.Reset()
 	}
-	s.merged = merged
+	merged := s.merged
 
-	scheme := make([][]int, s.numTx)
-	sets := make([]map[int]struct{}, s.numTx)
-	for x := 0; x < s.numTx; x++ {
-		sets[x] = make(map[int]struct{})
-	}
-	row := make([]float64, s.numTx)
-	candidates := make([]int, 0, s.numTx)
-	condVals := make([]float64, 0, s.numTx)
+	nw := s.schemeWords
+	clear(s.schemeBits)
+	row := s.updRow
+	candidates := s.updCandidates[:0]
+	condVals := s.updCondVals[:0]
 	for x := 0; x < s.numTx; x++ {
 		merged.RowCondProbs(x, row)
 		// First condition (Θ₁): keep only pairs whose abort∩concurrent
@@ -537,21 +596,36 @@ func (s *Seer) UpdateScheme(ctx *machine.Ctx) {
 				continue
 			}
 			// x and y contend: they take each other's lock.
-			sets[x][y] = struct{}{}
-			sets[y][x] = struct{}{}
+			s.schemeBits[x*nw+y/64] |= 1 << (y % 64)
+			s.schemeBits[y*nw+x/64] |= 1 << (x % 64)
 		}
 	}
+	s.updCandidates = candidates[:0]
+	s.updCondVals = condVals[:0]
+
+	// Rebuild the scheme rows from the bitset. Iterating set bits low to
+	// high yields each row already sorted (deadlock freedom needs a global
+	// acquisition order). Rows reuse their capacity; each row's swap is
+	// atomic under the engine's serialization, and the update as a whole
+	// is one scheduling point anyway.
+	reused := true
 	for x := 0; x < s.numTx; x++ {
-		r := make([]int, 0, len(sets[x]))
-		for y := range sets[x] {
-			r = append(r, y)
+		r := s.scheme[x][:0]
+		oldCap := cap(r)
+		for wi, w := range s.schemeBits[x*nw : (x+1)*nw] {
+			for w != 0 {
+				r = append(r, wi*64+bits.TrailingZeros64(w))
+				w &= w - 1
+			}
 		}
-		sort.Ints(r)
-		scheme[x] = r
+		if cap(r) != oldCap {
+			reused = false
+		}
+		s.scheme[x] = r
 	}
-	// Swap the table in one step (the pointer-indirection swap of the
-	// paper; our steps are atomic under the engine's serialization).
-	s.scheme = scheme
+	if reused {
+		s.SchemeReuseHits++
+	}
 	s.trc.Record(ctx.Clock(), ctx.ID(), trace.EvScheme, -1, uint32(s.SchemePairs()))
 }
 

@@ -180,6 +180,10 @@ type Unit struct {
 	// so the capacity model reads it in O(1) instead of scanning the
 	// core's siblings on every set growth.
 	coreActive []int8
+	// coreOf[hw] is the physical core of each hardware thread, precomputed
+	// so the per-access capacity checks don't re-derive it from the
+	// machine configuration.
+	coreOf []int8
 	// lastConflictor[hw] records who doomed hw's latest conflict abort
 	// (simulator-only oracle; see LastConflictor).
 	lastConflictor []int8
@@ -194,9 +198,11 @@ func New(m *mem.Memory, mach machine.Config, cfg Config) *Unit {
 		txns:           make([]txnState, mach.HWThreads),
 		cnt:            make([]Counters, mach.HWThreads),
 		coreActive:     make([]int8, mach.PhysCores),
+		coreOf:         make([]int8, mach.HWThreads),
 		lastConflictor: make([]int8, mach.HWThreads),
 	}
 	for i := range u.lastConflictor {
+		u.coreOf[i] = int8(mach.PhysCore(i))
 		u.lastConflictor[i] = -1
 	}
 	m.SetDoomer(u)
@@ -287,6 +293,7 @@ type Tx struct {
 	u    *Unit
 	ctx  *machine.Ctx
 	cost *machine.CostModel
+	st   *txnState // the owning thread's state, cached for the access path
 	hw   int
 }
 
@@ -295,7 +302,7 @@ type Tx struct {
 // divided by it. The count is maintained incrementally at transaction
 // begin/end (see Run), so this is an array read.
 func (u *Unit) activeOnCore(hw int) int {
-	n := int(u.coreActive[u.mach.PhysCore(hw)])
+	n := int(u.coreActive[u.coreOf[hw]])
 	if n == 0 {
 		n = 1
 	}
@@ -309,7 +316,7 @@ func (u *Unit) writeCap(hw int) int { return max(1, u.cfg.WriteSetLines/u.active
 // abort.
 func (t *Tx) step(cost uint64) {
 	t.ctx.Tick(cost)
-	st := &t.u.txns[t.hw]
+	st := t.st
 	if st.doomed {
 		panic(abortSignal{st.doomStatus})
 	}
@@ -324,7 +331,7 @@ func (t *Tx) step(cost uint64) {
 // so the only per-access bookkeeping is a counter bump and a slice append.
 func (t *Tx) Load(a mem.Addr) uint64 {
 	t.step(t.cost.TxLoad)
-	st := &t.u.txns[t.hw]
+	st := t.st
 	if v, ok := st.wb.get(a); ok {
 		return v
 	}
@@ -341,7 +348,7 @@ func (t *Tx) Load(a mem.Addr) uint64 {
 // Store performs a transactional (buffered) store.
 func (t *Tx) Store(a mem.Addr, v uint64) {
 	t.step(t.cost.TxStore)
-	st := &t.u.txns[t.hw]
+	st := t.st
 	if grew, wasReader := t.u.mem.RegisterWrite(t.hw, a); grew {
 		st.nWriteLines++
 		if !wasReader {
@@ -373,12 +380,12 @@ func (t *Tx) Abort(code uint8) {
 }
 
 // ReadSetLines and WriteSetLines report the current footprint, for tests.
-func (t *Tx) ReadSetLines() int  { return t.u.txns[t.hw].nReadLines }
-func (t *Tx) WriteSetLines() int { return t.u.txns[t.hw].nWriteLines }
+func (t *Tx) ReadSetLines() int  { return t.st.nReadLines }
+func (t *Tx) WriteSetLines() int { return t.st.nWriteLines }
 
 // WriteSetWords reports the number of distinct buffered store addresses,
 // for tests.
-func (t *Tx) WriteSetWords() int { return t.u.txns[t.hw].wb.count() }
+func (t *Tx) WriteSetWords() int { return t.st.wb.count() }
 
 // Run executes body as one hardware transaction attempt on ctx's thread.
 // It returns status 0 if the transaction committed, and the abort status
@@ -393,7 +400,7 @@ func (u *Unit) Run(ctx *machine.Ctx, body func(*Tx)) (status Status) {
 	cost := ctx.Cost()
 	ctx.Tick(cost.XBegin)
 	st.active = true
-	u.coreActive[u.mach.PhysCore(hw)]++
+	u.coreActive[u.coreOf[hw]]++
 	st.doomed = false
 	st.doomStatus = 0
 	st.nReadLines = 0
@@ -402,10 +409,10 @@ func (u *Unit) Run(ctx *machine.Ctx, body func(*Tx)) (status Status) {
 	st.wb.begin()
 
 	tx := &st.tx
-	tx.u, tx.ctx, tx.cost, tx.hw = u, ctx, cost, hw
+	tx.u, tx.ctx, tx.cost, tx.st, tx.hw = u, ctx, cost, st, hw
 	defer func() {
 		if r := recover(); r != nil {
-			u.coreActive[u.mach.PhysCore(hw)]--
+			u.coreActive[u.coreOf[hw]]--
 			sig, ok := r.(abortSignal)
 			if !ok {
 				st.reset()
@@ -431,7 +438,7 @@ func (u *Unit) Run(ctx *machine.Ctx, body func(*Tx)) (status Status) {
 	st.wb.apply(u.mem)
 	u.mem.Unregister(hw, st.lines)
 	st.reset()
-	u.coreActive[u.mach.PhysCore(hw)]--
+	u.coreActive[u.coreOf[hw]]--
 	u.cnt[hw].Commits++
 	return 0
 }

@@ -1,0 +1,107 @@
+package machine
+
+import "math/bits"
+
+// event is one pending wakeup in the engine's schedule: thread id resumes
+// when the global virtual time reaches cycle.
+type event struct {
+	cycle uint64
+	id    int32
+}
+
+// before orders events by (cycle, id): earlier virtual time first, ties
+// broken by the lower thread id. The id tie-break is what makes the
+// schedule total and therefore the whole simulation deterministic — it
+// mirrors the seed engine's linear scan, which resolved equal clocks in
+// favor of the lowest index.
+func (a event) before(b event) bool {
+	return a.cycle < b.cycle || (a.cycle == b.cycle && a.id < b.id)
+}
+
+// eventQueue is the scheduler's pending-wakeup set, ordered by
+// event.before. The engine queues at most one event per hardware thread
+// (its next wakeup, or its park deadline), and MaxHWThreads caps ids at
+// 64, so the queue is a flat per-thread cycle array plus an occupancy
+// bitmask with a cached minimum: every mutation is a few word ops, and
+// extraction is one branch-light scan of the live ids instead of a binary
+// heap's sift (measurably faster at the ≤ 16 live threads of every
+// experiment).
+type eventQueue struct {
+	active uint64 // bitmask of thread ids with a queued event
+	min    event  // cached minimum; valid only while active != 0
+	cycles [MaxHWThreads]uint64
+}
+
+// empty reports whether no events are queued.
+func (q *eventQueue) empty() bool { return q.active == 0 }
+
+// clear discards all queued events.
+func (q *eventQueue) clear() { q.active = 0 }
+
+// push inserts thread ev.id's wakeup. The thread must not already have an
+// event queued (the engine pops a thread's event before the thread can
+// push a new one).
+func (q *eventQueue) push(ev event) {
+	q.cycles[ev.id] = ev.cycle
+	if q.active == 0 || ev.before(q.min) {
+		q.min = ev
+	}
+	q.active |= 1 << uint32(ev.id)
+}
+
+// rescan recomputes the cached minimum. Ids are visited in ascending
+// order, so the strict cycle comparison resolves ties in favor of the
+// lowest id — exactly event.before's order. Must not be called on an
+// empty queue.
+func (q *eventQueue) rescan() {
+	m := q.active
+	id := int32(bits.TrailingZeros64(m))
+	best := event{cycle: q.cycles[id], id: id}
+	for m &= m - 1; m != 0; m &= m - 1 {
+		id = int32(bits.TrailingZeros64(m))
+		if c := q.cycles[id]; c < best.cycle {
+			best = event{cycle: c, id: id}
+		}
+	}
+	q.min = best
+}
+
+// pop removes and returns the minimum event. It must not be called on an
+// empty queue.
+func (q *eventQueue) pop() event {
+	top := q.min
+	q.active &^= 1 << uint32(top.id)
+	if q.active != 0 {
+		q.rescan()
+	}
+	return top
+}
+
+// replaceMin swaps ev in for the minimum event and returns that minimum.
+// The scheduler loop uses it for the common yield: the resumed thread's
+// new wakeup goes in as the old minimum comes out. It must not be called
+// on an empty queue, and ev must not precede the current minimum (the
+// loop handles that case without touching the queue at all).
+func (q *eventQueue) replaceMin(ev event) event {
+	top := q.min
+	q.active &^= 1 << uint32(top.id)
+	q.cycles[ev.id] = ev.cycle
+	q.active |= 1 << uint32(ev.id)
+	q.rescan()
+	return top
+}
+
+// decreaseKey moves thread id's pending event to the earlier cycle. The
+// engine's wake path uses it to pull a bounded waiter's deadline event
+// forward to the poll boundary computed from a lock release; the new
+// cycle must not exceed the event's current one. It panics if no event
+// with the given id is queued, which would be an engine bug.
+func (q *eventQueue) decreaseKey(id int32, cycle uint64) {
+	if q.active&(1<<uint32(id)) == 0 {
+		panic("machine: decreaseKey on a thread with no queued event")
+	}
+	q.cycles[id] = cycle
+	if ev := (event{cycle: cycle, id: id}); ev.before(q.min) {
+		q.min = ev
+	}
+}

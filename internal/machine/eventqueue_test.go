@@ -1,0 +1,143 @@
+package machine
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestEventQueueTieBreak: events with equal wakeup cycles must pop in
+// thread-id order — the rule that makes the schedule total and the
+// simulation deterministic.
+func TestEventQueueTieBreak(t *testing.T) {
+	insertions := [][]int32{
+		{3, 0, 2, 1},
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{1, 3, 0, 2},
+	}
+	for _, ids := range insertions {
+		var q eventQueue
+		for _, id := range ids {
+			q.push(event{cycle: 7, id: id})
+		}
+		for want := int32(0); want < 4; want++ {
+			if got := q.pop(); got.id != want || got.cycle != 7 {
+				t.Fatalf("insertion order %v: pop = %+v, want id %d", ids, got, want)
+			}
+		}
+	}
+}
+
+// TestEventQueueInterleavedTies mixes cycles and ids: pops must come out
+// in (cycle, id) lexicographic order even when pushes interleave with
+// pops.
+func TestEventQueueInterleavedTies(t *testing.T) {
+	var q eventQueue
+	q.push(event{cycle: 10, id: 2})
+	q.push(event{cycle: 10, id: 1})
+	q.push(event{cycle: 5, id: 3})
+	if got := q.pop(); got != (event{cycle: 5, id: 3}) {
+		t.Fatalf("pop = %+v, want {5 3}", got)
+	}
+	q.push(event{cycle: 5, id: 0}) // earlier than both queued events
+	q.push(event{cycle: 10, id: 3})
+	want := []event{{5, 0}, {10, 1}, {10, 2}, {10, 3}}
+	for _, w := range want {
+		if got := q.pop(); got != w {
+			t.Fatalf("pop = %+v, want %+v", got, w)
+		}
+	}
+	if !q.empty() {
+		t.Fatalf("queue not empty after draining: %+v", q)
+	}
+}
+
+// TestEventQueueReplaceMin: the combined swap must return the old minimum
+// and leave the queue ordered, including when the incoming event ties an
+// existing one.
+func TestEventQueueReplaceMin(t *testing.T) {
+	var q eventQueue
+	q.push(event{cycle: 4, id: 2})
+	q.push(event{cycle: 9, id: 1})
+	if got := q.replaceMin(event{cycle: 9, id: 0}); got != (event{cycle: 4, id: 2}) {
+		t.Fatalf("replaceMin = %+v, want {4 2}", got)
+	}
+	want := []event{{9, 0}, {9, 1}}
+	for _, w := range want {
+		if got := q.pop(); got != w {
+			t.Fatalf("pop = %+v, want %+v", got, w)
+		}
+	}
+}
+
+// TestEventQueueQuickSorted: for random per-thread cycle assignments (one
+// event per thread, as the engine guarantees), popping yields the
+// (cycle, id)-sorted order.
+func TestEventQueueQuickSorted(t *testing.T) {
+	f := func(cycles []uint16) bool {
+		n := len(cycles)
+		if n > MaxHWThreads {
+			n = MaxHWThreads
+		}
+		var q eventQueue
+		evs := make([]event, n)
+		for i := 0; i < n; i++ {
+			evs[i] = event{cycle: uint64(cycles[i]), id: int32(i)}
+			q.push(evs[i])
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].before(evs[j]) })
+		for _, want := range evs {
+			if got := q.pop(); got != want {
+				return false
+			}
+		}
+		return q.empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventQueueDecreaseKey: pulling a queued event forward must reorder
+// it ahead of events it now precedes.
+func TestEventQueueDecreaseKey(t *testing.T) {
+	var q eventQueue
+	q.push(event{cycle: 50, id: 0})
+	q.push(event{cycle: 20, id: 1})
+	q.decreaseKey(0, 10)
+	if got := q.pop(); got != (event{cycle: 10, id: 0}) {
+		t.Fatalf("pop = %+v, want {10 0}", got)
+	}
+	if got := q.pop(); got != (event{cycle: 20, id: 1}) {
+		t.Fatalf("pop = %+v, want {20 1}", got)
+	}
+}
+
+// TestEngineEqualClockSchedulesLowestID: two threads ticking identical
+// costs must strictly alternate starting with thread 0 — the engine-level
+// consequence of the queue's tie-breaking rule.
+func TestEngineEqualClockSchedulesLowestID(t *testing.T) {
+	e := mustEngine(t, Config{HWThreads: 3, PhysCores: 3, Seed: 1, Cost: DefaultCostModel()})
+	var order []int
+	body := func(id int) func(*Ctx) {
+		return func(c *Ctx) {
+			for n := 0; n < 4; n++ {
+				order = append(order, id)
+				c.Tick(10)
+			}
+		}
+	}
+	if _, err := e.Run([]func(*Ctx){body(0), body(1), body(2)}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %d, want %d (full: %v)", i, order[i], want[i], order)
+		}
+	}
+}

@@ -155,6 +155,12 @@ func (c Config) Siblings(hw int) []int {
 // program.
 var ErrMaxCycles = errors.New("machine: run exceeded MaxCycles (livelock?)")
 
+// ErrDeadlock is returned by Engine.Run when every remaining thread is
+// parked on a wake key and no runnable thread is left to issue a wake —
+// the event-driven equivalent of all threads spinning forever on locks
+// whose holders are gone.
+var ErrDeadlock = errors.New("machine: all remaining threads parked (deadlock)")
+
 // Ctx is the execution context handed to the code running on one hardware
 // thread. All simulated actions go through it.
 type Ctx struct {
@@ -170,6 +176,17 @@ type Ctx struct {
 	yield func(uint64) bool
 	next  func() (uint64, bool)
 	stop  func()
+
+	// Park state (see ParkOn). While parked, clock holds the cycle of the
+	// last poll that observed the key busy; the waker fast-forwards it to
+	// the first poll boundary scheduled after the wake.
+	parked       bool
+	parkKey      uint64
+	parkPeriod   uint64
+	parkPollCost uint64
+	parkPolls    int    // remaining poll budget; 0 = unbounded
+	parkDeadline uint64 // final-poll cycle for bounded parks
+	parkSkipped  uint64 // cumulative virtual cycles fast-forwarded while parked
 
 	panicked any
 }
@@ -215,9 +232,9 @@ func (c *Ctx) Tick(cost uint64) {
 	c.clock += cost
 	e := c.eng
 	if e.cfg.MaxCycles == 0 || c.clock <= e.cfg.MaxCycles {
-		if h := e.heap; len(h) == 0 ||
-			c.clock < h[0].cycle ||
-			(c.clock == h[0].cycle && int32(c.id) < h[0].id) {
+		if q := &e.queue; q.active == 0 ||
+			c.clock < q.min.cycle ||
+			(c.clock == q.min.cycle && int32(c.id) < q.min.id) {
 			if e.tickHook != nil {
 				e.tickHook(c.clock)
 			}
@@ -233,6 +250,102 @@ func (c *Ctx) Tick(cost uint64) {
 // cannot enable another thread to observe intermediate state.
 func (c *Ctx) Advance(cost uint64) { c.clock += cost }
 
+// ParkOn suspends the thread until another thread calls WakeKey(key),
+// replacing a busy-wait loop that polls every period cycles. It is the
+// event-driven form of
+//
+//	for { Tick(period - pollCost); Tick(pollCost); if free { break } }
+//
+// and must be called right after a poll (a Tick(pollCost) plus load) that
+// observed the key busy. The thread is removed from the event heap; a
+// subsequent WakeKey computes the first poll boundary
+//
+//	b = Clock() + k·period  (minimal k ≥ 1 scheduled after the waker)
+//
+// and re-inserts the thread there with Clock() = b - pollCost, so the
+// caller's loop re-executes its polling Tick(pollCost) and observes the
+// key at exactly the cycle — and in exactly the heap order — the spin
+// loop would have. Virtual-time cost accounting is unchanged: the skipped
+// cycles are added in one jump instead of period-sized steps.
+//
+// maxPolls bounds the wait: after maxPolls further poll boundaries with
+// no wake, the thread resumes at the final boundary on its own (the
+// bounded variant returns with the key still busy, as a bounded spin loop
+// would). maxPolls 0 parks unboundedly; if every remaining thread is
+// parked unboundedly, the run fails with ErrDeadlock.
+func (c *Ctx) ParkOn(key, period, pollCost uint64, maxPolls int) {
+	if period == 0 {
+		panic("machine: ParkOn with zero period")
+	}
+	c.parkKey = key
+	c.parkPeriod = period
+	c.parkPollCost = pollCost
+	c.parkPolls = maxPolls
+	if maxPolls > 0 {
+		c.parkDeadline = c.clock + period*uint64(maxPolls)
+	}
+	c.parked = true
+	if !c.yield(c.clock) {
+		panic(errAbandonRun)
+	}
+}
+
+// WakeKey wakes every thread parked on key, scheduling each at its first
+// poll boundary ordered after the caller's current position in the
+// schedule. The caller is conceptually the thread whose store made the
+// key available (a lock release); waiters whose poll would land at the
+// caller's exact cycle keep the (cycle, id) tie-break of the event heap.
+// With no parked threads the call is one integer compare.
+func (c *Ctx) WakeKey(key uint64) {
+	e := c.eng
+	if e.nParked == 0 {
+		return
+	}
+	for _, t := range e.threads {
+		if !t.parked || t.parkKey != key {
+			continue
+		}
+		e.wake(t, c.clock, int32(c.id))
+	}
+}
+
+// wake transitions parked thread t back to runnable at its first poll
+// boundary scheduled after position (now, wakerID) in the (cycle, id)
+// event order.
+func (e *Engine) wake(t *Ctx, now uint64, wakerID int32) {
+	per := t.parkPeriod
+	k := uint64(1)
+	if now > t.clock {
+		k = (now - t.clock + per - 1) / per // first boundary ≥ now
+	}
+	b := t.clock + k*per
+	if b == now && int32(t.id) < wakerID {
+		// A boundary event at the waker's own cycle with a smaller thread
+		// id would be ordered before the store that freed the key; the
+		// waiter cannot observe it until the next boundary.
+		b += per
+	}
+	t.parkSkipped += (b - t.parkPollCost) - t.clock
+	t.clock = b - t.parkPollCost
+	t.parked = false
+	e.nParked--
+	if t.parkPolls > 0 {
+		// The bounded waiter's deadline event is queued at ≥ b (the
+		// deadline is itself a boundary ordered after the waker, and b is
+		// the first such boundary): pull it forward.
+		if b < t.parkDeadline {
+			e.queue.decreaseKey(int32(t.id), b)
+		}
+	} else {
+		e.queue.push(event{cycle: b, id: int32(t.id)})
+	}
+}
+
+// ParkSkipped returns the cumulative virtual cycles this thread
+// fast-forwarded while parked instead of simulating spin iterations —
+// the telemetry layer mirrors interval diffs of this counter.
+func (c *Ctx) ParkSkipped() uint64 { return c.parkSkipped }
+
 // Work simulates n units of pure computation (no shared-memory effects).
 func (c *Ctx) Work(n uint64) {
 	c.Tick(n * c.eng.cfg.Cost.Work)
@@ -243,14 +356,18 @@ func (c *Ctx) Work(n uint64) {
 type Engine struct {
 	cfg     Config
 	threads []*Ctx
-	// heap holds one (wakeup-cycle, thread-id) event per live context,
+	// queue holds one (wakeup-cycle, thread-id) event per live context,
 	// reused across Runs to stay allocation-free.
-	heap eventHeap
+	queue eventQueue
 	// tickHook, when set, observes the global virtual time (the minimum
 	// clock over runnable threads, non-decreasing within a run) once per
 	// scheduling step, before the next thread is resumed. The telemetry
 	// recorder uses it to cut interval snapshots deterministically.
 	tickHook func(now uint64)
+	// nParked counts threads currently suspended in ParkOn. It gates
+	// WakeKey's scan and distinguishes "all done" from "all deadlocked"
+	// when the event heap runs dry.
+	nParked int
 }
 
 // SetTickHook installs (or clears, with nil) the scheduling-step observer.
@@ -315,7 +432,8 @@ func (e *Engine) Run(bodies []func(*Ctx)) (makespan uint64, err error) {
 		return 0, fmt.Errorf("machine: %d bodies for %d hardware threads",
 			len(bodies), len(e.threads))
 	}
-	e.heap = e.heap[:0]
+	e.queue.clear()
+	e.nParked = 0
 	for i, body := range bodies {
 		if body == nil {
 			continue
@@ -323,14 +441,27 @@ func (e *Engine) Run(bodies []func(*Ctx)) (makespan uint64, err error) {
 		t := e.threads[i]
 		t.clock = 0
 		t.panicked = nil
+		t.parked = false
+		t.parkSkipped = 0
 		t.start(body)
-		e.heap.push(event{cycle: 0, id: int32(i)})
+		e.queue.push(event{cycle: 0, id: int32(i)})
 	}
 
-	for len(e.heap) > 0 {
-		ev := e.heap.pop()
+	for !e.queue.empty() {
+		ev := e.queue.pop()
 		for {
 			t := e.threads[ev.id]
+			if t.parked {
+				// A popped event for a still-parked thread is its bounded
+				// wait's deadline firing: the final poll boundary arrived
+				// with no wake. Fast-forward the clock like a wake would,
+				// so the thread re-executes its polling tick at exactly
+				// the deadline cycle.
+				t.parkSkipped += (ev.cycle - t.parkPollCost) - t.clock
+				t.clock = ev.cycle - t.parkPollCost
+				t.parked = false
+				e.nParked--
+			}
 			if e.tickHook != nil {
 				e.tickHook(ev.cycle)
 			}
@@ -351,8 +482,19 @@ func (e *Engine) Run(bodies []func(*Ctx)) (makespan uint64, err error) {
 				}
 				break
 			}
+			if t.parked {
+				// The thread suspended in ParkOn: it leaves the schedule
+				// until WakeKey re-inserts it. A bounded park keeps a
+				// deadline event queued so the wait cannot outlive its
+				// poll budget.
+				e.nParked++
+				if t.parkPolls > 0 {
+					e.queue.push(event{cycle: t.parkDeadline, id: ev.id})
+				}
+				break
+			}
 			nev := event{cycle: clock, id: ev.id}
-			if len(e.heap) == 0 || nev.before(e.heap[0]) {
+			if e.queue.empty() || nev.before(e.queue.min) {
 				// The yielded thread is still the earliest runnable one:
 				// resume it directly, no heap traffic. (With MaxCycles
 				// unset the thread-side Tick fast path already covers
@@ -363,8 +505,23 @@ func (e *Engine) Run(bodies []func(*Ctx)) (makespan uint64, err error) {
 			}
 			// Common yield: the new wakeup goes in as the old minimum
 			// comes out, one sift instead of push + pop.
-			ev = e.heap.replaceMin(nev)
+			ev = e.queue.replaceMin(nev)
 		}
+	}
+
+	if e.nParked > 0 {
+		// Every remaining thread is parked with no poll budget and no
+		// runnable thread left to wake it.
+		for i, body := range bodies {
+			if body == nil {
+				continue
+			}
+			if c := e.threads[i].clock; c > makespan {
+				makespan = c
+			}
+		}
+		e.drain(bodies)
+		return makespan, ErrDeadlock
 	}
 
 	for i, body := range bodies {
@@ -388,11 +545,14 @@ func (e *Engine) drain(bodies []func(*Ctx)) {
 		if bodies[i] == nil {
 			continue
 		}
-		if t := e.threads[i]; t.next != nil {
+		t := e.threads[i]
+		t.parked = false
+		if t.next != nil {
 			t.finish()
 		}
 	}
-	e.heap = e.heap[:0]
+	e.queue.clear()
+	e.nParked = 0
 }
 
 // mix combines a seed and a thread id into a well-spread 64-bit PRNG seed

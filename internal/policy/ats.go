@@ -59,9 +59,9 @@ func (p *ATS) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
 	serialized := false
 	if p.ci[hw] > p.Threshold {
 		// High contention: dispatch serially through the central lock.
-		start := t.Ctx.Clock()
+		start, skipped := t.lockWaitBegin()
 		p.Sched.Acquire(t.Ctx, t.Mem)
-		t.Tel.AddLockWait(t.Ctx.Clock() - start)
+		t.lockWaitEnd(start, skipped)
 		serialized = true
 	}
 	defer func() {
@@ -87,9 +87,9 @@ func (p *ATS) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
 		// A thread that crosses the threshold mid-transaction joins the
 		// serial queue before retrying, as in the original design.
 		if !serialized && p.ci[hw] > p.Threshold {
-			start := t.Ctx.Clock()
+			start, skipped := t.lockWaitBegin()
 			p.Sched.Acquire(t.Ctx, t.Mem)
-			t.Tel.AddLockWait(t.Ctx.Clock() - start)
+			t.lockWaitEnd(start, skipped)
 			serialized = true
 		}
 	}

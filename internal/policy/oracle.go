@@ -49,7 +49,7 @@ func (p *Oracle) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
 			// serialize-after-enemy, adapted to threads that own their
 			// own work).
 			if c := t.HTM.LastConflictor(t.Ctx.ID()); c >= 0 {
-				cost := t.Ctx.Machine().Cost.SpinQuantum
+				cost := t.Ctx.Cost().SpinQuantum
 				for i := 0; i < p.WaitBudget && t.HTM.Active(c); i++ {
 					t.Ctx.Tick(cost)
 				}

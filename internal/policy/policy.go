@@ -103,6 +103,19 @@ type Thread struct {
 	curTx     int               // txID of the in-flight Run, for tracing
 }
 
+// lockWaitBegin samples the clock and the engine's park counter before a
+// lock wait; lockWaitEnd charges the elapsed cycles to the thread's
+// lock-wait telemetry and mirrors how many of them were fast-forwarded by
+// parking rather than simulated spin iterations.
+func (t *Thread) lockWaitBegin() (startClock, startSkipped uint64) {
+	return t.Ctx.Clock(), t.Ctx.ParkSkipped()
+}
+
+func (t *Thread) lockWaitEnd(startClock, startSkipped uint64) {
+	t.Tel.AddLockWait(t.Ctx.Clock() - startClock)
+	t.Tel.AddParkSkipped(t.Ctx.ParkSkipped() - startSkipped)
+}
+
 // commit records a committed transaction in mode m, in both the
 // end-of-run histogram and the interval telemetry.
 func (t *Thread) commit(m Mode) {
@@ -175,9 +188,9 @@ func attempt(t *Thread, sgl spinlock.Lock, body func(mem.Access)) htm.Status {
 // runSGL executes body under the single-global lock on the software path.
 func runSGL(t *Thread, sgl spinlock.Lock, body func(mem.Access)) {
 	t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvFallback, t.curTx, 0)
-	start := t.Ctx.Clock()
+	start, skipped := t.lockWaitBegin()
 	sgl.Acquire(t.Ctx, t.Mem)
-	t.Tel.AddLockWait(t.Ctx.Clock() - start)
+	t.lockWaitEnd(start, skipped)
 	body(t.Direct)
 	sgl.Release(t.Ctx, t.Mem)
 	t.Fallbacks++
@@ -189,9 +202,9 @@ func runSGL(t *Thread, sgl spinlock.Lock, body func(mem.Access)) {
 // charging the spin to the thread's lock-wait telemetry.
 func spinSGL(t *Thread, sgl spinlock.Lock) {
 	t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvWait, t.curTx, 0)
-	start := t.Ctx.Clock()
+	start, skipped := t.lockWaitBegin()
 	sgl.SpinWhileLocked(t.Ctx, t.Mem)
-	t.Tel.AddLockWait(t.Ctx.Clock() - start)
+	t.lockWaitEnd(start, skipped)
 }
 
 // --- HLE ---
@@ -295,9 +308,9 @@ func (p *SCM) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
 			return
 		}
 		if !holdingAux && attempts > 1 {
-			start := t.Ctx.Clock()
+			start, skipped := t.lockWaitBegin()
 			p.Aux.Acquire(t.Ctx, t.Mem)
-			t.Tel.AddLockWait(t.Ctx.Clock() - start)
+			t.lockWaitEnd(start, skipped)
 			holdingAux = true
 		}
 	}
@@ -328,9 +341,9 @@ func (p *Seer) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
 	p.Sched.Start(ts, txID, obj)
 	attempts := p.MaxAttempts
 	for {
-		waitStart := t.Ctx.Clock()
+		waitStart, waitSkipped := t.lockWaitBegin()
 		p.Sched.WaitLocks(ts, txID, p.SGL)
-		t.Tel.AddLockWait(t.Ctx.Clock() - waitStart)
+		t.lockWaitEnd(waitStart, waitSkipped)
 		status := attempt(t, p.SGL, body)
 		if status == 0 {
 			p.Sched.RegisterCommit(ts, txID)
@@ -347,9 +360,9 @@ func (p *Seer) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
 			p.Sched.Finish(ts)
 			return
 		}
-		acqStart := t.Ctx.Clock()
+		acqStart, acqSkipped := t.lockWaitBegin()
 		p.Sched.AcquireLocks(ts, txID, status, attempts)
-		t.Tel.AddLockWait(t.Ctx.Clock() - acqStart)
+		t.lockWaitEnd(acqStart, acqSkipped)
 	}
 }
 

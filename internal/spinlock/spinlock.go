@@ -68,28 +68,38 @@ func (l Lock) TryAcquire(ctx *machine.Ctx, m *mem.Memory) bool {
 }
 
 // Acquire spins (test-and-test-and-set) until the lock is taken.
+//
+// The spin is event-driven: instead of ticking through every spin quantum,
+// a thread that observes the lock busy parks on the lock word
+// (machine.Ctx.ParkOn) and is re-inserted into the schedule at its next
+// poll boundary after the holder's release. The observable schedule —
+// which cycles the lock word is polled at, and in which thread order — is
+// identical to the ticking loop's; see DESIGN.md §6d.
 func (l Lock) Acquire(ctx *machine.Ctx, m *mem.Memory) {
+	cost := ctx.Cost()
 	for {
-		ctx.Tick(ctx.Cost().DirectLoad)
+		ctx.Tick(cost.DirectLoad)
 		if m.DirectLoad(ctx.ID(), l.addr) == 0 {
 			if l.TryAcquire(ctx, m) {
 				return
 			}
 			continue
 		}
-		ctx.Tick(ctx.Cost().SpinQuantum)
+		ctx.ParkOn(uint64(l.addr), cost.SpinQuantum+cost.DirectLoad, cost.DirectLoad, 0)
 	}
 }
 
-// SpinWhileLocked blocks (spinning) until the lock is observed free. It
-// does not acquire the lock; Seer uses it to cooperate with lock holders.
+// SpinWhileLocked blocks until the lock is observed free, parking between
+// poll boundaries like Acquire. It does not acquire the lock; Seer uses it
+// to cooperate with lock holders.
 func (l Lock) SpinWhileLocked(ctx *machine.Ctx, m *mem.Memory) {
+	cost := ctx.Cost()
 	for {
-		ctx.Tick(ctx.Cost().DirectLoad)
+		ctx.Tick(cost.DirectLoad)
 		if m.DirectLoad(ctx.ID(), l.addr) == 0 {
 			return
 		}
-		ctx.Tick(ctx.Cost().SpinQuantum)
+		ctx.ParkOn(uint64(l.addr), cost.SpinQuantum+cost.DirectLoad, cost.DirectLoad, 0)
 	}
 }
 
@@ -99,27 +109,38 @@ func (l Lock) SpinWhileLocked(ctx *machine.Ctx, m *mem.Memory) {
 // enforces correctness), so bounding them cannot violate safety — and it
 // breaks the wait cycle that two threads holding a transaction lock and a
 // core lock while waiting on each other would otherwise form.
+//
+// The park is bounded by the remaining poll budget: with no release
+// forthcoming the engine resumes the thread at its final poll boundary,
+// which is exactly where the ticking loop would have given up. The polls
+// consumed by a park are recovered from the clock delta, so a wake part
+// way through the budget leaves the remaining budget unchanged.
 func (l Lock) SpinWhileLockedBounded(ctx *machine.Ctx, m *mem.Memory, maxSpins int) bool {
-	for i := 0; ; i++ {
-		ctx.Tick(ctx.Cost().DirectLoad)
+	cost := ctx.Cost()
+	period := cost.SpinQuantum + cost.DirectLoad
+	for i := 0; ; {
+		ctx.Tick(cost.DirectLoad)
 		if m.DirectLoad(ctx.ID(), l.addr) == 0 {
 			return true
 		}
 		if i >= maxSpins {
 			return false
 		}
-		ctx.Tick(ctx.Cost().SpinQuantum)
+		before := ctx.Clock()
+		ctx.ParkOn(uint64(l.addr), period, cost.DirectLoad, maxSpins-i)
+		i += int((ctx.Clock() + cost.DirectLoad - before) / period)
 	}
 }
 
-// Release frees the lock. It panics if the caller does not hold it, which
-// would be a bug in the TM runtime.
+// Release frees the lock and wakes any threads parked on it. It panics if
+// the caller does not hold it, which would be a bug in the TM runtime.
 func (l Lock) Release(ctx *machine.Ctx, m *mem.Memory) {
 	ctx.Tick(ctx.Cost().LockOp)
 	if owner := m.DirectLoad(ctx.ID(), l.addr); owner != uint64(ctx.ID())+1 {
 		panic("spinlock: release by non-owner")
 	}
 	m.DirectStore(ctx.ID(), l.addr, 0)
+	ctx.WakeKey(uint64(l.addr))
 }
 
 // AcquireTx writes the lock word from inside a hardware transaction,
@@ -134,10 +155,12 @@ func (l Lock) AcquireTx(t *htm.Tx, ownerHW int) {
 }
 
 // ReleaseOwned frees a lock known to be held by ctx's thread without the
-// owner check (used when releasing batches acquired via AcquireTx).
+// owner check (used when releasing batches acquired via AcquireTx), waking
+// any threads parked on it.
 func (l Lock) ReleaseOwned(ctx *machine.Ctx, m *mem.Memory) {
 	ctx.Tick(ctx.Cost().LockOp)
 	m.DirectStore(ctx.ID(), l.addr, 0)
+	ctx.WakeKey(uint64(l.addr))
 }
 
 // CodeLockBusy is the explicit-abort code meaning "a lock in the batch was

@@ -1,0 +1,45 @@
+package stats
+
+import "testing"
+
+// BenchmarkMergeFrom measures draining one per-thread delta into the
+// global matrices (the per-update cost of UpdateScheme's merge, fused
+// over the single backing buffer).
+func BenchmarkMergeFrom(b *testing.B) {
+	const n = 16
+	dst := NewMatrices(n)
+	src := NewMatrices(n)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			src.AddCommit(x, y)
+			src.AddAbort(y, x)
+		}
+		src.IncExec(x)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.MergeFrom(src)
+	}
+}
+
+// BenchmarkRowCondProbs measures filling one row of conditional abort
+// probabilities (the inner loop of Algorithm 5's Θ₂ filter).
+func BenchmarkRowCondProbs(b *testing.B) {
+	const n = 16
+	m := NewMatrices(n)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if (x+y)%3 == 0 {
+				m.AddAbort(x, y)
+			}
+			m.AddCommit(x, y)
+		}
+	}
+	dst := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RowCondProbs(i%n, dst)
+	}
+}

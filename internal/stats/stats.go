@@ -15,8 +15,13 @@ import (
 // after merging, for the whole program). Entry (x, y) counts events of
 // transaction x in which transaction y was seen in the active-transactions
 // list.
+//
+// The three count arrays are views into one backing buffer, so Reset and
+// MergeFrom — both on Seer's periodic scheme-update path — are a single
+// clear/loop over contiguous memory.
 type Matrices struct {
 	n       int
+	buf     []uint64 // commits ‖ aborts ‖ execs, 2n²+n words
 	commits []uint64
 	aborts  []uint64
 	execs   []uint64
@@ -27,11 +32,13 @@ func NewMatrices(n int) *Matrices {
 	if n <= 0 {
 		panic("stats: NewMatrices with non-positive n")
 	}
+	buf := make([]uint64, 2*n*n+n)
 	return &Matrices{
 		n:       n,
-		commits: make([]uint64, n*n),
-		aborts:  make([]uint64, n*n),
-		execs:   make([]uint64, n),
+		buf:     buf,
+		commits: buf[:n*n:n*n],
+		aborts:  buf[n*n : 2*n*n : 2*n*n],
+		execs:   buf[2*n*n:],
 	}
 }
 
@@ -66,36 +73,26 @@ func (m *Matrices) TotalExecs() uint64 {
 }
 
 // MergeFrom adds src's counts into m. Both must have the same dimension.
+// It is one fused loop over the contiguous backing buffers.
 func (m *Matrices) MergeFrom(src *Matrices) {
 	if src.n != m.n {
 		panic(fmt.Sprintf("stats: merging %d-block matrices into %d-block matrices", src.n, m.n))
 	}
-	for i := range m.commits {
-		m.commits[i] += src.commits[i]
-		m.aborts[i] += src.aborts[i]
-	}
-	for i := range m.execs {
-		m.execs[i] += src.execs[i]
+	sb := src.buf
+	for i := range m.buf {
+		m.buf[i] += sb[i]
 	}
 }
 
 // Reset zeroes all counts.
 func (m *Matrices) Reset() {
-	for i := range m.commits {
-		m.commits[i] = 0
-		m.aborts[i] = 0
-	}
-	for i := range m.execs {
-		m.execs[i] = 0
-	}
+	clear(m.buf)
 }
 
 // Clone returns a deep copy.
 func (m *Matrices) Clone() *Matrices {
 	c := NewMatrices(m.n)
-	copy(c.commits, m.commits)
-	copy(c.aborts, m.aborts)
-	copy(c.execs, m.execs)
+	copy(c.buf, m.buf)
 	return c
 }
 

@@ -27,8 +27,8 @@ func CSVHeader() []string {
 		cols = append(cols, "aborts_"+c)
 	}
 	return append(cols,
-		"fallbacks", "lock_wait_cycles",
-		"th1", "th2", "scheme_pairs",
+		"fallbacks", "lock_wait_cycles", "park_skipped_cycles",
+		"th1", "th2", "scheme_pairs", "scheme_reuse_hits",
 		"throughput_per_kcycle", "abort_rate")
 }
 
@@ -50,9 +50,11 @@ func CSVRecord(s Snapshot) []string {
 	return append(rec,
 		strconv.FormatUint(s.Fallbacks, 10),
 		strconv.FormatUint(s.LockWait, 10),
+		strconv.FormatUint(s.ParkSkipped, 10),
 		fmt.Sprintf("%.6f", s.Th1),
 		fmt.Sprintf("%.6f", s.Th2),
 		strconv.Itoa(s.SchemePairs),
+		strconv.FormatUint(s.SchemeReuse, 10),
 		fmt.Sprintf("%.6f", s.Throughput()),
 		fmt.Sprintf("%.6f", s.AbortRate()),
 	)

@@ -52,11 +52,12 @@ var CauseNames = [NumCauses]string{"conflict", "capacity", "explicit", "spurious
 // only at scheduling points, so no synchronization is needed. A nil *Shard
 // is a valid, disabled shard: every mutator is a no-op.
 type Shard struct {
-	Modes     [MaxModes]uint64
-	Attempts  uint64
-	Aborts    [NumCauses]uint64
-	Fallbacks uint64
-	LockWait  uint64 // cycles spent spinning on locks (SGL, tx, core)
+	Modes       [MaxModes]uint64
+	Attempts    uint64
+	Aborts      [NumCauses]uint64
+	Fallbacks   uint64
+	LockWait    uint64 // cycles spent spinning on locks (SGL, tx, core)
+	ParkSkipped uint64 // lock-wait cycles fast-forwarded by parking (subset of LockWait)
 }
 
 // IncMode counts a commit in mode slot m.
@@ -99,6 +100,17 @@ func (s *Shard) AddLockWait(cycles uint64) {
 	s.LockWait += cycles
 }
 
+// AddParkSkipped adds lock-wait cycles that the engine fast-forwarded by
+// parking the thread instead of simulating its spin iterations. These
+// cycles are a subset of LockWait: they still elapse on the virtual clock,
+// but cost no host time.
+func (s *Shard) AddParkSkipped(cycles uint64) {
+	if s == nil {
+		return
+	}
+	s.ParkSkipped += cycles
+}
+
 // Snapshot is the aggregate over one sampling interval, plus the
 // scheduler's control state at the interval boundary.
 type Snapshot struct {
@@ -106,18 +118,22 @@ type Snapshot struct {
 	StartCycle uint64 `json:"start_cycle"`
 	EndCycle   uint64 `json:"end_cycle"`
 
-	Commits   uint64            `json:"commits"`
-	Modes     [MaxModes]uint64  `json:"modes"`
-	Attempts  uint64            `json:"attempts"`
-	Aborts    [NumCauses]uint64 `json:"aborts"`
-	Fallbacks uint64            `json:"fallbacks"`
-	LockWait  uint64            `json:"lock_wait_cycles"`
+	Commits     uint64            `json:"commits"`
+	Modes       [MaxModes]uint64  `json:"modes"`
+	Attempts    uint64            `json:"attempts"`
+	Aborts      [NumCauses]uint64 `json:"aborts"`
+	Fallbacks   uint64            `json:"fallbacks"`
+	LockWait    uint64            `json:"lock_wait_cycles"`
+	ParkSkipped uint64            `json:"park_skipped_cycles"`
 
 	// Scheduler state sampled at EndCycle (zero unless a probe is set,
 	// i.e. for non-Seer policies).
 	Th1         float64 `json:"th1"`
 	Th2         float64 `json:"th2"`
 	SchemePairs int     `json:"scheme_pairs"`
+	// SchemeReuse counts scheme updates in the interval that completed
+	// without growing any row (the allocation-free steady state).
+	SchemeReuse uint64 `json:"scheme_reuse_hits"`
 }
 
 // Cycles returns the interval's length in virtual cycles.
@@ -146,16 +162,18 @@ func (s Snapshot) AbortRate() float64 {
 
 // totals is the cumulative sum over shards, used to diff intervals.
 type totals struct {
-	modes     [MaxModes]uint64
-	attempts  uint64
-	aborts    [NumCauses]uint64
-	fallbacks uint64
-	lockWait  uint64
+	modes       [MaxModes]uint64
+	attempts    uint64
+	aborts      [NumCauses]uint64
+	fallbacks   uint64
+	lockWait    uint64
+	parkSkipped uint64
 }
 
-// Probe supplies the scheduler's control state at snapshot time:
-// the current thresholds and the locking scheme's pair count.
-type Probe func() (th1, th2 float64, schemePairs int)
+// Probe supplies the scheduler's control state at snapshot time: the
+// current thresholds, the locking scheme's pair count, and the cumulative
+// scheme-update reuse-hit counter (diffed per interval by the recorder).
+type Probe func() (th1, th2 float64, schemePairs int, schemeReuse uint64)
 
 // Recorder owns the shards and cuts snapshots at interval boundaries. A
 // nil *Recorder is a valid, disabled recorder.
@@ -164,9 +182,10 @@ type Recorder struct {
 	shards   []Shard
 	probe    Probe
 
-	snaps []Snapshot
-	prev  totals
-	start uint64 // start cycle of the interval being accumulated
+	snaps     []Snapshot
+	prev      totals
+	prevReuse uint64 // probe's cumulative reuse counter at the last snapshot
+	start     uint64 // start cycle of the interval being accumulated
 }
 
 // New creates a recorder cutting a snapshot every interval cycles for a
@@ -252,8 +271,12 @@ func (r *Recorder) emit(end uint64) {
 	snap.Attempts = cur.attempts - r.prev.attempts
 	snap.Fallbacks = cur.fallbacks - r.prev.fallbacks
 	snap.LockWait = cur.lockWait - r.prev.lockWait
+	snap.ParkSkipped = cur.parkSkipped - r.prev.parkSkipped
 	if r.probe != nil {
-		snap.Th1, snap.Th2, snap.SchemePairs = r.probe()
+		var reuse uint64
+		snap.Th1, snap.Th2, snap.SchemePairs, reuse = r.probe()
+		snap.SchemeReuse = reuse - r.prevReuse
+		r.prevReuse = reuse
 	}
 	r.snaps = append(r.snaps, snap)
 	r.prev = cur
@@ -274,6 +297,7 @@ func (r *Recorder) sum() totals {
 		t.attempts += s.Attempts
 		t.fallbacks += s.Fallbacks
 		t.lockWait += s.LockWait
+		t.parkSkipped += s.ParkSkipped
 	}
 	return t
 }

@@ -11,7 +11,7 @@ func TestNilRecorderAndShardAreNoOps(t *testing.T) {
 	if r.Interval() != 0 || r.Shard(3) != nil || r.Snapshots() != nil {
 		t.Fatalf("nil recorder leaked state")
 	}
-	r.SetProbe(func() (float64, float64, int) { return 1, 2, 3 })
+	r.SetProbe(func() (float64, float64, int, uint64) { return 1, 2, 3, 4 })
 	r.BeginRun()
 	r.OnTick(1 << 20)
 	r.Flush(1 << 20)
@@ -22,6 +22,7 @@ func TestNilRecorderAndShardAreNoOps(t *testing.T) {
 	s.IncAbort(CauseConflict)
 	s.IncFallback()
 	s.AddLockWait(10)
+	s.AddParkSkipped(5)
 }
 
 func TestNilShardZeroAllocs(t *testing.T) {
@@ -32,6 +33,7 @@ func TestNilShardZeroAllocs(t *testing.T) {
 		s.IncAbort(CauseCapacity)
 		s.IncFallback()
 		s.AddLockWait(7)
+		s.AddParkSkipped(3)
 	})
 	if allocs != 0 {
 		t.Fatalf("nil shard allocated %.1f per op, want 0", allocs)
@@ -125,9 +127,11 @@ func TestFlushPartialTail(t *testing.T) {
 func TestProbeSampledPerSnapshot(t *testing.T) {
 	r := New(10, 1)
 	calls := 0
-	r.SetProbe(func() (float64, float64, int) {
+	r.SetProbe(func() (float64, float64, int, uint64) {
 		calls++
-		return float64(calls), 2 * float64(calls), calls
+		// The reuse counter is cumulative at the probe (3, 6, 9, ...); the
+		// recorder diffs it per interval.
+		return float64(calls), 2 * float64(calls), calls, uint64(3 * calls)
 	})
 	r.BeginRun()
 	r.OnTick(20)
@@ -137,6 +141,27 @@ func TestProbeSampledPerSnapshot(t *testing.T) {
 	}
 	if snaps[0].Th1 != 1 || snaps[1].Th1 != 2 || snaps[1].Th2 != 4 || snaps[1].SchemePairs != 2 {
 		t.Fatalf("probe values wrong: %+v", snaps)
+	}
+	if snaps[0].SchemeReuse != 3 || snaps[1].SchemeReuse != 3 {
+		t.Fatalf("scheme-reuse diffs wrong: %d, %d", snaps[0].SchemeReuse, snaps[1].SchemeReuse)
+	}
+}
+
+// TestParkSkippedDiffedPerInterval: the shard counter is cumulative; each
+// snapshot must carry only the interval's delta.
+func TestParkSkippedDiffedPerInterval(t *testing.T) {
+	r := New(10, 2)
+	r.BeginRun()
+	r.Shard(0).AddParkSkipped(100)
+	r.OnTick(10)
+	r.Shard(1).AddParkSkipped(40)
+	r.OnTick(20)
+	snaps := r.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(snaps))
+	}
+	if snaps[0].ParkSkipped != 100 || snaps[1].ParkSkipped != 40 {
+		t.Fatalf("park-skipped diffs wrong: %d, %d", snaps[0].ParkSkipped, snaps[1].ParkSkipped)
 	}
 }
 

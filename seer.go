@@ -327,9 +327,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.MetricsInterval > 0 {
 		s.tel = telemetry.New(cfg.MetricsInterval, hw)
 		if sched := s.sched; sched != nil {
-			s.tel.SetProbe(func() (float64, float64, int) {
+			s.tel.SetProbe(func() (float64, float64, int, uint64) {
 				th := sched.Thresholds()
-				return th.Th1, th.Th2, sched.SchemePairs()
+				return th.Th1, th.Th2, sched.SchemePairs(), sched.SchemeReuseHits
 			})
 		}
 		s.eng.SetTickHook(s.tel.OnTick)
