@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	seerbench -experiment fig3|table3|fig4|fig5|lockfrac|ext|attempts|contended|all [flags]
+//	seerbench -experiment fig3|table3|fig4|fig5|lockfrac|ext|attempts|contended|scaling|all [flags]
 //
 // The contended experiment is a stress view of the SGL park/wake path
-// (HLE at 8 threads) and is not part of "all", which regenerates only
-// the paper's exhibits.
+// (HLE at 8 threads) and the scaling experiment sweeps machine shapes
+// from the paper's 8-thread socket up to a 4-socket, 128-thread box;
+// neither is part of "all", which regenerates only the paper's exhibits.
 //
 // Flags:
 //
@@ -17,6 +18,10 @@
 //	-workloads s comma-separated subset (default: the full STAMP suite)
 //	-parallel n  run n grid cells concurrently (-1 = one per CPU; output
 //	             is byte-identical to a sequential run at any width)
+//	-topology s  run every cell on this machine shape instead of the
+//	             paper's 1s4c2t testbed (spec form <sockets>s<cores>c<threads>t,
+//	             e.g. 2s8c2t; cells needing more threads than the shape
+//	             offers fail). scaling ignores it: it sweeps its own shapes.
 //	-bench-json f write executor timing/throughput stats to f as JSON
 //	-cpuprofile f write a pprof CPU profile of the run to f
 //	-memprofile f write a pprof heap profile (taken at exit, after a GC) to f
@@ -34,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"seer"
 	"seer/internal/harness"
 )
 
@@ -61,7 +67,7 @@ type benchReport struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|table3|fig4|fig5|lockfrac|ext|attempts|timeline|contended|all")
+		experiment = flag.String("experiment", "all", "fig3|table3|fig4|fig5|lockfrac|ext|attempts|timeline|contended|scaling|all")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor")
 		runs       = flag.Int("runs", 3, "repetitions per measurement")
 		seed       = flag.Int64("seed", 1, "base PRNG seed")
@@ -72,6 +78,7 @@ func main() {
 		plotOut    = flag.Bool("plot", false, "fig3: render terminal line charts instead of tables")
 		interval   = flag.Uint64("metrics-interval", 0, "timeline: snapshot period in cycles (0 = default)")
 		parallel   = flag.Int("parallel", 0, "concurrent grid cells (0/1 = sequential, -1 = one per CPU)")
+		topoSpec   = flag.String("topology", "", "machine shape for every cell, e.g. 2s8c2t (default: the paper's 1s4c2t testbed)")
 		benchJSON  = flag.String("bench-json", "", "write executor timing stats to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -96,6 +103,13 @@ func main() {
 	}
 
 	opt := harness.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel}
+	if *topoSpec != "" {
+		topo, err := seer.ParseTopology(*topoSpec)
+		if err != nil {
+			fail(err)
+		}
+		opt.Topology = topo
+	}
 	var wls []string
 	if *workloads != "" {
 		wls = strings.Split(*workloads, ",")
@@ -169,6 +183,12 @@ func main() {
 			}
 		case "contended":
 			d, err := harness.Contended(opt, wls, progress)
+			if err != nil {
+				return err
+			}
+			d.Render(os.Stdout)
+		case "scaling":
+			d, err := harness.Scaling(opt, wls, progress)
 			if err != nil {
 				return err
 			}

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	seerstat -workload intruder -threads 8 -scale 0.5 [-policy Seer]
+//	seerstat -workload intruder -threads 32 -topology 2s8c2t [-remote-cost n]
 package main
 
 import (
@@ -133,6 +134,8 @@ func main() {
 		scale      = flag.Float64("scale", 0.5, "workload scale")
 		seed       = flag.Int64("seed", 1, "PRNG seed")
 		policy     = flag.String("policy", "Seer", "policy (HLE|RTM|SCM|ATS|Seer|seq)")
+		topoSpec   = flag.String("topology", "", "machine shape, e.g. 2s8c2t (default: the paper's 1s4c2t testbed)")
+		remoteCost = flag.Uint64("remote-cost", 0, "extra cycles per cross-socket access on multi-socket shapes")
 		traceN     = flag.Int("trace", 0, "dump the last N runtime events")
 		kindsSpec  = flag.String("trace-kinds", "", "comma-separated event kinds to dump (e.g. abort,lock+); empty = all")
 		asJSON     = flag.Bool("json", false, "emit the report and inference state as JSON")
@@ -158,8 +161,18 @@ func main() {
 	}
 	cfg := seer.DefaultConfig()
 	cfg.Threads = *threads
-	cfg.HWThreads = harness.MachineHWThreads
-	cfg.PhysCores = harness.MachinePhysCores
+	if *topoSpec != "" {
+		topo, err := seer.ParseTopology(*topoSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seerstat: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Topology = topo
+		cfg.RemoteAccessCost = *remoteCost
+	} else {
+		cfg.HWThreads = harness.MachineHWThreads
+		cfg.PhysCores = harness.MachinePhysCores
+	}
 	cfg.Seed = *seed
 	cfg.Policy = seer.PolicyKind(*policy)
 	cfg.NumAtomicBlocks = wl.NumAtomicBlocks()

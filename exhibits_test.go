@@ -113,6 +113,15 @@ func TestExhibitGoldens(t *testing.T) {
 			d.Render(&buf)
 			return buf.String(), nil
 		}},
+		{"scaling", func(opt harness.Options) (string, error) {
+			d, err := harness.Scaling(opt, nil, nil)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			d.Render(&buf)
+			return buf.String(), nil
+		}},
 	}
 
 	for _, ex := range exhibits {

@@ -3,7 +3,10 @@ package core
 import (
 	"testing"
 
+	"seer/internal/htm"
 	"seer/internal/machine"
+	"seer/internal/mem"
+	"seer/internal/topology"
 )
 
 // Allocation guards for the inference hot path (the counterpart of the
@@ -112,6 +115,63 @@ func TestAcquireReleaseTxLocksZeroAllocs(t *testing.T) {
 			t.Errorf("steady-state lock acquire/release allocates %.1f per run, want 0", allocs)
 		}
 	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeerPathsZeroAllocs128Threads reruns every steady-state guard
+// above on a 4-socket, 128-thread machine, with the measured body on
+// the highest thread id — the shape where the multi-word bitsets
+// (activeTxs scans, lock rows, pair sets) would first allocate if they
+// regressed to anything per-thread-count on the hot path.
+func TestSeerPathsZeroAllocs128Threads(t *testing.T) {
+	topo := topology.Multi(4, 16, 2)
+	opts := staticOptions()
+	opts.HTMLockAcq = false
+	cfg := machine.Config{Topo: topo, Seed: 11, Cost: machine.DefaultCostModel()}
+	eng, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(1 << 12)
+	u := htm.New(m, cfg, htm.Config{ReadSetLines: 64, WriteSetLines: 16})
+	rng := machine.NewRand(5)
+	s := New(3, cfg, m, u, opts, &rng)
+
+	bodies := make([]func(*machine.Ctx), topo.Threads())
+	bodies[topo.Threads()-1] = func(c *machine.Ctx) {
+		ts := s.NewThreadState(c)
+		for x := 0; x < s.NumTx(); x++ {
+			for y := 0; y < s.NumTx(); y++ {
+				for i := 0; i < 50; i++ {
+					ts.Mats().AddAbort(x, y)
+					ts.Mats().IncExec(x)
+				}
+			}
+		}
+		s.UpdateScheme(c)
+		if s.SchemePairs() == 0 {
+			t.Error("warm-up scheme is empty; the guard would measure nothing")
+			return
+		}
+		cycle := func() {
+			s.Start(ts, 0, 0)
+			s.AcquireLocks(ts, 0, 0, 1)
+			s.RegisterCommit(ts, 0)
+			s.ReleaseLocks(ts)
+			s.Finish(ts)
+			ts.Mats().AddAbort(0, 1)
+			ts.Mats().IncExec(0)
+			s.UpdateScheme(c)
+		}
+		cycle() // warm-up
+		s.LockAcqSamples = make([]int, 0, 4096)
+		allocs := testing.AllocsPerRun(100, func() { cycle() })
+		if allocs != 0 {
+			t.Errorf("128-thread steady-state Seer path allocates %.1f per run, want 0", allocs)
+		}
+	}
+	if _, err := eng.Run(bodies); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -201,11 +201,11 @@ func New(numTx int, mach machine.Config, m *mem.Memory, u *htm.Unit, opts Option
 		mem:       m,
 		htm:       u,
 		opts:      opts,
-		activeTxs: make([]int32, mach.HWThreads),
+		activeTxs: make([]int32, mach.HWThreads()),
 		merged:    stats.NewMatrices(numTx),
 		scheme:    make([][]int, numTx),
 		txLocks:   make([]spinlock.Lock, numTx),
-		coreLocks: make([]spinlock.Lock, mach.PhysCores),
+		coreLocks: make([]spinlock.Lock, mach.PhysCores()),
 		th:        opts.Init,
 
 		schemeWords:   (numTx + 63) / 64,

@@ -7,6 +7,7 @@ import (
 	"seer/internal/machine"
 	"seer/internal/mem"
 	"seer/internal/spinlock"
+	"seer/internal/topology"
 	"seer/internal/tune"
 )
 
@@ -14,10 +15,7 @@ import (
 // tests.
 func env(t *testing.T, threads int, opts Options) (*machine.Engine, *mem.Memory, *htm.Unit, *Seer) {
 	t.Helper()
-	cfg := machine.Config{HWThreads: threads, PhysCores: (threads + 1) / 2, Seed: 11, Cost: machine.DefaultCostModel()}
-	if threads == 1 {
-		cfg.PhysCores = 1
-	}
+	cfg := machine.Config{Topo: topology.MustFromFlat(threads, (threads+1)/2), Seed: 11, Cost: machine.DefaultCostModel()}
 	eng, err := machine.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -633,7 +631,7 @@ func TestNoDeadlockUnderLockChurn(t *testing.T) {
 	// MaxCycles guards the test itself: if the locks deadlock, the engine
 	// reports instead of hanging.
 	eng2, err := machine.New(machine.Config{
-		HWThreads: 4, PhysCores: 2, Seed: 11,
+		Topo: topology.SMT2(2), Seed: 11,
 		MaxCycles: 1 << 26, Cost: machine.DefaultCostModel(),
 	})
 	if err != nil {

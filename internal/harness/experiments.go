@@ -26,6 +26,11 @@ type Options struct {
 	// runs, simulated cycles) across experiments; seerbench -bench-json
 	// reads them back.
 	Stats *BenchStats
+	// Topology, when non-zero, replaces the default 8-thread testbed for
+	// every grid cell that does not pin its own shape (the seerbench
+	// -topology flag). Cells whose thread count exceeds the shape fail
+	// with a config error rather than silently resizing.
+	Topology seer.Topology
 }
 
 // DefaultOptions returns full-scale settings (Figure 3 at scale 1 takes

@@ -39,6 +39,12 @@ type Spec struct {
 	// this cell (cycles per snapshot; 0 = disabled). The snapshots are
 	// attached to each Report in Result.Reports.
 	MetricsInterval uint64
+	// Topology, when non-zero, replaces the default 8-thread testbed
+	// shape for this cell (the scaling experiment sweeps it).
+	Topology seer.Topology
+	// RemoteAccessCost charges extra cycles for cross-socket accesses on
+	// multi-socket topologies (see seer.Config.RemoteAccessCost).
+	RemoteAccessCost uint64
 }
 
 // Result aggregates the repetitions of one Spec.
@@ -85,15 +91,26 @@ func runOnce(spec Spec, seed int64) (seer.Report, error) {
 	}
 	cfg := seer.DefaultConfig()
 	cfg.Threads = spec.Threads
-	cfg.HWThreads = MachineHWThreads
-	cfg.PhysCores = MachinePhysCores
-	if spec.Threads > MachineHWThreads {
-		cfg.HWThreads = spec.Threads
+	if spec.Topology.IsZero() {
+		cfg.HWThreads = MachineHWThreads
+		cfg.PhysCores = MachinePhysCores
+		if spec.Threads > MachineHWThreads {
+			cfg.HWThreads = spec.Threads
+		}
+	} else {
+		cfg.Topology = spec.Topology
+		cfg.RemoteAccessCost = spec.RemoteAccessCost
 	}
 	cfg.Seed = seed
 	cfg.Policy = spec.Policy
 	cfg.NumAtomicBlocks = wl.NumAtomicBlocks()
 	cfg.MemWords = wl.MemWords() + (1 << 14)
+	if !spec.Topology.IsZero() {
+		// Wide machines grow per-thread state in simulated memory (arena
+		// shard lines and slack chunks, thread-stat lines); extra words
+		// only extend the address space, they never shift the layout.
+		cfg.MemWords += spec.Topology.Threads() * 2048
+	}
 	cfg.MaxCycles = 1 << 36 // livelock guard
 	if spec.MaxAttempts > 0 {
 		cfg.MaxAttempts = spec.MaxAttempts

@@ -72,6 +72,14 @@ func (o Options) workers() int {
 // On error, the first failing index (not the first to fail in wall-clock
 // order) determines the returned error, again for determinism.
 func RunGrid(opt Options, specs []Spec, progress func(i int, res Result)) ([]Result, error) {
+	if !opt.Topology.IsZero() {
+		specs = append([]Spec(nil), specs...)
+		for i := range specs {
+			if specs[i].Topology.IsZero() {
+				specs[i].Topology = opt.Topology
+			}
+		}
+	}
 	results := make([]Result, len(specs))
 	errs := make([]error, len(specs))
 	workers := opt.workers()

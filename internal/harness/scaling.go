@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"seer"
+)
+
+// The scaling exhibit is not a paper figure: the paper's testbed stops at
+// one 4-core/8-thread socket, and its Figure 3 curves stop with it. This
+// exhibit asks what the reproduced policies do when the machine itself
+// grows — it sweeps the topology axis from the paper's socket up to a
+// 4-socket, 64-core, 128-thread machine, running every worker the shape
+// admits. It exists to exercise the first-class topology model end to
+// end: multi-word scheduler masks, reader sets past 64 ids, per-core
+// capacity sharing at high thread ids, and the cross-socket access
+// penalty on the memory hot path.
+
+// ScalingShapes is the topology axis of the scaling exhibit: the paper's
+// 8-thread socket, then doubling through 2 and 4 sockets to 128 threads.
+var ScalingShapes = []seer.Topology{
+	{Sockets: 1, CoresPerSocket: 4, ThreadsPerCore: 2},  // 1s4c2t: the paper's testbed
+	{Sockets: 1, CoresPerSocket: 8, ThreadsPerCore: 2},  // 1s8c2t: 16 threads
+	{Sockets: 2, CoresPerSocket: 8, ThreadsPerCore: 2},  // 2s8c2t: 32 threads
+	{Sockets: 2, CoresPerSocket: 16, ThreadsPerCore: 2}, // 2s16c2t: 64 threads
+	{Sockets: 4, CoresPerSocket: 16, ThreadsPerCore: 2}, // 4s16c2t: 128 threads
+}
+
+// ScalingPolicies are the policies compared across shapes: the hardware
+// retry baseline and the paper's scheduler.
+var ScalingPolicies = []seer.PolicyKind{seer.PolicyRTM, seer.PolicySeer}
+
+// ScalingRemotePenalty is the per-access cycle surcharge used by the
+// exhibit's NUMA sensitivity rows: every load or store to a cache line
+// homed on another socket costs this much extra (see
+// seer.Config.RemoteAccessCost). Against the calibrated 2-cycle load /
+// 3-cycle store this triples the cost of a remote access — about the
+// local-to-remote latency ratio of a real multi-socket machine.
+const ScalingRemotePenalty = 4
+
+// ScalingData holds speedups indexed [workload][policy][shapeIdx], plus
+// the NUMA sensitivity column at the largest shape.
+type ScalingData struct {
+	Workloads []string
+	Policies  []seer.PolicyKind
+	Shapes    []seer.Topology
+	// Speedup[workload][policy][shapeIdx] vs the sequential baseline.
+	Speedup map[string]map[seer.PolicyKind][]float64
+	// Geomean[policy][shapeIdx] aggregates across workloads.
+	Geomean map[seer.PolicyKind][]float64
+	// RemoteSpeedup[workload] is Seer at the largest shape with
+	// ScalingRemotePenalty charged on cross-socket accesses; compare with
+	// Speedup[workload][PolicySeer][len(Shapes)-1] for the NUMA cost.
+	RemoteSpeedup map[string]float64
+}
+
+// Scaling runs every workload under ScalingPolicies across
+// ScalingShapes, with as many workers as each shape has hardware
+// threads, and reports speedup over the sequential baseline. A final
+// per-workload cell reruns Seer on the largest shape with the
+// cross-socket access penalty enabled.
+func Scaling(opt Options, workloads []string, progress io.Writer) (*ScalingData, error) {
+	opt = opt.normalized()
+	// The shape axis is the experiment; a global -topology override would
+	// silently turn the sweep into one repeated shape.
+	opt.Topology = seer.Topology{}
+	if workloads == nil {
+		workloads = Suite()
+	}
+	data := &ScalingData{
+		Workloads:     append([]string{}, workloads...),
+		Policies:      ScalingPolicies,
+		Shapes:        ScalingShapes,
+		Speedup:       map[string]map[seer.PolicyKind][]float64{},
+		Geomean:       map[seer.PolicyKind][]float64{},
+		RemoteSpeedup: map[string]float64{},
+	}
+	// Grid: per workload, the sequential baseline, then (policy × shape),
+	// then the penalized Seer cell. RunGrid's ordered callback sees the
+	// baseline before any cell that divides by it.
+	type cell struct {
+		wl     string
+		pol    seer.PolicyKind
+		si     int  // shape index; -1 marks the baseline cell
+		remote bool // the NUMA sensitivity cell
+	}
+	var specs []Spec
+	var cells []cell
+	largest := ScalingShapes[len(ScalingShapes)-1]
+	for _, wl := range workloads {
+		specs = append(specs, Spec{
+			Workload: wl, Scale: opt.Scale,
+			Policy: seer.PolicySeq, Threads: 1, Runs: opt.Runs, Seed: opt.Seed,
+		})
+		cells = append(cells, cell{wl: wl, si: -1})
+		for _, pol := range ScalingPolicies {
+			for si, shape := range ScalingShapes {
+				specs = append(specs, Spec{
+					Workload: wl, Scale: opt.Scale, Policy: pol,
+					Threads: shape.Threads(), Runs: opt.Runs, Seed: opt.Seed,
+					Topology: shape,
+				})
+				cells = append(cells, cell{wl: wl, pol: pol, si: si})
+			}
+		}
+		specs = append(specs, Spec{
+			Workload: wl, Scale: opt.Scale, Policy: seer.PolicySeer,
+			Threads: largest.Threads(), Runs: opt.Runs, Seed: opt.Seed,
+			Topology: largest, RemoteAccessCost: ScalingRemotePenalty,
+		})
+		cells = append(cells, cell{wl: wl, remote: true})
+	}
+	baselines := map[string]float64{}
+	_, err := RunGrid(opt, specs, func(i int, res Result) {
+		c := cells[i]
+		switch {
+		case c.si < 0 && !c.remote:
+			baselines[c.wl] = res.MeanMakespan
+			data.Speedup[c.wl] = map[seer.PolicyKind][]float64{}
+		case c.remote:
+			data.RemoteSpeedup[c.wl] = Speedup(baselines[c.wl], res)
+			if progress != nil {
+				fmt.Fprintf(progress, "scaling %-14s done\n", c.wl)
+			}
+		default:
+			if c.si == 0 {
+				data.Speedup[c.wl][c.pol] = make([]float64, len(ScalingShapes))
+			}
+			data.Speedup[c.wl][c.pol][c.si] = Speedup(baselines[c.wl], res)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pol := range ScalingPolicies {
+		gm := make([]float64, len(ScalingShapes))
+		for si := range ScalingShapes {
+			vals := make([]float64, 0, len(workloads))
+			for _, wl := range workloads {
+				vals = append(vals, data.Speedup[wl][pol][si])
+			}
+			gm[si] = GeoMean(vals)
+		}
+		data.Geomean[pol] = gm
+	}
+	return data, nil
+}
+
+// shapeLabel renders one column header, e.g. "2s8c2t(32)".
+func shapeLabel(t seer.Topology) string {
+	return fmt.Sprintf("%s(%d)", t, t.Threads())
+}
+
+// Render writes the scaling tables as text.
+func (d *ScalingData) Render(w io.Writer) {
+	fmt.Fprintf(w, "\nscaling: speedup vs sequential across machine shapes (workers = hardware threads)\n")
+	fmt.Fprintf(w, "%-14s %-6s", "workload", "policy")
+	for _, shape := range d.Shapes {
+		fmt.Fprintf(w, " %12s", shapeLabel(shape))
+	}
+	fmt.Fprintln(w)
+	row := func(name string, pol seer.PolicyKind, vals []float64) {
+		fmt.Fprintf(w, "%-14s %-6s", name, pol)
+		for _, v := range vals {
+			fmt.Fprintf(w, " %12.2f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, wl := range d.Workloads {
+		for _, pol := range d.Policies {
+			row(wl, pol, d.Speedup[wl][pol])
+		}
+	}
+	for _, pol := range d.Policies {
+		row("geomean", pol, d.Geomean[pol])
+	}
+
+	largest := d.Shapes[len(d.Shapes)-1]
+	fmt.Fprintf(w, "\nNUMA sensitivity: seer at %s with a %d-cycle cross-socket access penalty\n",
+		shapeLabel(largest), ScalingRemotePenalty)
+	fmt.Fprintf(w, "%-14s %12s %12s %8s\n", "workload", "uniform", "penalized", "ratio")
+	for _, wl := range d.Workloads {
+		uniform := d.Speedup[wl][seer.PolicySeer][len(d.Shapes)-1]
+		penalized := d.RemoteSpeedup[wl]
+		ratio := 0.0
+		if uniform > 0 {
+			ratio = penalized / uniform
+		}
+		fmt.Fprintf(w, "%-14s %12.2f %12.2f %8.2f\n", wl, uniform, penalized, ratio)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"seer/internal/machine"
 	"seer/internal/mem"
+	"seer/internal/topology"
 )
 
 // TestCommittedTxnZeroAllocs is the regression guard for the allocation-
@@ -13,7 +14,7 @@ import (
 // suspends and resumes the coroutine freely), after one warm-up attempt so
 // the thread's reusable buffers are at steady-state capacity.
 func TestCommittedTxnZeroAllocs(t *testing.T) {
-	cfg := machine.Config{HWThreads: 1, PhysCores: 1, Seed: 1, Cost: machine.DefaultCostModel()}
+	cfg := machine.Config{Topo: topology.Flat(1), Seed: 1, Cost: machine.DefaultCostModel()}
 	eng, err := machine.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +51,7 @@ func TestCommittedTxnZeroAllocs(t *testing.T) {
 // write set, then later attempts — including larger-footprint retries of
 // the same shape — reuse the grown table without allocating.
 func TestWriteBufReuseAcrossAttempts(t *testing.T) {
-	cfg := machine.Config{HWThreads: 1, PhysCores: 1, Seed: 1, Cost: machine.DefaultCostModel()}
+	cfg := machine.Config{Topo: topology.Flat(1), Seed: 1, Cost: machine.DefaultCostModel()}
 	eng, err := machine.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -90,5 +91,46 @@ func TestWriteBufReuseAcrossAttempts(t *testing.T) {
 				t.Fatalf("word (%d,%d) = %d, want %d", l, w, got, l*8+w)
 			}
 		}
+	}
+}
+
+// TestCommittedTxnZeroAllocs128Threads reruns the committed-transaction
+// guard on a 4-socket, 128-thread machine with the transaction on the
+// highest thread id: reader-set words, core tables and counters must
+// stay allocation-free past the old 64-thread ceiling.
+func TestCommittedTxnZeroAllocs128Threads(t *testing.T) {
+	topo := topology.Multi(4, 16, 2)
+	cfg := machine.Config{Topo: topo, Seed: 1, Cost: machine.DefaultCostModel()}
+	eng, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(1 << 12)
+	u := New(m, cfg, Config{ReadSetLines: 64, WriteSetLines: 16, SpuriousProb: 0})
+	base := m.AllocLines(4)
+
+	body := func(tx *Tx) {
+		for l := 0; l < 4; l++ {
+			a := base + mem.Addr(l*mem.LineWords)
+			tx.Store(a, tx.Load(a)+1)
+		}
+		tx.Work(8)
+	}
+	bodies := make([]func(*machine.Ctx), topo.Threads())
+	bodies[topo.Threads()-1] = func(c *machine.Ctx) {
+		if st := u.Run(c, body); st != 0 {
+			t.Errorf("warm-up attempt aborted: %v", st)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if st := u.Run(c, body); st != 0 {
+				t.Errorf("measured attempt aborted: %v", st)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("128-thread committed transaction allocates %.1f times per run, want 0", allocs)
+		}
+	}
+	if _, err := eng.Run(bodies); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -30,6 +30,7 @@ import (
 
 	"seer/internal/machine"
 	"seer/internal/mem"
+	"seer/internal/topology"
 )
 
 // Status is the TSX-style status word returned when a hardware transaction
@@ -147,7 +148,7 @@ type txnState struct {
 	active      bool
 	doomed      bool
 	doomStatus  Status
-	doomedBy    int8       // hw thread whose access doomed this txn (-1 unknown)
+	doomedBy    int16      // hw thread whose access doomed this txn (-1 unknown)
 	nReadLines  int        // lines counted against the read budget
 	nWriteLines int        // lines counted against the write budget
 	lines       []mem.Line // every registered line, for unregistering
@@ -178,31 +179,37 @@ type Unit struct {
 	// coreActive[core] counts the hardware threads of one physical core
 	// currently inside a transaction, maintained at transaction begin/end
 	// so the capacity model reads it in O(1) instead of scanning the
-	// core's siblings on every set growth.
-	coreActive []int8
-	// coreOf[hw] is the physical core of each hardware thread, precomputed
-	// so the per-access capacity checks don't re-derive it from the
-	// machine configuration.
-	coreOf []int8
+	// core's siblings on every set growth. Indexed by the topology's
+	// global core id.
+	coreActive []int16
+	// coreOf[hw] is the global physical core of each hardware thread,
+	// precomputed so the per-access capacity checks don't re-derive it
+	// from the machine configuration. int32 holds any core id the
+	// topology ceiling admits (the old int8 silently wrapped past 127
+	// cores).
+	coreOf []int32
 	// lastConflictor[hw] records who doomed hw's latest conflict abort
 	// (simulator-only oracle; see LastConflictor).
-	lastConflictor []int8
+	lastConflictor []int16
 }
 
 // New creates the HTM unit and installs it as the memory's doomer.
+// The machine config must be valid (Validate'd by machine.New): in
+// particular its thread count fits machine.MaxHWThreads, which is what
+// keeps the precomputed core-id table in range.
 func New(m *mem.Memory, mach machine.Config, cfg Config) *Unit {
 	u := &Unit{
 		mem:            m,
 		mach:           mach,
 		cfg:            cfg,
-		txns:           make([]txnState, mach.HWThreads),
-		cnt:            make([]Counters, mach.HWThreads),
-		coreActive:     make([]int8, mach.PhysCores),
-		coreOf:         make([]int8, mach.HWThreads),
-		lastConflictor: make([]int8, mach.HWThreads),
+		txns:           make([]txnState, mach.HWThreads()),
+		cnt:            make([]Counters, mach.HWThreads()),
+		coreActive:     make([]int16, mach.PhysCores()),
+		coreOf:         make([]int32, mach.HWThreads()),
+		lastConflictor: make([]int16, mach.HWThreads()),
 	}
 	for i := range u.lastConflictor {
-		u.coreOf[i] = int8(mach.PhysCore(i))
+		u.coreOf[i] = int32(mach.PhysCore(i))
 		u.lastConflictor[i] = -1
 	}
 	m.SetDoomer(u)
@@ -234,13 +241,18 @@ func (u *Unit) Active(hw int) bool { return u.txns[hw].active }
 
 // --- mem.Doomer implementation ---
 
-// DoomReaders aborts every transaction in the readers bitmask except self.
-func (u *Unit) DoomReaders(readers uint64, self int) {
-	for readers != 0 {
-		hw := bits.TrailingZeros64(readers)
-		readers &^= 1 << uint(hw)
-		if hw != self {
-			u.doom(hw, BitConflict|BitRetry, self)
+// DoomReaders aborts every transaction in the readers set except self.
+// The set arrives by value (a snapshot): doom unregisters the victim's
+// lines, mutating the very registry entry the caller is iterating.
+func (u *Unit) DoomReaders(readers topology.Set, self int) {
+	for wi, w := range readers.W {
+		base := wi << 6
+		for w != 0 {
+			hw := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			if hw != self {
+				u.doom(hw, BitConflict|BitRetry, self)
+			}
 		}
 	}
 }
@@ -273,8 +285,8 @@ func (u *Unit) doom(hw int, status Status, by int) {
 	}
 	t.doomed = true
 	t.doomStatus |= status
-	t.doomedBy = int8(by)
-	u.lastConflictor[hw] = int8(by)
+	t.doomedBy = int16(by)
+	u.lastConflictor[hw] = int16(by)
 	u.mem.Unregister(hw, t.lines)
 	t.lines = t.lines[:0]
 	t.nReadLines = 0
@@ -329,8 +341,9 @@ func (t *Tx) step(cost uint64) {
 // Load performs a transactional load. The conflict registry doubles as
 // the read-set representation: RegisterRead reports whether the set grew,
 // so the only per-access bookkeeping is a counter bump and a slice append.
+// Cross-socket lines may carry an extra cost (see mem.SetAccessCost).
 func (t *Tx) Load(a mem.Addr) uint64 {
-	t.step(t.cost.TxLoad)
+	t.step(t.cost.TxLoad + t.u.mem.AccessCost(t.hw, a))
 	st := t.st
 	if v, ok := st.wb.get(a); ok {
 		return v
@@ -347,7 +360,7 @@ func (t *Tx) Load(a mem.Addr) uint64 {
 
 // Store performs a transactional (buffered) store.
 func (t *Tx) Store(a mem.Addr, v uint64) {
-	t.step(t.cost.TxStore)
+	t.step(t.cost.TxStore + t.u.mem.AccessCost(t.hw, a))
 	st := t.st
 	if grew, wasReader := t.u.mem.RegisterWrite(t.hw, a); grew {
 		st.nWriteLines++

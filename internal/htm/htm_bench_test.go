@@ -5,12 +5,13 @@ import (
 
 	"seer/internal/machine"
 	"seer/internal/mem"
+	"seer/internal/topology"
 )
 
 // BenchmarkUncontendedTxn measures simulator throughput for small
 // conflict-free transactions (the common fast path).
 func BenchmarkUncontendedTxn(b *testing.B) {
-	cfg := machine.Config{HWThreads: 1, PhysCores: 1, Seed: 1, Cost: machine.DefaultCostModel()}
+	cfg := machine.Config{Topo: topology.Flat(1), Seed: 1, Cost: machine.DefaultCostModel()}
 	eng, _ := machine.New(cfg)
 	m := mem.New(1 << 12)
 	u := New(m, cfg, DefaultConfig())
@@ -28,7 +29,7 @@ func BenchmarkUncontendedTxn(b *testing.B) {
 // BenchmarkConflictingTxns measures the abort/retry path under two
 // threads hammering one line.
 func BenchmarkConflictingTxns(b *testing.B) {
-	cfg := machine.Config{HWThreads: 2, PhysCores: 2, Seed: 1, Cost: machine.DefaultCostModel()}
+	cfg := machine.Config{Topo: topology.Flat(2), Seed: 1, Cost: machine.DefaultCostModel()}
 	eng, _ := machine.New(cfg)
 	m := mem.New(1 << 12)
 	u := New(m, cfg, DefaultConfig())
@@ -55,7 +56,7 @@ func BenchmarkConflictingTxns(b *testing.B) {
 // access is a buffered write, so this isolates the write-buffer put path
 // and the commit apply loop.
 func BenchmarkWriteHeavyTxn(b *testing.B) {
-	cfg := machine.Config{HWThreads: 1, PhysCores: 1, Seed: 1, Cost: machine.DefaultCostModel()}
+	cfg := machine.Config{Topo: topology.Flat(1), Seed: 1, Cost: machine.DefaultCostModel()}
 	eng, _ := machine.New(cfg)
 	m := mem.New(1 << 12)
 	u := New(m, cfg, DefaultConfig())
@@ -75,7 +76,7 @@ func BenchmarkWriteHeavyTxn(b *testing.B) {
 
 // BenchmarkLargeWriteSet measures per-access cost with a wide footprint.
 func BenchmarkLargeWriteSet(b *testing.B) {
-	cfg := machine.Config{HWThreads: 1, PhysCores: 1, Seed: 1, Cost: machine.DefaultCostModel()}
+	cfg := machine.Config{Topo: topology.Flat(1), Seed: 1, Cost: machine.DefaultCostModel()}
 	eng, _ := machine.New(cfg)
 	m := mem.New(1 << 16)
 	u := New(m, cfg, Config{ReadSetLines: 4096, WriteSetLines: 512})

@@ -5,16 +5,16 @@ import (
 
 	"seer/internal/machine"
 	"seer/internal/mem"
+	"seer/internal/topology"
 )
 
 // env builds a 1-or-more-thread machine with memory and an HTM unit.
 func env(t *testing.T, hwThreads, physCores int) (*machine.Engine, *mem.Memory, *Unit) {
 	t.Helper()
 	cfg := machine.Config{
-		HWThreads: hwThreads,
-		PhysCores: physCores,
-		Seed:      42,
-		Cost:      machine.DefaultCostModel(),
+		Topo: topology.MustFromFlat(hwThreads, physCores),
+		Seed: 42,
+		Cost: machine.DefaultCostModel(),
 	}
 	eng, err := machine.New(cfg)
 	if err != nil {
@@ -93,7 +93,7 @@ func TestWriteCapacityAbort(t *testing.T) {
 	// All registrations must be cleaned up after the abort.
 	for i := 0; i < 32; i++ {
 		ln := mem.LineOf(base + mem.Addr(i*mem.LineWords))
-		if m.LineWriter(ln) != -1 || m.LineReaders(ln) != 0 {
+		if m.LineWriter(ln) != -1 || !m.LineReaders(ln).Empty() {
 			t.Fatalf("line %d not unregistered after abort", ln)
 		}
 	}
@@ -237,7 +237,7 @@ func TestBodyPanicPropagates(t *testing.T) {
 }
 
 func TestSpuriousAborts(t *testing.T) {
-	cfg := machine.Config{HWThreads: 1, PhysCores: 1, Seed: 3, Cost: machine.DefaultCostModel()}
+	cfg := machine.Config{Topo: topology.Flat(1), Seed: 3, Cost: machine.DefaultCostModel()}
 	eng, _ := machine.New(cfg)
 	m := mem.New(1 << 12)
 	u := New(m, cfg, Config{ReadSetLines: 64, WriteSetLines: 16, SpuriousProb: 0.05})
@@ -394,5 +394,119 @@ func TestFourWaySMTQuartersCapacity(t *testing.T) {
 	}
 	if !sawCapacity {
 		t.Fatalf("no capacity aborts with 4 transactional siblings: %v", statuses)
+	}
+}
+
+// TestCoreOfWideMachine pins the thread-to-core table on machines with
+// more than 127 cores. The table used to be []int8, which silently
+// wrapped negative past core 127 and indexed coreActive out of range;
+// the guard would have caught that regression the day the topology
+// ceiling rose past one word.
+func TestCoreOfWideMachine(t *testing.T) {
+	shapes := []topology.Topology{
+		topology.Flat(256),       // 256 cores, no SMT: coreOf is identity
+		topology.Multi(4, 64, 1), // 256 cores across sockets
+		topology.Multi(2, 64, 2), // 256 threads on 128 cores, 2-way SMT
+		topology.Multi(4, 16, 2), // the scaling exhibit's 128-thread shape
+	}
+	for _, topo := range shapes {
+		cfg := machine.Config{Topo: topo, Seed: 1, Cost: machine.DefaultCostModel()}
+		u := New(mem.New(1<<8), cfg, Config{ReadSetLines: 64, WriteSetLines: 16})
+		for hw := 0; hw < topo.Threads(); hw++ {
+			if got, want := u.coreOf[hw], int32(topo.CoreOf(hw)); got != want {
+				t.Fatalf("%v: coreOf[%d] = %d, want %d", topo, hw, got, want)
+			}
+			if u.coreOf[hw] < 0 || int(u.coreOf[hw]) >= len(u.coreActive) {
+				t.Fatalf("%v: coreOf[%d] = %d outside coreActive[0:%d]",
+					topo, hw, u.coreOf[hw], len(u.coreActive))
+			}
+		}
+	}
+}
+
+// TestHighThreadSiblingCapacity reruns the shared-L1 capacity scenario
+// on hyperthread siblings whose ids live past the old 64-thread word:
+// on a 2s64c2t machine, threads 10 and 138 share physical core 10.
+func TestHighThreadSiblingCapacity(t *testing.T) {
+	topo := topology.Multi(2, 64, 2)
+	cfg := machine.Config{Topo: topo, Seed: 42, Cost: machine.DefaultCostModel()}
+	eng, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(1 << 12)
+	u := New(m, cfg, Config{ReadSetLines: 64, WriteSetLines: 16, SpuriousProb: 0})
+	lo, hi := 10, 10+topo.Cores() // sibling pair on core 10
+	if topo.CoreOf(lo) != topo.CoreOf(hi) || hi < 128 {
+		t.Fatalf("test shape broken: %d and %d on cores %d and %d",
+			lo, hi, topo.CoreOf(lo), topo.CoreOf(hi))
+	}
+	base := m.AllocLines(64)
+	sibBase := m.AllocLines(4)
+	var statusLo Status
+	bodies := make([]func(*machine.Ctx), topo.Threads())
+	bodies[lo] = func(c *machine.Ctx) {
+		// 12 written lines: under the solo cap (16), over the shared cap (8).
+		statusLo = u.Run(c, func(tx *Tx) {
+			for i := 0; i < 12; i++ {
+				tx.Store(base+mem.Addr(i*mem.LineWords), 1)
+				tx.Work(20)
+			}
+		})
+	}
+	bodies[hi] = func(c *machine.Ctx) {
+		u.Run(c, func(tx *Tx) {
+			for i := 0; i < 3; i++ {
+				tx.Store(sibBase+mem.Addr(i), 1)
+				tx.Work(120)
+			}
+		})
+	}
+	if _, err := eng.Run(bodies); err != nil {
+		t.Fatal(err)
+	}
+	if !statusLo.Capacity() {
+		t.Fatalf("status = %v, want capacity (siblings past id 127 must share the L1 budget)", statusLo)
+	}
+}
+
+// TestConflictAcrossWordBoundary pins requester-wins conflict detection
+// between threads in different words of the reader bitset (ids 3 and
+// 200 on a 256-thread machine).
+func TestConflictAcrossWordBoundary(t *testing.T) {
+	topo := topology.Flat(256)
+	cfg := machine.Config{Topo: topo, Seed: 42, Cost: machine.DefaultCostModel()}
+	eng, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(1 << 12)
+	u := New(m, cfg, Config{ReadSetLines: 64, WriteSetLines: 16, SpuriousProb: 0})
+	a := m.AllocLines(1)
+	var early, late Status
+	bodies := make([]func(*machine.Ctx), topo.Threads())
+	bodies[200] = func(c *machine.Ctx) {
+		early = u.Run(c, func(tx *Tx) {
+			tx.Store(a, 1) // registers first
+			tx.Work(500)   // long vulnerable window
+		})
+	}
+	bodies[3] = func(c *machine.Ctx) {
+		c.Tick(100) // start later
+		late = u.Run(c, func(tx *Tx) {
+			tx.Store(a, 2) // dooms thread 200 (requester wins)
+		})
+	}
+	if _, err := eng.Run(bodies); err != nil {
+		t.Fatal(err)
+	}
+	if !early.Conflict() {
+		t.Fatalf("early status = %v, want conflict", early)
+	}
+	if late != 0 {
+		t.Fatalf("late status = %v, want commit", late)
+	}
+	if m.Peek(a) != 2 {
+		t.Fatalf("memory = %d, want the winner's value 2", m.Peek(a))
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"seer/internal/mem"
+	"seer/internal/topology"
 )
 
 func TestWriteBufPutGetOverwrite(t *testing.T) {
@@ -139,5 +140,5 @@ func TestWriteBufAddrZero(t *testing.T) {
 // nopDoomer lets writeBuf tests build a Memory without an HTM unit.
 type nopDoomer struct{}
 
-func (nopDoomer) DoomReaders(uint64, int) {}
-func (nopDoomer) DoomWriter(int, int)     {}
+func (nopDoomer) DoomReaders(topology.Set, int) {}
+func (nopDoomer) DoomWriter(int, int)           {}

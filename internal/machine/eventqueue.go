@@ -18,49 +18,86 @@ func (a event) before(b event) bool {
 	return a.cycle < b.cycle || (a.cycle == b.cycle && a.id < b.id)
 }
 
+// queueWords is the width of the occupancy bitmask: one bit per
+// hardware thread id up to MaxHWThreads.
+const queueWords = MaxHWThreads / 64
+
 // eventQueue is the scheduler's pending-wakeup set, ordered by
 // event.before. The engine queues at most one event per hardware thread
-// (its next wakeup, or its park deadline), and MaxHWThreads caps ids at
-// 64, so the queue is a flat per-thread cycle array plus an occupancy
-// bitmask with a cached minimum: every mutation is a few word ops, and
-// extraction is one branch-light scan of the live ids instead of a binary
-// heap's sift (measurably faster at the ≤ 16 live threads of every
-// experiment).
+// (its next wakeup, or its park deadline), so the queue is a flat
+// per-thread cycle array plus an occupancy bitmask with a cached
+// minimum: every mutation is a few word ops, and extraction is one
+// branch-light scan of the live ids instead of a binary heap's sift
+// (measurably faster at the ≤ 16 live threads of every experiment).
+//
+// The mask is a multi-word bitset so MaxHWThreads can exceed 64; hi
+// tracks the highest word ever occupied this run, so machines that fit
+// in one word — every pre-existing exhibit shape — still pay exactly
+// the old single-word scan.
 type eventQueue struct {
-	active uint64 // bitmask of thread ids with a queued event
-	min    event  // cached minimum; valid only while active != 0
+	n      int                // number of queued events
+	hi     int                // words [hi:] are known zero; min scan stops there
+	min    event              // cached minimum; valid only while n != 0
+	active [queueWords]uint64 // bitmask of thread ids with a queued event
 	cycles [MaxHWThreads]uint64
 }
 
 // empty reports whether no events are queued.
-func (q *eventQueue) empty() bool { return q.active == 0 }
+func (q *eventQueue) empty() bool { return q.n == 0 }
 
 // clear discards all queued events.
-func (q *eventQueue) clear() { q.active = 0 }
+func (q *eventQueue) clear() {
+	q.n = 0
+	q.hi = 0
+	q.active = [queueWords]uint64{}
+}
 
 // push inserts thread ev.id's wakeup. The thread must not already have an
 // event queued (the engine pops a thread's event before the thread can
 // push a new one).
 func (q *eventQueue) push(ev event) {
 	q.cycles[ev.id] = ev.cycle
-	if q.active == 0 || ev.before(q.min) {
+	if q.n == 0 || ev.before(q.min) {
 		q.min = ev
 	}
-	q.active |= 1 << uint32(ev.id)
+	w := int(uint32(ev.id) >> 6)
+	q.active[w] |= 1 << (uint32(ev.id) & 63)
+	if w >= q.hi {
+		q.hi = w + 1
+	}
+	q.n++
 }
 
-// rescan recomputes the cached minimum. Ids are visited in ascending
-// order, so the strict cycle comparison resolves ties in favor of the
-// lowest id — exactly event.before's order. Must not be called on an
-// empty queue.
+// rescan recomputes the cached minimum. Words — and ids within a word —
+// are visited in ascending order, so the strict cycle comparison
+// resolves ties in favor of the lowest id — exactly event.before's
+// order. Must not be called on an empty queue.
 func (q *eventQueue) rescan() {
-	m := q.active
-	id := int32(bits.TrailingZeros64(m))
-	best := event{cycle: q.cycles[id], id: id}
-	for m &= m - 1; m != 0; m &= m - 1 {
-		id = int32(bits.TrailingZeros64(m))
-		if c := q.cycles[id]; c < best.cycle {
-			best = event{cycle: c, id: id}
+	if q.hi == 1 {
+		// Single-word machine (≤ 64 threads, every pre-topology shape):
+		// one tight mask scan, no outer loop.
+		m := q.active[0]
+		id := int32(bits.TrailingZeros64(m))
+		best := event{cycle: q.cycles[id], id: id}
+		for m &= m - 1; m != 0; m &= m - 1 {
+			id = int32(bits.TrailingZeros64(m))
+			if c := q.cycles[id]; c < best.cycle {
+				best = event{cycle: c, id: id}
+			}
+		}
+		q.min = best
+		return
+	}
+	first := true
+	var best event
+	for wi := 0; wi < q.hi; wi++ {
+		base := int32(wi << 6)
+		for m := q.active[wi]; m != 0; m &= m - 1 {
+			id := base + int32(bits.TrailingZeros64(m))
+			if c := q.cycles[id]; first || c < best.cycle {
+				best = event{cycle: c, id: id}
+				first = false
+			}
 		}
 	}
 	q.min = best
@@ -70,8 +107,9 @@ func (q *eventQueue) rescan() {
 // empty queue.
 func (q *eventQueue) pop() event {
 	top := q.min
-	q.active &^= 1 << uint32(top.id)
-	if q.active != 0 {
+	q.active[uint32(top.id)>>6] &^= 1 << (uint32(top.id) & 63)
+	q.n--
+	if q.n != 0 {
 		q.rescan()
 	}
 	return top
@@ -84,9 +122,13 @@ func (q *eventQueue) pop() event {
 // loop handles that case without touching the queue at all).
 func (q *eventQueue) replaceMin(ev event) event {
 	top := q.min
-	q.active &^= 1 << uint32(top.id)
+	q.active[uint32(top.id)>>6] &^= 1 << (uint32(top.id) & 63)
 	q.cycles[ev.id] = ev.cycle
-	q.active |= 1 << uint32(ev.id)
+	w := int(uint32(ev.id) >> 6)
+	q.active[w] |= 1 << (uint32(ev.id) & 63)
+	if w >= q.hi {
+		q.hi = w + 1
+	}
 	q.rescan()
 	return top
 }
@@ -97,7 +139,7 @@ func (q *eventQueue) replaceMin(ev event) event {
 // cycle must not exceed the event's current one. It panics if no event
 // with the given id is queued, which would be an engine bug.
 func (q *eventQueue) decreaseKey(id int32, cycle uint64) {
-	if q.active&(1<<uint32(id)) == 0 {
+	if q.active[uint32(id)>>6]&(1<<(uint32(id)&63)) == 0 {
 		panic("machine: decreaseKey on a thread with no queued event")
 	}
 	q.cycles[id] = cycle

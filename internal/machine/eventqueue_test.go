@@ -4,6 +4,8 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"seer/internal/topology"
 )
 
 // TestEventQueueTieBreak: events with equal wakeup cycles must pop in
@@ -114,11 +116,165 @@ func TestEventQueueDecreaseKey(t *testing.T) {
 	}
 }
 
+// TestEventQueueWide: the multi-word occupancy mask must preserve
+// (cycle, id) order for thread ids past the old single-word ceiling —
+// 65 ids straddle the first word boundary, 128 and 256 exercise every
+// word of the mask, and equal-cycle pushes pin the cross-word id
+// tie-break.
+func TestEventQueueWide(t *testing.T) {
+	for _, n := range []int{65, 128, MaxHWThreads} {
+		// Equal cycles: ids must drain in ascending order across words.
+		var q eventQueue
+		for id := n - 1; id >= 0; id-- {
+			q.push(event{cycle: 7, id: int32(id)})
+		}
+		for want := int32(0); want < int32(n); want++ {
+			if got := q.pop(); got != (event{cycle: 7, id: want}) {
+				t.Fatalf("n=%d: pop = %+v, want {7 %d}", n, got, want)
+			}
+		}
+		if !q.empty() {
+			t.Fatalf("n=%d: queue not empty after draining", n)
+		}
+
+		// Distinct cycles arranged so the minimum hops between words:
+		// id i sleeps until cycle n-i, so the highest id pops first.
+		q.clear()
+		for id := 0; id < n; id++ {
+			q.push(event{cycle: uint64(n - id), id: int32(id)})
+		}
+		for want := int32(n - 1); want >= 0; want-- {
+			if got := q.pop(); got.id != want {
+				t.Fatalf("n=%d: pop id = %d, want %d", n, got.id, want)
+			}
+		}
+	}
+}
+
+// TestEventQueueWideQuick: the random one-event-per-thread property at
+// full mask width, forcing id assignments beyond 64 so every word of
+// the occupancy bitset participates in the rescan.
+func TestEventQueueWideQuick(t *testing.T) {
+	f := func(cycles [MaxHWThreads]uint16) bool {
+		var q eventQueue
+		evs := make([]event, len(cycles))
+		for i, c := range cycles {
+			evs[i] = event{cycle: uint64(c), id: int32(i)}
+			q.push(evs[i])
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].before(evs[j]) })
+		for _, want := range evs {
+			if got := q.pop(); got != want {
+				return false
+			}
+		}
+		return q.empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventQueueWideInterleaved drives a randomized mix of pop,
+// replaceMin and decreaseKey against a reference model over 65, 128 and
+// 256 live ids — the park/wake interleavings the engine generates, at
+// widths where the minimum migrates between bitset words. The model is
+// the brute-force linear scan of a per-id cycle map.
+func TestEventQueueWideInterleaved(t *testing.T) {
+	for _, n := range []int{65, 128, MaxHWThreads} {
+		var q eventQueue
+		model := make(map[int32]uint64, n)
+		rng := uint64(0x9e3779b97f4a7c15) ^ uint64(n)
+		next := func(mod uint64) uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng % mod
+		}
+		modelMin := func() event {
+			best := event{cycle: ^uint64(0), id: int32(MaxHWThreads)}
+			for id, c := range model {
+				if ev := (event{cycle: c, id: id}); ev.before(best) {
+					best = ev
+				}
+			}
+			return best
+		}
+		for id := 0; id < n; id++ {
+			c := next(64)
+			q.push(event{cycle: c, id: int32(id)})
+			model[int32(id)] = c
+		}
+		clock := uint64(0)
+		for step := 0; step < 4*n; step++ {
+			switch next(3) {
+			case 0: // pop, then re-push at a later cycle (a thread yielding)
+				want := modelMin()
+				got := q.pop()
+				if got != want {
+					t.Fatalf("n=%d step %d: pop = %+v, want %+v", n, step, got, want)
+				}
+				clock = got.cycle
+				delete(model, got.id)
+				ev := event{cycle: clock + 1 + next(40), id: got.id}
+				q.push(ev)
+				model[ev.id] = ev.cycle
+			case 1: // replaceMin: the resumed thread's next wakeup swaps in
+				want := modelMin()
+				ev := event{cycle: want.cycle + 1 + next(40), id: want.id}
+				got := q.replaceMin(ev)
+				if got != want {
+					t.Fatalf("n=%d step %d: replaceMin = %+v, want %+v", n, step, got, want)
+				}
+				model[ev.id] = ev.cycle
+			case 2: // decreaseKey: a wake pulls a parked deadline forward
+				id := int32(next(uint64(n)))
+				cur := model[id]
+				floor := modelMin().cycle
+				if cur <= floor {
+					continue
+				}
+				c := floor + next(cur-floor)
+				q.decreaseKey(id, c)
+				model[id] = c
+			}
+		}
+		for len(model) > 0 {
+			want := modelMin()
+			if got := q.pop(); got != want {
+				t.Fatalf("n=%d drain: pop = %+v, want %+v", n, got, want)
+			}
+			delete(model, want.id)
+		}
+		if !q.empty() {
+			t.Fatalf("n=%d: queue not empty after drain", n)
+		}
+	}
+}
+
+// TestEventQueueOpsAllocFree: queue mutations are on the engine's
+// per-event hot path and must not allocate, including at full 256-id
+// width where the rescan walks all four mask words.
+func TestEventQueueOpsAllocFree(t *testing.T) {
+	var q eventQueue
+	for id := 0; id < MaxHWThreads; id++ {
+		q.push(event{cycle: uint64(id % 17), id: int32(id)})
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		got := q.pop()
+		q.push(event{cycle: got.cycle + 13, id: got.id})
+		got = q.replaceMin(event{cycle: q.min.cycle + 29, id: q.min.id})
+		q.decreaseKey(got.id, got.cycle)
+	}); avg != 0 {
+		t.Fatalf("queue ops allocate %.1f allocs/op, want 0", avg)
+	}
+}
+
 // TestEngineEqualClockSchedulesLowestID: two threads ticking identical
 // costs must strictly alternate starting with thread 0 — the engine-level
 // consequence of the queue's tie-breaking rule.
 func TestEngineEqualClockSchedulesLowestID(t *testing.T) {
-	e := mustEngine(t, Config{HWThreads: 3, PhysCores: 3, Seed: 1, Cost: DefaultCostModel()})
+	e := mustEngine(t, Config{Topo: topology.MustFromFlat(3, 3), Seed: 1, Cost: DefaultCostModel()})
 	var order []int
 	body := func(id int) func(*Ctx) {
 		return func(c *Ctx) {

@@ -30,6 +30,8 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+
+	"seer/internal/topology"
 )
 
 // CostModel assigns virtual-cycle costs to simulated actions. The absolute
@@ -71,84 +73,62 @@ func DefaultCostModel() CostModel {
 	}
 }
 
-// Config describes the simulated machine.
+// Config describes the simulated machine. The shape — sockets, cores,
+// SMT threads — is a first-class topology.Topology value; all thread-
+// and core-id arithmetic delegates to it.
 type Config struct {
-	HWThreads int   // total hardware threads (virtual cores)
-	PhysCores int   // physical cores; HWThreads/PhysCores = SMT ways
-	Seed      int64 // seed for all per-thread PRNGs
+	Topo      topology.Topology // machine shape: sockets × cores × SMT
+	Seed      int64             // seed for all per-thread PRNGs
 	MaxCycles uint64
 	Cost      CostModel
 }
 
 // DefaultConfig mirrors the paper's testbed: a 4-core, 8-hardware-thread
-// Haswell Xeon E3-1275.
+// Haswell Xeon E3-1275 (one socket, 2-way SMT).
 func DefaultConfig() Config {
 	return Config{
-		HWThreads: 8,
-		PhysCores: 4,
+		Topo:      topology.SMT2(4),
 		Seed:      1,
 		MaxCycles: 0, // unlimited
 		Cost:      DefaultCostModel(),
 	}
 }
 
-// MaxHWThreads is the machine-wide hardware-thread ceiling (lock words and
-// bitmask-based structures throughout the runtime assume thread ids fit in
-// 64 bits).
-const MaxHWThreads = 64
+// MaxHWThreads is the machine-wide hardware-thread ceiling. Occupancy
+// masks and per-thread tables throughout the runtime are multi-word
+// bitsets dimensioned by topology.MaxThreads; this re-export keeps the
+// machine package the authority its callers size against.
+const MaxHWThreads = topology.MaxThreads
 
-// Named configuration errors, matchable with errors.Is. Validate wraps
-// each with the offending values.
-var (
-	// ErrHWThreads: HWThreads is zero or negative.
-	ErrHWThreads = errors.New("machine: HWThreads must be positive")
-	// ErrTooManyThreads: HWThreads exceeds MaxHWThreads.
-	ErrTooManyThreads = errors.New("machine: too many hardware threads")
-	// ErrPhysCores: PhysCores is zero or negative.
-	ErrPhysCores = errors.New("machine: PhysCores must be positive")
-	// ErrTopology: HWThreads is not a multiple of PhysCores, so hardware
-	// threads cannot be spread evenly over the cores.
-	ErrTopology = errors.New("machine: HWThreads must be a multiple of PhysCores")
-)
+// ErrTooManyThreads: the topology's thread count exceeds MaxHWThreads.
+// Alias of the topology sentinel so callers can match either spelling.
+var ErrTooManyThreads = topology.ErrTooManyThreads
 
 // Validate reports whether the configuration is internally consistent.
-// Each failure mode wraps one of the named Err* sentinel errors.
+// Failure modes wrap the topology package's named sentinel errors
+// (ErrSockets, ErrCores, ErrSMT, ErrTooManyThreads).
 func (c Config) Validate() error {
-	if c.HWThreads <= 0 {
-		return fmt.Errorf("%w, got %d", ErrHWThreads, c.HWThreads)
-	}
-	if c.HWThreads > MaxHWThreads {
-		return fmt.Errorf("%w: at most %d are supported, got %d",
-			ErrTooManyThreads, MaxHWThreads, c.HWThreads)
-	}
-	if c.PhysCores <= 0 {
-		return fmt.Errorf("%w, got %d", ErrPhysCores, c.PhysCores)
-	}
-	if c.HWThreads%c.PhysCores != 0 {
-		return fmt.Errorf("%w: %d threads over %d cores",
-			ErrTopology, c.HWThreads, c.PhysCores)
+	if err := c.Topo.Validate(); err != nil {
+		return fmt.Errorf("machine: %w", err)
 	}
 	return nil
 }
 
-// PhysCore maps a hardware thread to its physical core. Hardware threads
-// t and t+PhysCores are hyperthread siblings sharing one core's L1 cache,
-// mirroring the enumeration order of Linux on Intel processors.
-func (c Config) PhysCore(hwThread int) int {
-	return hwThread % c.PhysCores
-}
+// HWThreads returns the total hardware thread count.
+func (c Config) HWThreads() int { return c.Topo.Threads() }
 
-// Sibling returns the hardware thread ids sharing the physical core of hw
-// (excluding hw itself).
-func (c Config) Siblings(hw int) []int {
-	var sibs []int
-	for t := c.PhysCore(hw); t < c.HWThreads; t += c.PhysCores {
-		if t != hw {
-			sibs = append(sibs, t)
-		}
-	}
-	return sibs
-}
+// PhysCores returns the total physical core count across all sockets.
+func (c Config) PhysCores() int { return c.Topo.Cores() }
+
+// PhysCore maps a hardware thread to its global physical core. Hardware
+// threads t and t+PhysCores() are hyperthread siblings sharing one
+// core's L1 cache, mirroring the enumeration order of Linux on Intel
+// processors.
+func (c Config) PhysCore(hwThread int) int { return c.Topo.CoreOf(hwThread) }
+
+// Siblings returns the hardware thread ids sharing the physical core of
+// hw (excluding hw itself).
+func (c Config) Siblings(hw int) []int { return c.Topo.Siblings(hw) }
 
 // ErrMaxCycles is returned by Engine.Run when a run exceeds
 // Config.MaxCycles, which usually indicates a livelock in the simulated
@@ -232,7 +212,7 @@ func (c *Ctx) Tick(cost uint64) {
 	c.clock += cost
 	e := c.eng
 	if e.cfg.MaxCycles == 0 || c.clock <= e.cfg.MaxCycles {
-		if q := &e.queue; q.active == 0 ||
+		if q := &e.queue; q.n == 0 ||
 			c.clock < q.min.cycle ||
 			(c.clock == q.min.cycle && int32(c.id) < q.min.id) {
 			if e.tickHook != nil {
@@ -380,7 +360,7 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{cfg: cfg}
-	e.threads = make([]*Ctx, cfg.HWThreads)
+	e.threads = make([]*Ctx, cfg.HWThreads())
 	for i := range e.threads {
 		e.threads[i] = &Ctx{
 			id:  i,

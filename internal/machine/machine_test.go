@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"seer/internal/topology"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -15,15 +17,16 @@ func TestConfigValidate(t *testing.T) {
 		want error // nil = valid; otherwise the named sentinel to match
 	}{
 		{"default", DefaultConfig(), nil},
-		{"single", Config{HWThreads: 1, PhysCores: 1}, nil},
-		{"smt4", Config{HWThreads: 16, PhysCores: 4}, nil},
-		{"zero threads", Config{HWThreads: 0, PhysCores: 1}, ErrHWThreads},
-		{"negative threads", Config{HWThreads: -4, PhysCores: 1}, ErrHWThreads},
-		{"too many threads", Config{HWThreads: MaxHWThreads + 1, PhysCores: 1}, ErrTooManyThreads},
-		{"zero cores", Config{HWThreads: 4, PhysCores: 0}, ErrPhysCores},
-		{"negative cores", Config{HWThreads: 4, PhysCores: -2}, ErrPhysCores},
-		{"non-multiple", Config{HWThreads: 6, PhysCores: 4}, ErrTopology},
-		{"fewer threads than cores", Config{HWThreads: 2, PhysCores: 4}, ErrTopology},
+		{"single", Config{Topo: topology.Flat(1)}, nil},
+		{"smt4", Config{Topo: topology.Multi(1, 4, 4)}, nil},
+		{"multi-socket", Config{Topo: topology.Multi(4, 16, 2)}, nil},
+		{"max threads", Config{Topo: topology.Multi(4, 64, 1)}, nil},
+		{"zero topology", Config{}, topology.ErrSockets},
+		{"zero sockets", Config{Topo: topology.Topology{Sockets: 0, CoresPerSocket: 4, ThreadsPerCore: 2}}, topology.ErrSockets},
+		{"zero cores", Config{Topo: topology.Topology{Sockets: 1, CoresPerSocket: 0, ThreadsPerCore: 2}}, topology.ErrCores},
+		{"negative cores", Config{Topo: topology.Topology{Sockets: 1, CoresPerSocket: -2, ThreadsPerCore: 2}}, topology.ErrCores},
+		{"zero smt", Config{Topo: topology.Topology{Sockets: 1, CoresPerSocket: 4, ThreadsPerCore: 0}}, topology.ErrSMT},
+		{"too many threads", Config{Topo: topology.Multi(8, 64, 1)}, ErrTooManyThreads},
 	}
 	for _, c := range cases {
 		err := c.cfg.Validate()
@@ -40,31 +43,43 @@ func TestConfigValidate(t *testing.T) {
 }
 
 // TestSiblingsPartition: {hw} ∪ Siblings(hw) must partition the hardware
-// threads into PhysCores groups of equal size, with membership symmetric
-// and consistent with PhysCore.
+// threads into PhysCores() groups of equal size, with membership symmetric
+// and consistent with PhysCore — over flat, 2-way-SMT, 4-way-SMT and
+// multi-socket shapes.
 func TestSiblingsPartition(t *testing.T) {
 	for _, cfg := range []Config{
-		{HWThreads: 8, PhysCores: 4},
-		{HWThreads: 16, PhysCores: 4},
-		{HWThreads: 6, PhysCores: 3},
-		{HWThreads: 4, PhysCores: 4},
-		{HWThreads: 1, PhysCores: 1},
+		{Topo: topology.SMT2(4)},        // the paper's testbed
+		{Topo: topology.Multi(1, 4, 4)}, // 16 threads, 4-way SMT
+		{Topo: topology.Multi(1, 3, 2)},
+		{Topo: topology.Flat(4)},
+		{Topo: topology.Flat(1)},
+		{Topo: topology.Multi(2, 8, 2)},  // two sockets
+		{Topo: topology.Multi(4, 16, 2)}, // the 128-thread scaling shape
+		{Topo: topology.Multi(2, 2, 4)},  // multi-socket 4-way SMT
 	} {
-		seen := make(map[int]int, cfg.HWThreads) // thread -> core of its group
-		for hw := 0; hw < cfg.HWThreads; hw++ {
+		n, cores := cfg.HWThreads(), cfg.PhysCores()
+		seen := make(map[int]int, n) // thread -> core of its group
+		for hw := 0; hw < n; hw++ {
 			group := append([]int{hw}, cfg.Siblings(hw)...)
-			if want := cfg.HWThreads / cfg.PhysCores; len(group) != want {
-				t.Fatalf("%+v: group of %d has %d members, want %d", cfg, hw, len(group), want)
+			if want := n / cores; len(group) != want {
+				t.Fatalf("%v: group of %d has %d members, want %d", cfg.Topo, hw, len(group), want)
 			}
 			for _, m := range group {
 				if cfg.PhysCore(m) != cfg.PhysCore(hw) {
-					t.Fatalf("%+v: %d and %d grouped but on cores %d and %d",
-						cfg, hw, m, cfg.PhysCore(hw), cfg.PhysCore(m))
+					t.Fatalf("%v: %d and %d grouped but on cores %d and %d",
+						cfg.Topo, hw, m, cfg.PhysCore(hw), cfg.PhysCore(m))
 				}
 				if prev, ok := seen[m]; ok && prev != cfg.PhysCore(m) {
-					t.Fatalf("%+v: thread %d assigned to two cores", cfg, m)
+					t.Fatalf("%v: thread %d assigned to two cores", cfg.Topo, m)
 				}
 				seen[m] = cfg.PhysCore(m)
+			}
+			// Siblings on one core must also share a socket.
+			for _, m := range group {
+				if cfg.Topo.SocketOf(m) != cfg.Topo.SocketOf(hw) {
+					t.Fatalf("%v: siblings %d and %d on sockets %d and %d",
+						cfg.Topo, hw, m, cfg.Topo.SocketOf(hw), cfg.Topo.SocketOf(m))
+				}
 			}
 			// Symmetry: hw appears in each sibling's group.
 			for _, s := range cfg.Siblings(hw) {
@@ -75,18 +90,18 @@ func TestSiblingsPartition(t *testing.T) {
 					}
 				}
 				if !found {
-					t.Fatalf("%+v: %d lists sibling %d but not vice versa", cfg, hw, s)
+					t.Fatalf("%v: %d lists sibling %d but not vice versa", cfg.Topo, hw, s)
 				}
 			}
 		}
-		if len(seen) != cfg.HWThreads {
-			t.Fatalf("%+v: groups cover %d of %d threads", cfg, len(seen), cfg.HWThreads)
+		if len(seen) != n {
+			t.Fatalf("%v: groups cover %d of %d threads", cfg.Topo, len(seen), n)
 		}
 	}
 }
 
 func TestTopology(t *testing.T) {
-	cfg := Config{HWThreads: 8, PhysCores: 4}
+	cfg := Config{Topo: topology.SMT2(4)}
 	// Threads t and t+4 are hyperthread siblings.
 	for hw := 0; hw < 8; hw++ {
 		want := hw % 4
@@ -114,7 +129,7 @@ func mustEngine(t *testing.T, cfg Config) *Engine {
 }
 
 func TestRunMakespan(t *testing.T) {
-	e := mustEngine(t, Config{HWThreads: 4, PhysCores: 2, Seed: 1, Cost: DefaultCostModel()})
+	e := mustEngine(t, Config{Topo: topology.MustFromFlat(4, 2), Seed: 1, Cost: DefaultCostModel()})
 	bodies := make([]func(*Ctx), 4)
 	for i := range bodies {
 		n := uint64(i+1) * 100
@@ -133,7 +148,7 @@ func TestRunMakespan(t *testing.T) {
 // the smallest clock: a cheap-step thread must interleave many steps
 // between an expensive-step thread's steps.
 func TestMinClockInterleaving(t *testing.T) {
-	e := mustEngine(t, Config{HWThreads: 2, PhysCores: 2, Seed: 1, Cost: DefaultCostModel()})
+	e := mustEngine(t, Config{Topo: topology.MustFromFlat(2, 2), Seed: 1, Cost: DefaultCostModel()})
 	var order []int
 	bodies := []func(*Ctx){
 		func(c *Ctx) {
@@ -169,7 +184,7 @@ func TestMinClockInterleaving(t *testing.T) {
 }
 
 func TestRunPanicPropagates(t *testing.T) {
-	e := mustEngine(t, Config{HWThreads: 2, PhysCores: 1, Seed: 1, Cost: DefaultCostModel()})
+	e := mustEngine(t, Config{Topo: topology.MustFromFlat(2, 1), Seed: 1, Cost: DefaultCostModel()})
 	bodies := []func(*Ctx){
 		func(c *Ctx) { c.Tick(1); panic("boom") },
 	}
@@ -179,7 +194,7 @@ func TestRunPanicPropagates(t *testing.T) {
 }
 
 func TestMaxCyclesLivelock(t *testing.T) {
-	e := mustEngine(t, Config{HWThreads: 1, PhysCores: 1, Seed: 1, MaxCycles: 1000, Cost: DefaultCostModel()})
+	e := mustEngine(t, Config{Topo: topology.MustFromFlat(1, 1), Seed: 1, MaxCycles: 1000, Cost: DefaultCostModel()})
 	bodies := []func(*Ctx){
 		func(c *Ctx) {
 			for {
@@ -194,7 +209,7 @@ func TestMaxCyclesLivelock(t *testing.T) {
 }
 
 func TestTooManyBodies(t *testing.T) {
-	e := mustEngine(t, Config{HWThreads: 2, PhysCores: 1, Seed: 1, Cost: DefaultCostModel()})
+	e := mustEngine(t, Config{Topo: topology.MustFromFlat(2, 1), Seed: 1, Cost: DefaultCostModel()})
 	bodies := make([]func(*Ctx), 3)
 	if _, err := e.Run(bodies); err == nil {
 		t.Fatalf("expected error for more bodies than threads")
@@ -202,7 +217,7 @@ func TestTooManyBodies(t *testing.T) {
 }
 
 func TestNilBodiesStayIdle(t *testing.T) {
-	e := mustEngine(t, Config{HWThreads: 4, PhysCores: 2, Seed: 1, Cost: DefaultCostModel()})
+	e := mustEngine(t, Config{Topo: topology.MustFromFlat(4, 2), Seed: 1, Cost: DefaultCostModel()})
 	ran := false
 	bodies := []func(*Ctx){nil, func(c *Ctx) { ran = true; c.Tick(7) }, nil}
 	makespan, err := e.Run(bodies)
@@ -218,7 +233,7 @@ func TestNilBodiesStayIdle(t *testing.T) {
 // and checks identical traces.
 func TestDeterministicSchedule(t *testing.T) {
 	trace := func() []int {
-		e := mustEngine(t, Config{HWThreads: 4, PhysCores: 2, Seed: 99, Cost: DefaultCostModel()})
+		e := mustEngine(t, Config{Topo: topology.MustFromFlat(4, 2), Seed: 99, Cost: DefaultCostModel()})
 		var order []int
 		bodies := make([]func(*Ctx), 4)
 		for i := range bodies {
@@ -250,7 +265,7 @@ func TestDeterministicSchedule(t *testing.T) {
 // sequence of Tick/Advance/Work calls.
 func TestClockMonotonicQuick(t *testing.T) {
 	f := func(costs []uint16) bool {
-		e, err := New(Config{HWThreads: 1, PhysCores: 1, Seed: 5, Cost: DefaultCostModel()})
+		e, err := New(Config{Topo: topology.MustFromFlat(1, 1), Seed: 5, Cost: DefaultCostModel()})
 		if err != nil {
 			return false
 		}
@@ -329,7 +344,7 @@ func TestIntnPanicsOnNonPositive(t *testing.T) {
 }
 
 func TestEngineReuse(t *testing.T) {
-	e := mustEngine(t, Config{HWThreads: 2, PhysCores: 1, Seed: 1, Cost: DefaultCostModel()})
+	e := mustEngine(t, Config{Topo: topology.MustFromFlat(2, 1), Seed: 1, Cost: DefaultCostModel()})
 	for round := 0; round < 3; round++ {
 		makespan, err := e.Run([]func(*Ctx){
 			func(c *Ctx) { c.Tick(5) },
@@ -349,7 +364,7 @@ func TestEngineReuse(t *testing.T) {
 // usable for a fresh run afterwards.
 func TestDrainTerminatesGoroutines(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.HWThreads, cfg.PhysCores = 4, 2
+	cfg.Topo = topology.SMT2(2)
 	cfg.MaxCycles = 1000
 	e, err := New(cfg)
 	if err != nil {

@@ -3,6 +3,8 @@ package machine
 import (
 	"errors"
 	"testing"
+
+	"seer/internal/topology"
 )
 
 // The park/wake tests drive ParkOn/WakeKey directly, with hand-rolled
@@ -33,7 +35,7 @@ func spinUntil(c *Ctx, pred func() bool) uint64 {
 func parkEngine(t *testing.T, n int) *Engine {
 	t.Helper()
 	cores := n
-	return mustEngine(t, Config{HWThreads: n, PhysCores: cores, Seed: 1, Cost: DefaultCostModel()})
+	return mustEngine(t, Config{Topo: topology.MustFromFlat(n, cores), Seed: 1, Cost: DefaultCostModel()})
 }
 
 // parkUntil is the event-driven equivalent: poll once, park on key while

@@ -15,7 +15,11 @@
 // package needs no synchronization (see internal/machine).
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"seer/internal/topology"
+)
 
 // LineWords is the number of 64-bit words per cache line (64-byte lines).
 const LineWords = 8
@@ -52,19 +56,26 @@ func LineOf(a Addr) Line { return Line(a / LineWords) }
 // transactions whose read/write sets are invalidated by a conflicting
 // access. reason is an htm status-code hint (conflict).
 type Doomer interface {
-	// DoomReaders dooms every transaction in the readers bitmask except
-	// the one running on hardware thread self (pass self = -1 to doom
-	// all).
-	DoomReaders(readers uint64, self int)
+	// DoomReaders dooms every transaction in the readers set except the
+	// one running on hardware thread self (pass self = -1 to doom all).
+	// The set is passed by value on purpose: dooming a reader clears its
+	// registry bits, so the callee must iterate a snapshot.
+	DoomReaders(readers topology.Set, self int)
 	// DoomWriter dooms the transaction running on hardware thread
 	// writer unless writer == self.
 	DoomWriter(writer int, self int)
 }
 
+// AccessCostFunc returns extra virtual cycles for hardware thread hw
+// touching cache line ln — the hook the topology layer uses to charge
+// cross-socket (NUMA) accesses more than local ones. It must be pure:
+// the same (hw, ln) always costs the same, or determinism breaks.
+type AccessCostFunc func(hw int, ln Line) uint64
+
 // lineState is the conflict registry entry for one cache line.
 type lineState struct {
-	readers uint64 // bitmask of hardware threads with the line in a read set
-	writer  int8   // hardware thread with the line in a write set, -1 if none
+	readers topology.Set // hardware threads with the line in a read set
+	writer  int16        // hardware thread with the line in a write set, -1 if none
 }
 
 // Memory is the simulated shared memory.
@@ -73,6 +84,7 @@ type Memory struct {
 	lines  []lineState
 	brk    Addr // bump-allocation watermark
 	doomer Doomer
+	access AccessCostFunc // nil = uniform memory
 }
 
 // New creates a memory of the given size in words, rounded up to a whole
@@ -96,6 +108,21 @@ func New(words int) *Memory {
 // SetDoomer installs the HTM unit that receives conflict notifications.
 // It must be called before any transactional line registration.
 func (m *Memory) SetDoomer(d Doomer) { m.doomer = d }
+
+// SetAccessCost installs (or clears, with nil) the per-access extra-cost
+// hook. Accessors consult it on every load and store, so with the hook
+// unset the overhead is one nil check.
+func (m *Memory) SetAccessCost(fn AccessCostFunc) { m.access = fn }
+
+// AccessCost returns the extra virtual cycles the installed hook charges
+// hardware thread hw for touching the line of address a (0 when no hook
+// is installed).
+func (m *Memory) AccessCost(hw int, a Addr) uint64 {
+	if m.access == nil {
+		return 0
+	}
+	return m.access(hw, LineOf(a))
+}
 
 // Words returns the memory size in words.
 func (m *Memory) Words() int { return len(m.words) }
@@ -182,7 +209,7 @@ func (m *Memory) DirectLoad(self int, a Addr) uint64 {
 func (m *Memory) DirectStore(self int, a Addr, v uint64) {
 	m.checkAddr(a)
 	ls := &m.lines[LineOf(a)]
-	if ls.readers != 0 {
+	if !ls.readers.Empty() {
 		m.doomer.DoomReaders(ls.readers, self)
 	}
 	if ls.writer >= 0 && int(ls.writer) != self {
@@ -210,11 +237,10 @@ func (m *Memory) RegisterRead(hw int, a Addr) (grew, ownWrite bool) {
 		m.doomer.DoomWriter(int(ls.writer), hw)
 	}
 	ownWrite = int(ls.writer) == hw
-	bit := uint64(1) << uint(hw)
-	if ls.readers&bit != 0 {
+	if ls.readers.Has(hw) {
 		return false, ownWrite
 	}
-	ls.readers |= bit
+	ls.readers.Add(hw)
 	return true, ownWrite
 }
 
@@ -227,19 +253,19 @@ func (m *Memory) RegisterRead(hw int, a Addr) (grew, ownWrite bool) {
 func (m *Memory) RegisterWrite(hw int, a Addr) (grew, wasReader bool) {
 	m.checkAddr(a)
 	ls := &m.lines[LineOf(a)]
-	bit := uint64(1) << uint(hw)
-	otherReaders := ls.readers &^ bit
-	if otherReaders != 0 {
+	otherReaders := ls.readers // value copy; safe to pass while doom mutates ls
+	otherReaders.Remove(hw)
+	if !otherReaders.Empty() {
 		m.doomer.DoomReaders(otherReaders, hw)
 	}
 	if ls.writer >= 0 && int(ls.writer) != hw {
 		m.doomer.DoomWriter(int(ls.writer), hw)
 	}
-	wasReader = ls.readers&bit != 0
+	wasReader = ls.readers.Has(hw)
 	if int(ls.writer) == hw {
 		return false, wasReader
 	}
-	ls.writer = int8(hw)
+	ls.writer = int16(hw)
 	return true, wasReader
 }
 
@@ -247,19 +273,18 @@ func (m *Memory) RegisterWrite(hw int, a Addr) (grew, wasReader bool) {
 // given lines (both reader bit and writership). Called by the HTM when a
 // transaction commits or aborts.
 func (m *Memory) Unregister(hw int, lines []Line) {
-	bit := uint64(1) << uint(hw)
 	for _, ln := range lines {
 		ls := &m.lines[ln]
-		ls.readers &^= bit
+		ls.readers.Remove(hw)
 		if int(ls.writer) == hw {
 			ls.writer = -1
 		}
 	}
 }
 
-// LineReaders returns the reader bitmask of a line (for tests and
-// invariant checks).
-func (m *Memory) LineReaders(ln Line) uint64 { return m.lines[ln].readers }
+// LineReaders returns the reader set of a line (for tests and invariant
+// checks).
+func (m *Memory) LineReaders(ln Line) topology.Set { return m.lines[ln].readers }
 
 // LineWriter returns the writer of a line, or -1 (for tests and invariant
 // checks).
@@ -287,15 +312,16 @@ func NewDirect(m *Memory, hw int, tick func(uint64), loadCost, storeCost, workCo
 	return d
 }
 
-// Load reads a word non-transactionally.
+// Load reads a word non-transactionally. Cross-socket lines may carry
+// an extra access cost (see SetAccessCost).
 func (d *Direct) Load(a Addr) uint64 {
-	d.tick(d.cost.load)
+	d.tick(d.cost.load + d.m.AccessCost(d.hw, a))
 	return d.m.DirectLoad(d.hw, a)
 }
 
 // Store writes a word non-transactionally.
 func (d *Direct) Store(a Addr, v uint64) {
-	d.tick(d.cost.store)
+	d.tick(d.cost.store + d.m.AccessCost(d.hw, a))
 	d.m.DirectStore(d.hw, a, v)
 }
 

@@ -3,6 +3,8 @@ package mem
 import (
 	"testing"
 	"testing/quick"
+
+	"seer/internal/topology"
 )
 
 // recordingDoomer records doom notifications for assertions.
@@ -11,8 +13,11 @@ type recordingDoomer struct {
 	doomedWriters []int
 }
 
-func (d *recordingDoomer) DoomReaders(readers uint64, self int) {
-	d.doomedReaders = append(d.doomedReaders, readers&^(uint64(1)<<uint(max(self, 0))))
+func (d *recordingDoomer) DoomReaders(readers topology.Set, self int) {
+	if self >= 0 {
+		readers.Remove(self)
+	}
+	d.doomedReaders = append(d.doomedReaders, readers.W[0])
 }
 
 func (d *recordingDoomer) DoomWriter(writer, self int) {
@@ -119,8 +124,8 @@ func TestRegisterReadTracksReaders(t *testing.T) {
 		t.Fatalf("second thread should register")
 	}
 	ln := LineOf(a)
-	if m.LineReaders(ln) != (1<<3 | 1<<5) {
-		t.Fatalf("readers = %#x", m.LineReaders(ln))
+	if m.LineReaders(ln).W[0] != (1<<3 | 1<<5) {
+		t.Fatalf("readers = %#x", m.LineReaders(ln).W)
 	}
 	if len(d.doomedReaders) != 0 || len(d.doomedWriters) != 0 {
 		t.Fatalf("read-read sharing must not doom anyone")
@@ -208,7 +213,7 @@ func TestUnregisterClearsState(t *testing.T) {
 	m.RegisterRead(1, a)
 	m.RegisterWrite(1, b)
 	m.Unregister(1, []Line{LineOf(a), LineOf(b)})
-	if m.LineReaders(LineOf(a)) != 0 {
+	if !m.LineReaders(LineOf(a)).Empty() {
 		t.Fatalf("readers not cleared")
 	}
 	if m.LineWriter(LineOf(b)) != -1 {

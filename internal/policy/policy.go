@@ -94,7 +94,7 @@ type Thread struct {
 	HTM    *htm.Unit
 	Direct *mem.Direct
 	Modes  ModeCounts
-	Trace  *trace.Log      // nil disables event tracing
+	Trace  *trace.Log       // nil disables event tracing
 	Tel    *telemetry.Shard // nil disables interval metrics
 
 	Seer      *core.ThreadState // non-nil only under the Seer policy

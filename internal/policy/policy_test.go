@@ -9,6 +9,7 @@ import (
 	"seer/internal/mem"
 	"seer/internal/spinlock"
 	"seer/internal/telemetry"
+	"seer/internal/topology"
 )
 
 // rig bundles a machine with all runtime pieces for policy tests.
@@ -22,7 +23,7 @@ type rig struct {
 
 func newRig(t *testing.T, threads int) *rig {
 	t.Helper()
-	cfg := machine.Config{HWThreads: threads, PhysCores: (threads + 1) / 2, Seed: 17, Cost: machine.DefaultCostModel()}
+	cfg := machine.Config{Topo: topology.MustFromFlat(threads, (threads+1)/2), Seed: 17, Cost: machine.DefaultCostModel()}
 	eng, err := machine.New(cfg)
 	if err != nil {
 		t.Fatal(err)

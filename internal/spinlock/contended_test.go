@@ -5,6 +5,7 @@ import (
 
 	"seer/internal/machine"
 	"seer/internal/mem"
+	"seer/internal/topology"
 )
 
 // Contended-lock tests: many threads hammering one lock through the
@@ -14,7 +15,7 @@ import (
 
 func contendedEnv(t *testing.T, threads int) (*machine.Engine, *mem.Memory, Lock) {
 	t.Helper()
-	cfg := machine.Config{HWThreads: threads, PhysCores: threads, Seed: 3, Cost: machine.DefaultCostModel()}
+	cfg := machine.Config{Topo: topology.Flat(threads), Seed: 3, Cost: machine.DefaultCostModel()}
 	eng, err := machine.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -124,5 +125,55 @@ func TestBoundedWaitFreedEarly(t *testing.T) {
 	}
 	if !freed {
 		t.Fatal("bounded wait timed out despite an early release")
+	}
+}
+
+// TestContendedStormPast64Threads reruns the acquire storm with 96
+// threads on a two-socket machine: lock handoff, parking and the
+// engine's wake path must stay correct and deterministic when waiter
+// ids span multiple words of the scheduler's occupancy bitset.
+func TestContendedStormPast64Threads(t *testing.T) {
+	const iters = 6
+	topo := topology.Multi(2, 24, 2) // 96 threads
+	run := func() uint64 {
+		cfg := machine.Config{Topo: topo, Seed: 3, Cost: machine.DefaultCostModel()}
+		eng, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mem.New(1 << 10)
+		lk := New(m)
+		threads := topo.Threads()
+		inCrit := 0
+		counter := 0
+		bodies := make([]func(*machine.Ctx), threads)
+		for i := range bodies {
+			bodies[i] = func(c *machine.Ctx) {
+				for n := 0; n < iters; n++ {
+					lk.Acquire(c, m)
+					inCrit++
+					if inCrit != 1 {
+						t.Errorf("mutual exclusion violated: %d threads in critical section", inCrit)
+					}
+					c.Work(uint64(5 + n%7))
+					counter++
+					inCrit--
+					lk.Release(c, m)
+					c.Work(3)
+				}
+			}
+		}
+		ms, err := eng.Run(bodies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counter != threads*iters {
+			t.Fatalf("counter = %d, want %d", counter, threads*iters)
+		}
+		return ms
+	}
+	first := run()
+	if again := run(); again != first {
+		t.Fatalf("96-thread storm makespan not deterministic: %d vs %d", again, first)
 	}
 }

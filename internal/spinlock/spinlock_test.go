@@ -6,11 +6,12 @@ import (
 	"seer/internal/htm"
 	"seer/internal/machine"
 	"seer/internal/mem"
+	"seer/internal/topology"
 )
 
 func env(t *testing.T, threads int) (*machine.Engine, *mem.Memory, *htm.Unit) {
 	t.Helper()
-	cfg := machine.Config{HWThreads: threads, PhysCores: threads, Seed: 7, Cost: machine.DefaultCostModel()}
+	cfg := machine.Config{Topo: topology.Flat(threads), Seed: 7, Cost: machine.DefaultCostModel()}
 	eng, err := machine.New(cfg)
 	if err != nil {
 		t.Fatal(err)

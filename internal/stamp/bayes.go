@@ -62,7 +62,7 @@ func (w *Bayes) varAddr(v int) seer.Addr { return w.vars + seer.Addr(v*8) }
 func (w *Bayes) Setup(sys *seer.System) {
 	m := sys.Memory()
 	w.vars = sys.AllocLines(w.nVars)
-	arena := tmds.NewArena(m, w.totalOps*3+8192)
+	arena := tmds.NewArena(m, w.totalOps*3+arenaSlack(sys), sys.HWThreads())
 	w.edges = tmds.NewHashMap(m, 128, arena)
 	w.score = sys.AllocLines(1)
 	w.ins = newThreadStats(sys)

@@ -60,7 +60,7 @@ func (g *Genome) MemWords() int {
 
 // Setup implements Workload.
 func (g *Genome) Setup(sys *seer.System) {
-	arena := tmds.NewArena(sys.Memory(), int(g.segSpace)*3+8192)
+	arena := tmds.NewArena(sys.Memory(), int(g.segSpace)*3+arenaSlack(sys), sys.HWThreads())
 	g.set = tmds.NewHashMap(sys.Memory(), g.buckets, arena)
 	g.siteTab = tmds.NewCounters(sys.Memory(), g.sites)
 	g.chainLen = sys.AllocLines(1)

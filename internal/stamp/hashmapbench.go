@@ -47,7 +47,7 @@ func (w *HashMapBench) MemWords() int {
 // Setup implements Workload.
 func (w *HashMapBench) Setup(sys *seer.System) {
 	m := sys.Memory()
-	arena := tmds.NewArena(m, (w.elements+w.totalOps/4)*3+8192)
+	arena := tmds.NewArena(m, (w.elements+w.totalOps/4)*3+arenaSlack(sys), sys.HWThreads())
 	w.table = tmds.NewHashMap(m, w.buckets, arena)
 	w.balance = newThreadStats(sys)
 	acc := rawSys{sys}

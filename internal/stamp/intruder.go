@@ -63,7 +63,7 @@ func (w *Intruder) Setup(sys *seer.System) {
 	m := sys.Memory()
 	w.packets = tmds.NewQueue(m, w.totalOps+2)
 	w.flagged = tmds.NewQueue(m, w.totalOps+2)
-	arena := tmds.NewArena(m, w.totalOps*4+8192)
+	arena := tmds.NewArena(m, w.totalOps*4+arenaSlack(sys), sys.HWThreads())
 	w.sessionTab = tmds.NewHashMap(m, w.buckets, arena)
 	w.popped = newThreadStats(sys)
 	w.pushed = newThreadStats(sys)

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"seer"
+	"seer/internal/tmds"
 )
 
 // Workload is one benchmark instance. The lifecycle is:
@@ -90,6 +91,20 @@ var Suite = []string{
 	"ssca2", "vacation-high", "vacation-low", "yada",
 }
 
+// arenaSlack returns the fixed arena headroom of the legacy 8-thread
+// testbed plus two refill chunks for every additional hardware thread:
+// each thread parks up to one partially filled chunk, and the rest keeps
+// the master cursor from running dry on wide machines. At 8 or fewer
+// hardware threads it is exactly the historical 8192 words, which pins
+// pre-topology arena layouts (and so the exhibits) byte-for-byte.
+func arenaSlack(sys *seer.System) int {
+	const base = 8192
+	if hw := sys.HWThreads(); hw > 8 {
+		return base + (hw-8)*2*tmds.ChunkWords
+	}
+	return base
+}
+
 // split partitions total operations across n workers, giving earlier
 // workers the remainder (deterministic).
 func split(total, n int) []int {
@@ -112,17 +127,26 @@ func scaled(base int, scale float64, lo int) int {
 	return v
 }
 
-// maxHWThreads bounds the per-thread stat arrays (matches the machine
-// package's hardware-thread limit).
-const maxHWThreads = 64
+// minStatLines is the historical floor of the per-thread stat arrays.
+// Machines up to 64 threads keep exactly this allocation so simulated
+// memory layouts — and therefore all pre-topology exhibit outputs —
+// are unchanged; larger machines grow the array to one line per thread.
+const minStatLines = 64
 
 // threadStats is a per-hardware-thread padded counter in simulated
 // memory: workload bookkeeping that must not become a cross-thread
 // conflict hotspot (the analogue of STAMP's thread-local statistics).
-type threadStats struct{ base seer.Addr }
+type threadStats struct {
+	base seer.Addr
+	n    int // allocated slots
+}
 
 func newThreadStats(sys *seer.System) threadStats {
-	return threadStats{base: sys.AllocLines(maxHWThreads)}
+	n := minStatLines
+	if hw := sys.HWThreads(); hw > n {
+		n = hw
+	}
+	return threadStats{base: sys.AllocLines(n), n: n}
 }
 
 func (s threadStats) slot(a seer.Access) seer.Addr {
@@ -141,7 +165,7 @@ func (s threadStats) add(a seer.Access, d uint64) {
 // value.
 func (s threadStats) sum(sys *seer.System) uint64 {
 	var total uint64
-	for i := 0; i < maxHWThreads; i++ {
+	for i := 0; i < s.n; i++ {
 		total += sys.Peek(s.base + seer.Addr(i*8))
 	}
 	return total

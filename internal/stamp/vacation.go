@@ -62,7 +62,7 @@ func (w *Vacation) MemWords() int {
 // Setup implements Workload.
 func (w *Vacation) Setup(sys *seer.System) {
 	m := sys.Memory()
-	arena := tmds.NewArena(m, (w.nItems*4+w.totalOps/2)*8+8192)
+	arena := tmds.NewArena(m, (w.nItems*4+w.totalOps/2)*8+arenaSlack(sys), sys.HWThreads())
 	w.cars = tmds.NewRBTree(m, arena)
 	w.flights = tmds.NewRBTree(m, arena)
 	w.rooms = tmds.NewRBTree(m, arena)

@@ -36,7 +36,7 @@ func NewMatrices(n int) *Matrices {
 	return &Matrices{
 		n:       n,
 		buf:     buf,
-		commits: buf[:n*n:n*n],
+		commits: buf[: n*n : n*n],
 		aborts:  buf[n*n : 2*n*n : 2*n*n],
 		execs:   buf[2*n*n:],
 	}

@@ -11,6 +11,8 @@
 // branch, no allocation), mirroring the trace.Log convention.
 package telemetry
 
+import "seer/internal/topology"
+
 // Commit-mode slots mirrored from internal/policy. telemetry sits below
 // policy in the import graph, so the indices are declared here and policy
 // asserts (in its tests) that they line up with its Mode enum.
@@ -111,6 +113,16 @@ func (s *Shard) AddParkSkipped(cycles uint64) {
 	s.ParkSkipped += cycles
 }
 
+// SocketCounters is one socket's share of a Snapshot, populated only on
+// multi-socket topologies (see Recorder.SetTopology).
+type SocketCounters struct {
+	Socket   int    `json:"socket"`
+	Commits  uint64 `json:"commits"`
+	Attempts uint64 `json:"attempts"`
+	Aborts   uint64 `json:"aborts"`
+	LockWait uint64 `json:"lock_wait_cycles"`
+}
+
 // Snapshot is the aggregate over one sampling interval, plus the
 // scheduler's control state at the interval boundary.
 type Snapshot struct {
@@ -125,6 +137,11 @@ type Snapshot struct {
 	Fallbacks   uint64            `json:"fallbacks"`
 	LockWait    uint64            `json:"lock_wait_cycles"`
 	ParkSkipped uint64            `json:"park_skipped_cycles"`
+
+	// Sockets breaks the interval down per socket on multi-socket
+	// machines; nil (and omitted from JSON) on single-socket machines,
+	// which keeps pre-topology timeline outputs byte-identical.
+	Sockets []SocketCounters `json:"sockets,omitempty"`
 
 	// Scheduler state sampled at EndCycle (zero unless a probe is set,
 	// i.e. for non-Seer policies).
@@ -182,6 +199,12 @@ type Recorder struct {
 	shards   []Shard
 	probe    Probe
 
+	// socketOf maps each shard (hardware thread) to its socket; nil on
+	// single-socket machines, where per-socket breakdowns are skipped.
+	socketOf []int
+	sockets  int
+	prevSock []SocketCounters // cumulative per-socket totals at the last snapshot
+
 	snaps     []Snapshot
 	prev      totals
 	prevReuse uint64 // probe's cumulative reuse counter at the last snapshot
@@ -220,6 +243,22 @@ func (r *Recorder) SetProbe(p Probe) {
 		return
 	}
 	r.probe = p
+}
+
+// SetTopology enables per-socket counter breakdowns for a multi-socket
+// machine: every snapshot from here on carries a Sockets slice sharded
+// by topo.SocketOf. On single-socket topologies it is a no-op, so
+// single-socket timelines are identical with or without the call.
+func (r *Recorder) SetTopology(topo topology.Topology) {
+	if r == nil || topo.Sockets <= 1 {
+		return
+	}
+	r.sockets = topo.Sockets
+	r.socketOf = make([]int, len(r.shards))
+	for hw := range r.socketOf {
+		r.socketOf[hw] = topo.SocketOf(hw)
+	}
+	r.prevSock = make([]SocketCounters, topo.Sockets)
 }
 
 // BeginRun rewinds the interval origin to cycle 0. The engine resets the
@@ -278,9 +317,41 @@ func (r *Recorder) emit(end uint64) {
 		snap.SchemeReuse = reuse - r.prevReuse
 		r.prevReuse = reuse
 	}
+	if r.socketOf != nil {
+		curSock := r.sumSockets()
+		snap.Sockets = make([]SocketCounters, r.sockets)
+		for s := range snap.Sockets {
+			snap.Sockets[s] = SocketCounters{
+				Socket:   s,
+				Commits:  curSock[s].Commits - r.prevSock[s].Commits,
+				Attempts: curSock[s].Attempts - r.prevSock[s].Attempts,
+				Aborts:   curSock[s].Aborts - r.prevSock[s].Aborts,
+				LockWait: curSock[s].LockWait - r.prevSock[s].LockWait,
+			}
+		}
+		r.prevSock = curSock
+	}
 	r.snaps = append(r.snaps, snap)
 	r.prev = cur
 	r.start = end
+}
+
+// sumSockets folds the shards into cumulative per-socket totals.
+func (r *Recorder) sumSockets() []SocketCounters {
+	out := make([]SocketCounters, r.sockets)
+	for i := range r.shards {
+		s := &r.shards[i]
+		sc := &out[r.socketOf[i]]
+		for m := range s.Modes {
+			sc.Commits += s.Modes[m]
+		}
+		for c := range s.Aborts {
+			sc.Aborts += s.Aborts[c]
+		}
+		sc.Attempts += s.Attempts
+		sc.LockWait += s.LockWait
+	}
+	return out
 }
 
 // sum folds all shards into cumulative totals.

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"seer/internal/topology"
 )
 
 func TestNilRecorderAndShardAreNoOps(t *testing.T) {
@@ -201,5 +203,64 @@ func TestCSVHeaderMatchesRecord(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) != 2 {
 		t.Fatalf("CSV lines = %d, want 2", len(lines))
+	}
+}
+
+// TestPerSocketBreakdown: on a multi-socket topology the recorder must
+// shard interval counters by socket, diff them per interval, and have
+// the shards sum to the machine-wide aggregates; single-socket
+// topologies must keep Sockets nil so old timelines stay byte-identical.
+func TestPerSocketBreakdown(t *testing.T) {
+	topo := topology.Multi(2, 2, 2) // 8 threads: 0-1,4-5 socket 0; 2-3,6-7 socket 1
+	r := New(100, topo.Threads())
+	r.SetTopology(topo)
+	r.BeginRun()
+	r.Shard(0).IncMode(ModeHTM) // socket 0
+	r.Shard(0).IncAttempt()
+	r.Shard(6).IncMode(ModeSGL) // socket 1
+	r.Shard(6).IncAttempt()
+	r.Shard(6).IncAbort(CauseConflict)
+	r.Shard(6).AddLockWait(40)
+	r.OnTick(100)
+	r.Shard(4).IncMode(ModeHTM) // socket 0, interval 2
+	r.Flush(150)
+
+	snaps := r.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("%d snapshots, want 2", len(snaps))
+	}
+	first, second := snaps[0], snaps[1]
+	want := []SocketCounters{
+		{Socket: 0, Commits: 1, Attempts: 1},
+		{Socket: 1, Commits: 1, Attempts: 1, Aborts: 1, LockWait: 40},
+	}
+	if len(first.Sockets) != 2 || first.Sockets[0] != want[0] || first.Sockets[1] != want[1] {
+		t.Fatalf("interval 1 sockets = %+v, want %+v", first.Sockets, want)
+	}
+	// Second interval must hold only the diff, not cumulative totals.
+	want = []SocketCounters{{Socket: 0, Commits: 1}, {Socket: 1}}
+	if len(second.Sockets) != 2 || second.Sockets[0] != want[0] || second.Sockets[1] != want[1] {
+		t.Fatalf("interval 2 sockets = %+v, want %+v", second.Sockets, want)
+	}
+	for _, s := range snaps {
+		var commits, attempts uint64
+		for _, sc := range s.Sockets {
+			commits += sc.Commits
+			attempts += sc.Attempts
+		}
+		if commits != s.Commits || attempts != s.Attempts {
+			t.Fatalf("interval %d: socket shards (%d commits, %d attempts) != totals (%d, %d)",
+				s.Index, commits, attempts, s.Commits, s.Attempts)
+		}
+	}
+
+	// Single-socket machines must not grow a Sockets slice.
+	r2 := New(100, 8)
+	r2.SetTopology(topology.SMT2(4))
+	r2.BeginRun()
+	r2.Shard(0).IncMode(ModeHTM)
+	r2.Flush(50)
+	if s := r2.Snapshots()[0]; s.Sockets != nil {
+		t.Fatalf("single-socket snapshot carries Sockets = %+v, want nil", s.Sockets)
 	}
 }

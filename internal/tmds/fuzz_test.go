@@ -197,7 +197,7 @@ func FuzzHashMap(f *testing.F) {
 	fuzzCorpus(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		runStructFuzz(t, data, func(sys *seer.System) structOps {
-			arena := tmds.NewArena(sys.Memory(), 1<<14)
+			arena := tmds.NewArena(sys.Memory(), 1<<14, sys.HWThreads())
 			h := tmds.NewHashMap(sys.Memory(), 8, arena)
 			return structOps{
 				put:      func(a seer.Access, k, v uint64) { h.Put(a, k, v) },
@@ -214,7 +214,7 @@ func FuzzRBTree(f *testing.F) {
 	fuzzCorpus(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		runStructFuzz(t, data, func(sys *seer.System) structOps {
-			arena := tmds.NewArena(sys.Memory(), 1<<14)
+			arena := tmds.NewArena(sys.Memory(), 1<<14, sys.HWThreads())
 			tree := tmds.NewRBTree(sys.Memory(), arena)
 			return structOps{
 				put:      func(a seer.Access, k, v uint64) { tree.Insert(a, k, v) },
@@ -232,14 +232,14 @@ func FuzzSortedList(f *testing.F) {
 	fuzzCorpus(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		runStructFuzz(t, data, func(sys *seer.System) structOps {
-			arena := tmds.NewArena(sys.Memory(), 1<<14)
+			arena := tmds.NewArena(sys.Memory(), 1<<14, sys.HWThreads())
 			list := tmds.NewSortedList(sys.Memory(), arena)
 			return structOps{
 				put:      func(a seer.Access, k, v uint64) { list.Insert(a, k, v) },
 				del:      func(a seer.Access, k uint64) { list.Delete(a, k) },
 				get:      list.Get,
 				contains: list.Contains,
-				keys: func(a seer.Access) []uint64 { return list.Keys(a, nil) },
+				keys:     func(a seer.Access) []uint64 { return list.Keys(a, nil) },
 				check: func(a seer.Access) string {
 					ks := list.Keys(a, nil)
 					for i := 1; i < len(ks); i++ {

@@ -18,7 +18,7 @@ import (
 	"seer/internal/mem"
 )
 
-// arenaShards bounds the hardware-thread count the Arena serves (matches
+// arenaShards is the minimum per-thread shard-table size (matches
 // the machine package's 64-thread limit).
 const arenaShards = 64
 
@@ -28,22 +28,33 @@ const arenaShards = 64
 // thread-caching malloc, which the C STAMP benchmarks rely on.
 const arenaChunk = 512
 
+// ChunkWords is the arena refill granularity in words; workload sizing
+// uses it to budget per-thread slack on large machines.
+const ChunkWords = arenaChunk
+
 // Arena is a transactional allocator. Each hardware thread bump-allocates
 // from a private chunk (its shard line holds [cursor, chunkEnd]); when a
 // chunk runs out the shard refills from the shared master cursor. All
 // cursors live in simulated memory, so allocations made inside aborted
 // transactions are rolled back with the rest of the write set.
 type Arena struct {
-	master mem.Addr // line: [0] master cursor
-	shards mem.Addr // one line per hardware thread: [0] cursor, [1] end
-	limit  mem.Addr
+	master  mem.Addr // line: [0] master cursor
+	shards  mem.Addr // one line per hardware thread: [0] cursor, [1] end
+	nshards int
+	limit   mem.Addr
 }
 
-// NewArena carves a transactional arena of size words out of m.
-func NewArena(m *mem.Memory, size int) *Arena {
-	a := &Arena{}
+// NewArena carves a transactional arena of size words out of m, serving
+// hardware threads [0, threads). The shard table is never smaller than
+// the legacy 64 lines, which pins the memory layout — and therefore the
+// line-sharing pattern — of every pre-topology machine shape.
+func NewArena(m *mem.Memory, size, threads int) *Arena {
+	a := &Arena{nshards: threads}
+	if a.nshards < arenaShards {
+		a.nshards = arenaShards
+	}
 	a.master = m.AllocLines(1)
-	a.shards = m.AllocLines(arenaShards)
+	a.shards = m.AllocLines(a.nshards)
 	base := m.AllocAligned(size)
 	m.Poke(a.master, uint64(base))
 	a.limit = base + mem.Addr(size)
@@ -53,7 +64,7 @@ func NewArena(m *mem.Memory, size int) *Arena {
 // shardAddr returns the shard line of the accessor's hardware thread.
 func (a *Arena) shardAddr(acc mem.Access) mem.Addr {
 	tid := acc.ThreadID()
-	if tid < 0 || tid >= arenaShards {
+	if tid < 0 || tid >= a.nshards {
 		tid = 0
 	}
 	return a.shards + mem.Addr(tid)*mem.LineWords

@@ -8,7 +8,7 @@ import (
 
 func benchEnv(words int) (*mem.Memory, rawAccess, *Arena) {
 	m := mem.New(words)
-	return m, rawAccess{m}, NewArena(m, words/2)
+	return m, rawAccess{m}, NewArena(m, words/2, 1)
 }
 
 func BenchmarkHashMapPut(b *testing.B) {

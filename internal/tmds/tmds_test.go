@@ -19,7 +19,7 @@ func (r rawAccess) ThreadID() int              { return 0 }
 
 func testEnv(words int) (*mem.Memory, rawAccess, *Arena) {
 	m := mem.New(words)
-	arena := NewArena(m, words/2)
+	arena := NewArena(m, words/2, 1)
 	return m, rawAccess{m}, arena
 }
 

@@ -1,0 +1,48 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse: every accepted spec must round-trip through String() to an
+// identical Topology and satisfy Validate; every rejected spec must
+// fail with one of the package's named sentinel errors, never a bare
+// or foreign error.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"1s4c2t", "2s8c2t", "4s16c2t", "1s1c1t", "4s64c1t",
+		"", "s", "0s1c1t", "1s01c1t", "9999999999s1c1t", "1s4c2t2s",
+		"-1s4c2t", "1s4c2tXYZ", "1 s4c2t",
+	} {
+		f.Add(seed)
+	}
+	sentinels := []error{ErrSockets, ErrCores, ErrSMT, ErrTooManyThreads, ErrSyntax}
+	f.Fuzz(func(t *testing.T, spec string) {
+		topo, err := Parse(spec)
+		if err != nil {
+			named := false
+			for _, s := range sentinels {
+				if errors.Is(err, s) {
+					named = true
+					break
+				}
+			}
+			if !named {
+				t.Fatalf("Parse(%q) error %v matches no named sentinel", spec, err)
+			}
+			return
+		}
+		if verr := topo.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted invalid topology %+v: %v", spec, topo, verr)
+		}
+		round := topo.String()
+		if round != spec {
+			t.Fatalf("Parse(%q).String() = %q, not canonical", spec, round)
+		}
+		back, err := Parse(round)
+		if err != nil || back != topo {
+			t.Fatalf("round-trip Parse(%q) = %+v, %v; want %+v", round, back, err, topo)
+		}
+	})
+}

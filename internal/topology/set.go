@@ -1,0 +1,61 @@
+package topology
+
+import "math/bits"
+
+// SetWords is the number of 64-bit words in a Set. It is sized by
+// MaxThreads so a Set can hold any hardware thread id the machine
+// ceiling admits.
+const SetWords = MaxThreads / 64
+
+// Set is a fixed-capacity value-type bitset over hardware thread ids
+// [0, MaxThreads). It replaces the bare uint64 masks that imposed the
+// old 64-thread ceiling. The words are exported so conflict-detection
+// hot paths can iterate them with math/bits without a bounds-checked
+// accessor per member; Set is a small array, so passing it by value
+// copies it — which the doom paths rely on, since they mutate the
+// registry entry they are iterating.
+type Set struct {
+	W [SetWords]uint64
+}
+
+// Add inserts id into the set.
+func (s *Set) Add(id int) { s.W[uint(id)>>6] |= 1 << (uint(id) & 63) }
+
+// Remove deletes id from the set.
+func (s *Set) Remove(id int) { s.W[uint(id)>>6] &^= 1 << (uint(id) & 63) }
+
+// Has reports whether id is in the set.
+func (s Set) Has(id int) bool { return s.W[uint(id)>>6]&(1<<(uint(id)&63)) != 0 }
+
+// Empty reports whether the set has no members.
+func (s Set) Empty() bool { return s.W == [SetWords]uint64{} }
+
+// Clear removes all members.
+func (s *Set) Clear() { s.W = [SetWords]uint64{} }
+
+// Count returns the number of members.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s.W {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Only reports whether id is the set's sole member.
+func (s Set) Only(id int) bool {
+	var one Set
+	one.Add(id)
+	return s.W == one.W
+}
+
+// ForEach calls fn for every member in ascending id order.
+func (s Set) ForEach(fn func(id int)) {
+	for wi, w := range s.W {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}

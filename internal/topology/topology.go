@@ -1,0 +1,208 @@
+// Package topology models the shape of the simulated machine as three
+// nested levels: sockets, physical cores per socket, and SMT (hyper-)
+// threads per core. Every layer of the simulator that used to reason
+// about a flat pair of ints (HWThreads, PhysCores) consumes a Topology
+// instead, which is what lets the machine grow past one socket and past
+// the old 64-thread uint64-bitmask ceiling.
+//
+// Hardware thread ids enumerate the machine the way Linux enumerates
+// Intel processors: thread t lives on global core t % Cores(), so ids
+// 0..Cores()-1 are the first SMT thread of each core and ids
+// Cores()..2·Cores()-1 are their siblings. Global core ids fill sockets
+// in order: core c lives on socket c / CoresPerSocket. Both mappings are
+// pure arithmetic — no tables — so they are cheap enough for conflict-
+// detection hot paths.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxThreads is the machine-wide hardware-thread ceiling. Occupancy
+// masks, reader sets and seen-marks throughout the runtime are
+// fixed-size multi-word bitsets dimensioned by this constant.
+const MaxThreads = 256
+
+// Topology describes a machine as sockets × cores × SMT threads. The
+// zero value is not a valid topology (IsZero reports it); use the
+// constructors or Parse, or fill the fields and call Validate.
+type Topology struct {
+	Sockets        int // physical packages
+	CoresPerSocket int // physical cores per socket
+	ThreadsPerCore int // SMT ways (1 = no hyperthreading)
+}
+
+// Flat returns a single-socket machine with one hardware thread per
+// core (no SMT).
+func Flat(cores int) Topology {
+	return Topology{Sockets: 1, CoresPerSocket: cores, ThreadsPerCore: 1}
+}
+
+// SMT2 returns a single-socket machine with 2-way SMT — the shape of
+// the paper's 4-core/8-thread Haswell testbed is SMT2(4).
+func SMT2(cores int) Topology {
+	return Topology{Sockets: 1, CoresPerSocket: cores, ThreadsPerCore: 2}
+}
+
+// Multi returns a multi-socket machine.
+func Multi(sockets, coresPerSocket, threadsPerCore int) Topology {
+	return Topology{Sockets: sockets, CoresPerSocket: coresPerSocket, ThreadsPerCore: threadsPerCore}
+}
+
+// FromFlat builds a single-socket topology from the legacy
+// (hwThreads, physCores) pair: physCores cores with hwThreads/physCores
+// SMT ways each. It preserves the historical thread-to-core mapping
+// exactly (thread t on core t % physCores).
+func FromFlat(hwThreads, physCores int) (Topology, error) {
+	if physCores <= 0 {
+		return Topology{}, fmt.Errorf("%w, got %d", ErrCores, physCores)
+	}
+	if hwThreads%physCores != 0 {
+		return Topology{}, fmt.Errorf("%w: %d threads over %d cores",
+			ErrUneven, hwThreads, physCores)
+	}
+	t := Topology{Sockets: 1, CoresPerSocket: physCores, ThreadsPerCore: hwThreads / physCores}
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}
+
+// MustFromFlat is FromFlat for known-good shapes (tests, fixed
+// testbeds); it panics on error.
+func MustFromFlat(hwThreads, physCores int) Topology {
+	t, err := FromFlat(hwThreads, physCores)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Named topology errors, matchable with errors.Is. Validate and Parse
+// wrap each with the offending values.
+var (
+	// ErrSockets: Sockets is zero or negative.
+	ErrSockets = errors.New("topology: Sockets must be positive")
+	// ErrCores: CoresPerSocket is zero or negative.
+	ErrCores = errors.New("topology: CoresPerSocket must be positive")
+	// ErrSMT: ThreadsPerCore is zero or negative.
+	ErrSMT = errors.New("topology: ThreadsPerCore must be positive")
+	// ErrTooManyThreads: the shape's total thread count exceeds MaxThreads.
+	ErrTooManyThreads = errors.New("topology: too many hardware threads")
+	// ErrUneven: a legacy (hwThreads, physCores) pair does not spread
+	// threads evenly over cores.
+	ErrUneven = errors.New("topology: threads must divide evenly over cores")
+	// ErrSyntax: a topology spec string is not of the form "2s8c2t".
+	ErrSyntax = errors.New("topology: malformed spec, want <sockets>s<cores>c<threads>t (e.g. 2s8c2t)")
+)
+
+// Validate reports whether the topology is well-formed: all three
+// levels positive and the total thread count within MaxThreads. Each
+// failure mode wraps one of the named Err* sentinel errors.
+func (t Topology) Validate() error {
+	if t.Sockets <= 0 {
+		return fmt.Errorf("%w, got %d", ErrSockets, t.Sockets)
+	}
+	if t.CoresPerSocket <= 0 {
+		return fmt.Errorf("%w, got %d", ErrCores, t.CoresPerSocket)
+	}
+	if t.ThreadsPerCore <= 0 {
+		return fmt.Errorf("%w, got %d", ErrSMT, t.ThreadsPerCore)
+	}
+	if n := t.Threads(); n > MaxThreads {
+		return fmt.Errorf("%w: at most %d are supported, got %d",
+			ErrTooManyThreads, MaxThreads, n)
+	}
+	return nil
+}
+
+// IsZero reports whether t is the zero value, which config layers use
+// as "no topology specified".
+func (t Topology) IsZero() bool { return t == Topology{} }
+
+// Threads returns the total hardware thread count.
+func (t Topology) Threads() int { return t.Sockets * t.CoresPerSocket * t.ThreadsPerCore }
+
+// Cores returns the total physical core count across all sockets.
+func (t Topology) Cores() int { return t.Sockets * t.CoresPerSocket }
+
+// CoreOf maps a hardware thread id to its global physical core id.
+// Threads t and t+Cores() are hyperthread siblings sharing one core's
+// L1 cache, mirroring the enumeration order of Linux on Intel
+// processors (and, at one socket, the legacy hw % PhysCores mapping).
+func (t Topology) CoreOf(hw int) int { return hw % t.Cores() }
+
+// SocketOf maps a hardware thread id to its socket id. Global core ids
+// fill sockets in order, so this is CoreOf(hw) / CoresPerSocket.
+func (t Topology) SocketOf(hw int) int { return t.CoreOf(hw) / t.CoresPerSocket }
+
+// Siblings returns the hardware thread ids sharing the physical core of
+// hw, excluding hw itself, in ascending order.
+func (t Topology) Siblings(hw int) []int {
+	var sibs []int
+	for i, n := t.CoreOf(hw), t.Threads(); i < n; i += t.Cores() {
+		if i != hw {
+			sibs = append(sibs, i)
+		}
+	}
+	return sibs
+}
+
+// String renders the topology in the spec form Parse accepts, e.g.
+// "2s8c2t". Parse(t.String()) == t for every valid topology.
+func (t Topology) String() string {
+	return fmt.Sprintf("%ds%dc%dt", t.Sockets, t.CoresPerSocket, t.ThreadsPerCore)
+}
+
+// Parse decodes a spec of the form "<sockets>s<cores>c<threads>t" —
+// for example "2s8c2t" is two sockets of eight 2-way-SMT cores, a
+// 32-thread machine. It is the -topology CLI format. Malformed specs
+// return ErrSyntax; well-formed specs describing an invalid shape
+// return the corresponding Validate sentinel.
+func Parse(spec string) (Topology, error) {
+	rest := spec
+	field := func(suffix byte) (int, error) {
+		i := strings.IndexByte(rest, suffix)
+		if i < 0 {
+			return 0, fmt.Errorf("%w: %q is missing %q", ErrSyntax, spec, string(suffix))
+		}
+		digits := rest[:i]
+		rest = rest[i+1:]
+		// Reject signs, spaces and leading zeros so that String() is the
+		// one canonical spelling of every parseable spec.
+		if digits == "" || digits[0] == '0' && digits != "0" {
+			return 0, fmt.Errorf("%w: bad count %q in %q", ErrSyntax, digits, spec)
+		}
+		for i := 0; i < len(digits); i++ {
+			if digits[i] < '0' || digits[i] > '9' {
+				return 0, fmt.Errorf("%w: bad count %q in %q", ErrSyntax, digits, spec)
+			}
+		}
+		n, err := strconv.Atoi(digits)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("%w: bad count %q in %q", ErrSyntax, digits, spec)
+		}
+		return n, nil
+	}
+	var t Topology
+	var err error
+	if t.Sockets, err = field('s'); err != nil {
+		return Topology{}, err
+	}
+	if t.CoresPerSocket, err = field('c'); err != nil {
+		return Topology{}, err
+	}
+	if t.ThreadsPerCore, err = field('t'); err != nil {
+		return Topology{}, err
+	}
+	if rest != "" {
+		return Topology{}, fmt.Errorf("%w: trailing %q in %q", ErrSyntax, rest, spec)
+	}
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}

@@ -1,0 +1,250 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestConstructors(t *testing.T) {
+	cases := []struct {
+		name           string
+		topo           Topology
+		threads, cores int
+		str            string
+	}{
+		{"flat4", Flat(4), 4, 4, "1s4c1t"},
+		{"smt2x4", SMT2(4), 8, 4, "1s4c2t"},
+		{"2s8c2t", Multi(2, 8, 2), 32, 16, "2s8c2t"},
+		{"4s16c2t", Multi(4, 16, 2), 128, 64, "4s16c2t"},
+		{"4s64c1t", Multi(4, 64, 1), 256, 256, "4s64c1t"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.topo.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if got := c.topo.Threads(); got != c.threads {
+				t.Errorf("Threads = %d, want %d", got, c.threads)
+			}
+			if got := c.topo.Cores(); got != c.cores {
+				t.Errorf("Cores = %d, want %d", got, c.cores)
+			}
+			if got := c.topo.String(); got != c.str {
+				t.Errorf("String = %q, want %q", got, c.str)
+			}
+		})
+	}
+}
+
+func TestFromFlat(t *testing.T) {
+	topo, err := FromFlat(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo != SMT2(4) {
+		t.Fatalf("FromFlat(8, 4) = %+v, want SMT2(4)", topo)
+	}
+	// The legacy hw % PhysCores mapping must be preserved exactly.
+	for hw := 0; hw < 8; hw++ {
+		if got := topo.CoreOf(hw); got != hw%4 {
+			t.Errorf("CoreOf(%d) = %d, want %d", hw, got, hw%4)
+		}
+	}
+	for _, bad := range []struct {
+		hw, phys int
+		want     error
+	}{
+		{8, 0, ErrCores},
+		{8, -1, ErrCores},
+		{6, 4, ErrUneven},
+		{0, 4, ErrSMT},
+		{-4, 4, ErrSMT},
+		{512, 2, ErrTooManyThreads},
+	} {
+		if _, err := FromFlat(bad.hw, bad.phys); !errors.Is(err, bad.want) {
+			t.Errorf("FromFlat(%d, %d) = %v, want %v", bad.hw, bad.phys, err, bad.want)
+		}
+	}
+}
+
+func TestValidateSentinels(t *testing.T) {
+	for _, c := range []struct {
+		topo Topology
+		want error
+	}{
+		{Topology{}, ErrSockets},
+		{Topology{Sockets: -1, CoresPerSocket: 4, ThreadsPerCore: 2}, ErrSockets},
+		{Topology{Sockets: 1, CoresPerSocket: 0, ThreadsPerCore: 2}, ErrCores},
+		{Topology{Sockets: 1, CoresPerSocket: 4, ThreadsPerCore: 0}, ErrSMT},
+		{Topology{Sockets: 4, CoresPerSocket: 64, ThreadsPerCore: 2}, ErrTooManyThreads},
+	} {
+		if err := c.topo.Validate(); !errors.Is(err, c.want) {
+			t.Errorf("Validate(%+v) = %v, want %v", c.topo, err, c.want)
+		}
+	}
+}
+
+// TestSiblingsPartition: over any valid shape, "shares a core" must
+// partition the thread ids — every thread sees exactly ThreadsPerCore-1
+// siblings, all on its own core, and siblinghood is symmetric.
+func TestSiblingsPartition(t *testing.T) {
+	shapes := []Topology{
+		Flat(6),
+		SMT2(4),
+		Multi(1, 4, 4),  // 4-way SMT
+		Multi(2, 8, 2),  // two sockets
+		Multi(4, 16, 2), // the 128-thread scaling shape
+		Multi(2, 2, 4),  // multi-socket 4-way SMT
+	}
+	for _, topo := range shapes {
+		t.Run(topo.String(), func(t *testing.T) {
+			n := topo.Threads()
+			for hw := 0; hw < n; hw++ {
+				sibs := topo.Siblings(hw)
+				if len(sibs) != topo.ThreadsPerCore-1 {
+					t.Fatalf("Siblings(%d) = %v, want %d entries", hw, sibs, topo.ThreadsPerCore-1)
+				}
+				for _, s := range sibs {
+					if s == hw {
+						t.Fatalf("Siblings(%d) contains itself", hw)
+					}
+					if topo.CoreOf(s) != topo.CoreOf(hw) {
+						t.Fatalf("Siblings(%d) contains %d on core %d, want core %d",
+							hw, s, topo.CoreOf(s), topo.CoreOf(hw))
+					}
+					// Symmetry: hw must appear among s's siblings.
+					found := false
+					for _, back := range topo.Siblings(s) {
+						if back == hw {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("sibling relation not symmetric between %d and %d", hw, s)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSocketOf: global core ids fill sockets in order and every socket
+// gets the same number of threads.
+func TestSocketOf(t *testing.T) {
+	topo := Multi(4, 16, 2)
+	perSocket := make([]int, topo.Sockets)
+	for hw := 0; hw < topo.Threads(); hw++ {
+		s := topo.SocketOf(hw)
+		if s < 0 || s >= topo.Sockets {
+			t.Fatalf("SocketOf(%d) = %d out of range", hw, s)
+		}
+		perSocket[s]++
+		if want := topo.CoreOf(hw) / topo.CoresPerSocket; s != want {
+			t.Fatalf("SocketOf(%d) = %d, want %d", hw, s, want)
+		}
+	}
+	for s, n := range perSocket {
+		if n != topo.Threads()/topo.Sockets {
+			t.Fatalf("socket %d has %d threads, want %d", s, n, topo.Threads()/topo.Sockets)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, c := range []struct {
+		spec string
+		want Topology
+	}{
+		{"1s4c1t", Flat(4)},
+		{"1s4c2t", SMT2(4)},
+		{"2s8c2t", Multi(2, 8, 2)},
+		{"4s16c2t", Multi(4, 16, 2)},
+	} {
+		got, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+		if got.String() != c.spec {
+			t.Errorf("Parse(%q).String() = %q", c.spec, got.String())
+		}
+	}
+	for _, c := range []struct {
+		spec string
+		want error
+	}{
+		{"", ErrSyntax},
+		{"2s8c", ErrSyntax},
+		{"8c2t", ErrSyntax},
+		{"2s8c2t ", ErrSyntax},
+		{" 2s8c2t", ErrSyntax},
+		{"2s8c2tx", ErrSyntax},
+		{"s8c2t", ErrSyntax},
+		{"2s08c2t", ErrSyntax},
+		{"+2s8c2t", ErrSyntax},
+		{"2.5s8c2t", ErrSyntax},
+		{"0s8c2t", ErrSockets},
+		{"1s0c2t", ErrCores},
+		{"1s8c0t", ErrSMT},
+		{"4s64c2t", ErrTooManyThreads},
+	} {
+		if _, err := Parse(c.spec); !errors.Is(err, c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestSet(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("zero Set not empty")
+	}
+	ids := []int{0, 1, 63, 64, 65, 127, 128, 200, 255}
+	for _, id := range ids {
+		s.Add(id)
+	}
+	if s.Count() != len(ids) {
+		t.Fatalf("Count = %d, want %d", s.Count(), len(ids))
+	}
+	for _, id := range ids {
+		if !s.Has(id) {
+			t.Fatalf("Has(%d) = false after Add", id)
+		}
+	}
+	if s.Has(2) || s.Has(66) || s.Has(129) {
+		t.Fatal("Has reports non-members")
+	}
+	var got []int
+	s.ForEach(func(id int) { got = append(got, id) })
+	for i, id := range ids {
+		if got[i] != id {
+			t.Fatalf("ForEach order = %v, want %v", got, ids)
+		}
+	}
+	// Value copies must be independent (doom paths depend on this).
+	cp := s
+	cp.Remove(64)
+	if !s.Has(64) || cp.Has(64) {
+		t.Fatal("Set copy not independent of original")
+	}
+	s.Remove(64)
+	s.Remove(0)
+	if s.Has(64) || s.Has(0) || s.Count() != len(ids)-2 {
+		t.Fatal("Remove failed")
+	}
+	if !s.Only(65) == (s.Count() == 1) {
+		t.Fatal("Only/Count disagree") // sanity; Only is false here
+	}
+	var one Set
+	one.Add(255)
+	if !one.Only(255) || one.Only(254) {
+		t.Fatal("Only wrong on singleton")
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear left members")
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"seer/internal/policy"
 	"seer/internal/spinlock"
 	"seer/internal/telemetry"
+	"seer/internal/topology"
 	"seer/internal/trace"
 )
 
@@ -75,7 +76,17 @@ type (
 	// TraceEvent is one entry of the bounded runtime event log
 	// (enabled by Config.TraceEvents).
 	TraceEvent = trace.Event
+	// Topology describes the machine shape as sockets × physical cores
+	// × SMT threads (see Config.Topology).
+	Topology = topology.Topology
 )
+
+// ParseTopology decodes a "<sockets>s<cores>c<threads>t" spec, e.g.
+// "2s8c2t" — the format of the -topology CLI flags.
+func ParseTopology(spec string) (Topology, error) { return topology.Parse(spec) }
+
+// MaxHWThreads is the ceiling on a topology's total hardware threads.
+const MaxHWThreads = machine.MaxHWThreads
 
 // NilAddr is the null simulated-memory address.
 const NilAddr = mem.Nil
@@ -130,10 +141,23 @@ type Config struct {
 	Threads int
 	// PhysCores is the number of physical cores; hardware threads t and
 	// t+PhysCores are hyperthread siblings. Must divide HWThreads.
+	// Ignored when Topology is set.
 	PhysCores int
 	// HWThreads is the machine's total hardware thread count; it
 	// defaults to max(Threads, 2*PhysCores handled automatically).
+	// Ignored when Topology is set.
 	HWThreads int
+	// Topology, when non-zero, pins the full machine shape — sockets,
+	// physical cores per socket, SMT threads per core — and overrides
+	// the flat PhysCores/HWThreads pair. Build one with the topology
+	// constructors via ParseTopology ("2s8c2t") or a Topology literal.
+	Topology Topology
+	// RemoteAccessCost, with a multi-socket Topology, adds this many
+	// virtual cycles to every load and store that touches a cache line
+	// homed on a different socket than the accessing thread (lines are
+	// interleaved across sockets by line index). 0, or a single-socket
+	// machine, models uniform memory — the pre-topology behaviour.
+	RemoteAccessCost uint64
 	// Seed drives every pseudo-random choice in the run.
 	Seed int64
 	// MemWords sizes the simulated memory.
@@ -206,30 +230,34 @@ func (p PolicyKind) valid() bool {
 	return false
 }
 
-// machineShape resolves the defaults for the machine topology: HWThreads
-// falls back to Threads, PhysCores to one hardware thread per core, and
-// the thread count is rounded up to a multiple of the physical cores
-// (idle hardware threads are harmless).
-func (c Config) machineShape() (hw, phys int) {
-	hw = c.HWThreads
+// machineTopology resolves the machine shape. An explicit Topology wins;
+// otherwise the legacy flat pair is resolved as before: HWThreads falls
+// back to Threads, PhysCores to one hardware thread per core, and the
+// thread count is rounded up to a multiple of the physical cores (idle
+// hardware threads are harmless).
+func (c Config) machineTopology() (topology.Topology, error) {
+	if !c.Topology.IsZero() {
+		return c.Topology, c.Topology.Validate()
+	}
+	hw := c.HWThreads
 	if hw == 0 {
 		hw = c.Threads
 	}
-	phys = c.PhysCores
+	phys := c.PhysCores
 	if phys == 0 {
 		phys = hw
 	}
 	if phys > 0 && hw%phys != 0 {
 		hw += phys - hw%phys
 	}
-	return hw, phys
+	return topology.FromFlat(hw, phys)
 }
 
 // Validate checks the configuration without building a system. All
 // violations are reported as wrapped named errors (ErrThreads,
 // ErrNumAtomicBlocks, ErrMaxAttempts, ErrHWThreads, ErrPolicy, or the
-// machine package's sentinels for topology violations), so callers can
-// match with errors.Is.
+// topology package's sentinels for machine-shape violations), so callers
+// can match with errors.Is.
 func (c Config) Validate() error {
 	if c.Threads <= 0 {
 		return fmt.Errorf("%w, got %d", ErrThreads, c.Threads)
@@ -240,16 +268,22 @@ func (c Config) Validate() error {
 	if c.MaxAttempts <= 0 {
 		return fmt.Errorf("%w, got %d", ErrMaxAttempts, c.MaxAttempts)
 	}
-	if c.HWThreads != 0 && c.HWThreads < c.Threads {
+	if c.Topology.IsZero() && c.HWThreads != 0 && c.HWThreads < c.Threads {
 		return fmt.Errorf("%w: %d < %d", ErrHWThreads, c.HWThreads, c.Threads)
 	}
 	if !c.Policy.valid() {
 		return fmt.Errorf("%w %q", ErrPolicy, c.Policy)
 	}
-	hw, phys := c.machineShape()
+	topo, err := c.machineTopology()
+	if err != nil {
+		return err
+	}
+	if !c.Topology.IsZero() && topo.Threads() < c.Threads {
+		return fmt.Errorf("%w: topology %s has %d < %d", ErrHWThreads,
+			topo, topo.Threads(), c.Threads)
+	}
 	mach := machine.Config{
-		HWThreads: hw,
-		PhysCores: phys,
+		Topo:      topo,
 		Seed:      c.Seed,
 		MaxCycles: c.MaxCycles,
 		Cost:      c.Cost,
@@ -281,10 +315,13 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	hw, phys := cfg.machineShape()
+	topo, err := cfg.machineTopology()
+	if err != nil {
+		return nil, err
+	}
+	hw := topo.Threads()
 	mach := machine.Config{
-		HWThreads: hw,
-		PhysCores: phys,
+		Topo:      topo,
 		Seed:      cfg.Seed,
 		MaxCycles: cfg.MaxCycles,
 		Cost:      cfg.Cost,
@@ -298,6 +335,18 @@ func NewSystem(cfg Config) (*System, error) {
 		s.trc = trace.New(cfg.TraceEvents)
 	}
 	s.mem = mem.New(cfg.MemWords)
+	if cfg.RemoteAccessCost > 0 && topo.Sockets > 1 {
+		// NUMA model: cache lines are interleaved across sockets by line
+		// index; touching a line homed on another socket costs extra
+		// cycles. Pure in (hw, line), so determinism is preserved.
+		t, penalty := topo, cfg.RemoteAccessCost
+		s.mem.SetAccessCost(func(hw int, ln mem.Line) uint64 {
+			if int(ln)%t.Sockets == t.SocketOf(hw) {
+				return 0
+			}
+			return penalty
+		})
+	}
 	s.htm = htm.New(s.mem, mach, cfg.HTM)
 	s.sgl = spinlock.New(s.mem)
 
@@ -326,6 +375,9 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.MetricsInterval > 0 {
 		s.tel = telemetry.New(cfg.MetricsInterval, hw)
+		if topo.Sockets > 1 {
+			s.tel.SetTopology(topo)
+		}
 		if sched := s.sched; sched != nil {
 			s.tel.SetProbe(func() (float64, float64, int, uint64) {
 				th := sched.Thresholds()
@@ -339,6 +391,13 @@ func NewSystem(cfg Config) (*System, error) {
 
 // Config returns the system's configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// HWThreads returns the simulated machine's resolved hardware thread
+// count (after topology defaults are applied).
+func (s *System) HWThreads() int { return s.eng.Config().HWThreads() }
+
+// Topology returns the simulated machine's resolved shape.
+func (s *System) Topology() Topology { return s.eng.Config().Topo }
 
 // PolicyName returns the active policy's name.
 func (s *System) PolicyName() string { return s.pol.Name() }
