@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// compareBench loads two -bench-json reports and renders a per-experiment
+// throughput comparison (cells/sec ratio new/old) plus the geometric mean
+// over experiments present in both. It returns ok = false when the
+// geomean falls below threshold — the regression gate CI runs against the
+// previous PR's snapshot, replacing the eyeball check that almost missed
+// an earlier geomean dip.
+func compareBench(oldPath, newPath string, threshold float64, w io.Writer) (ok bool, err error) {
+	oldRep, err := loadBenchReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadBenchReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := map[string]benchExperiment{}
+	for _, e := range oldRep.Experiments {
+		oldBy[e.Name] = e
+	}
+
+	fmt.Fprintf(w, "bench compare: %s -> %s (threshold %.2f)\n", oldPath, newPath, threshold)
+	fmt.Fprintf(w, "%-12s %14s %14s %8s\n", "experiment", "old cells/s", "new cells/s", "ratio")
+	logSum, n := 0.0, 0
+	for _, ne := range newRep.Experiments {
+		oe, found := oldBy[ne.Name]
+		if !found {
+			fmt.Fprintf(w, "%-12s %14s %14.2f %8s  (new experiment, not compared)\n",
+				ne.Name, "-", ne.CellsPerS, "-")
+			continue
+		}
+		if oe.CellsPerS <= 0 || ne.CellsPerS <= 0 {
+			fmt.Fprintf(w, "%-12s %14.2f %14.2f %8s  (zero rate, not compared)\n",
+				ne.Name, oe.CellsPerS, ne.CellsPerS, "-")
+			continue
+		}
+		ratio := ne.CellsPerS / oe.CellsPerS
+		fmt.Fprintf(w, "%-12s %14.2f %14.2f %8.3f\n", ne.Name, oe.CellsPerS, ne.CellsPerS, ratio)
+		logSum += math.Log(ratio)
+		n++
+	}
+	if n == 0 {
+		return false, fmt.Errorf("no experiments in common between %s and %s", oldPath, newPath)
+	}
+	geomean := math.Exp(logSum / float64(n))
+	fmt.Fprintf(w, "geomean ratio over %d experiments: %.3f\n", n, geomean)
+	if geomean < threshold {
+		fmt.Fprintf(w, "REGRESSION: geomean %.3f below threshold %.2f\n", geomean, threshold)
+		return false, nil
+	}
+	fmt.Fprintf(w, "OK: geomean %.3f within threshold %.2f\n", geomean, threshold)
+	return true, nil
+}
+
+func loadBenchReport(path string) (benchReport, error) {
+	var rep benchReport
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

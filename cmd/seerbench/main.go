@@ -3,12 +3,20 @@
 //
 // Usage:
 //
-//	seerbench -experiment fig3|table3|fig4|fig5|lockfrac|ext|attempts|contended|scaling|all [flags]
+//	seerbench -experiment fig3|table3|fig4|fig5|lockfrac|ext|attempts|contended|scaling|inference|all [flags]
+//	seerbench -compare old.json new.json [-compare-threshold f]
 //
 // The contended experiment is a stress view of the SGL park/wake path
-// (HLE at 8 threads) and the scaling experiment sweeps machine shapes
-// from the paper's 8-thread socket up to a 4-socket, 128-thread box;
-// neither is part of "all", which regenerates only the paper's exhibits.
+// (HLE at 8 threads), the scaling experiment sweeps machine shapes from
+// the paper's 8-thread socket up to a 4-socket, 128-thread box, and the
+// inference experiment scores Seer's learned locking scheme against the
+// simulator's ground-truth conflict matrix (precision/recall over
+// virtual time); none is part of "all", which regenerates only the
+// paper's exhibits.
+//
+// The second form compares two -bench-json snapshots (per-experiment
+// cells/sec ratio and geomean) and exits nonzero when the geomean falls
+// below -compare-threshold — the CI bench regression gate.
 //
 // Flags:
 //
@@ -67,7 +75,7 @@ type benchReport struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|table3|fig4|fig5|lockfrac|ext|attempts|timeline|contended|scaling|all")
+		experiment = flag.String("experiment", "all", "fig3|table3|fig4|fig5|lockfrac|ext|attempts|timeline|inference|contended|scaling|all")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor")
 		runs       = flag.Int("runs", 3, "repetitions per measurement")
 		seed       = flag.Int64("seed", 1, "base PRNG seed")
@@ -82,8 +90,28 @@ func main() {
 		benchJSON  = flag.String("bench-json", "", "write executor timing stats to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		compareOld = flag.String("compare", "", "compare this old -bench-json snapshot against the new one given as a positional argument, then exit (nonzero on regression)")
+		compareTh  = flag.Float64("compare-threshold", 0.9, "compare: fail when the cells/sec geomean ratio new/old falls below this")
 	)
 	flag.Parse()
+
+	if *compareOld != "" {
+		// seerbench -compare old.json new.json: pure file comparison, no
+		// simulation. Exit 1 on regression so CI can gate on it.
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "seerbench: -compare OLD.json needs exactly one positional argument (NEW.json)")
+			os.Exit(2)
+		}
+		ok, err := compareBench(*compareOld, flag.Arg(0), *compareTh, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seerbench: %v\n", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 
 	// fail stops an in-flight CPU profile (StopCPUProfile is a no-op when
 	// none is running) so partial profiles are flushed, then exits.
@@ -220,6 +248,12 @@ func main() {
 			if err := maybeCSV(d.WriteCSV); err != nil {
 				return err
 			}
+		case "inference":
+			d, err := harness.Inference(opt, wls, *interval, progress)
+			if err != nil {
+				return err
+			}
+			d.Render(os.Stdout)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

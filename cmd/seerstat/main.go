@@ -8,6 +8,16 @@
 //
 //	seerstat -workload intruder -threads 8 -scale 0.5 [-policy Seer]
 //	seerstat -workload intruder -threads 32 -topology 2s8c2t [-remote-cost n]
+//	seerstat -workload intruder -explain
+//	seerstat -workload hashmap -spans-jsonl spans.jsonl -spans-chrome spans.json -conflict-dot graph.dot
+//
+// -explain enables the ground-truth abort-attribution subsystem and
+// prints the conflict digest real hardware cannot produce: the top
+// aborting block pairs (victim ← aborter), the hottest conflicting cache
+// lines, abort cascade depths and — under the Seer policy — the
+// inference-quality trajectory of the learned locks against the true
+// conflict graph. The spans/DOT flags export per-attempt spans (JSONL or
+// Chrome trace-event) and the weighted conflict graph (Graphviz).
 package main
 
 import (
@@ -145,6 +155,11 @@ func main() {
 		csvPath    = flag.String("timeline-csv", "", "write the timeline as CSV to FILE")
 		jsonlPath  = flag.String("timeline-jsonl", "", "write the timeline as JSON Lines to FILE")
 		chromePath = flag.String("chrome-trace", "", "write a Chrome trace-event JSON document to FILE (enables tracing)")
+		explain    = flag.Bool("explain", false, "print the abort-attribution digest: top conflicting block pairs, hot lines, cascade depths, inference quality")
+		explainK   = flag.Int("explain-top", 10, "explain: number of pairs/lines to list")
+		spansJSONL = flag.String("spans-jsonl", "", "write per-attempt spans as JSON Lines to FILE (enables span tracing)")
+		spansChrom = flag.String("spans-chrome", "", "write per-attempt spans as a Chrome trace-event document to FILE (enables span tracing)")
+		dotPath    = flag.String("conflict-dot", "", "write the ground-truth conflict graph as Graphviz DOT to FILE (enables attribution)")
 	)
 	flag.Parse()
 
@@ -187,6 +202,8 @@ func main() {
 	if cfg.MetricsInterval == 0 && needTimeline {
 		cfg.MetricsInterval = harness.DefaultMetricsInterval
 	}
+	cfg.TraceAttempts = *spansJSONL != "" || *spansChrom != ""
+	cfg.AttributionCounters = *explain || *dotPath != ""
 	sys, err := seer.NewSystem(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "seerstat: %v\n", err)
@@ -225,6 +242,9 @@ func main() {
 	writeFile(*csvPath, func(f *os.File) error { return rep.WriteTimelineCSV(f) })
 	writeFile(*jsonlPath, func(f *os.File) error { return rep.WriteTimelineJSONL(f) })
 	writeFile(*chromePath, func(f *os.File) error { return sys.WriteChromeTrace(f) })
+	writeFile(*spansJSONL, func(f *os.File) error { return sys.TxTrace().WriteSpansJSONL(f) })
+	writeFile(*spansChrom, func(f *os.File) error { return sys.TxTrace().WriteChromeSpans(f) })
+	writeFile(*dotPath, func(f *os.File) error { return sys.TxTrace().WriteDOT(f) })
 
 	if *summary {
 		fmt.Print(rep.Summary())
@@ -244,6 +264,27 @@ func main() {
 		fmt.Printf("\nTimeline (interval = %d cycles):\n", cfg.MetricsInterval)
 		harness.RenderTimeline(os.Stdout, fmt.Sprintf("%s/%s", *workload, rep.Policy), rep.Timeline)
 		renderEngineCounters(rep.Timeline)
+	}
+
+	if *explain {
+		fmt.Println()
+		if err := sys.TxTrace().WriteExplain(os.Stdout, *explainK); err != nil {
+			fmt.Fprintf(os.Stderr, "seerstat: explain: %v\n", err)
+			os.Exit(1)
+		}
+		if snaps := rep.Inference; len(snaps) > 0 {
+			const width = 48
+			prec := make([]float64, len(snaps))
+			rec := make([]float64, len(snaps))
+			for i, q := range snaps {
+				prec[i] = q.Precision
+				rec[i] = q.Recall
+			}
+			fin := snaps[len(snaps)-1]
+			fmt.Printf("\nInference-quality trajectory (%d snapshots):\n", len(snaps))
+			fmt.Printf("  precision   %s  [final %.3f]\n", plot.Sparkline(prec, width), fin.Precision)
+			fmt.Printf("  recall      %s  [final %.3f]\n", plot.Sparkline(rec, width), fin.Recall)
+		}
 	}
 
 	sched := sys.Scheduler()

@@ -122,6 +122,15 @@ func TestExhibitGoldens(t *testing.T) {
 			d.Render(&buf)
 			return buf.String(), nil
 		}},
+		{"inference", func(opt harness.Options) (string, error) {
+			d, err := harness.Inference(opt, nil, 0, nil)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			d.Render(&buf)
+			return buf.String(), nil
+		}},
 	}
 
 	for _, ex := range exhibits {

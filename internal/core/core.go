@@ -275,6 +275,19 @@ func (s *Seer) Scheme() [][]int { return s.scheme }
 // Merged returns the last merged global statistics (for inspection).
 func (s *Seer) Merged() *stats.Matrices { return s.merged }
 
+// SnapshotLearned fills dst with the scheduler's current learned
+// statistics: the merged global matrices plus every thread's
+// not-yet-drained delta, without disturbing either (UpdateScheme drains
+// the deltas for real). Read-only introspection for the inference-quality
+// accumulator (internal/txtrace); dst must be sized for NumTx blocks.
+func (s *Seer) SnapshotLearned(dst *stats.Matrices) {
+	dst.Reset()
+	dst.MergeFrom(s.merged)
+	for _, t := range s.threads {
+		dst.MergeFrom(t.mats)
+	}
+}
+
 // Tuner returns the hill climber, or nil when self-tuning is disabled.
 func (s *Seer) Tuner() *tune.HillClimber { return s.tuner }
 

@@ -45,6 +45,10 @@ type Spec struct {
 	// RemoteAccessCost charges extra cycles for cross-socket accesses on
 	// multi-socket topologies (see seer.Config.RemoteAccessCost).
 	RemoteAccessCost uint64
+	// Inference enables the abort-attribution counters and, under the
+	// Seer policy, the inference-quality trajectory in Report.Inference
+	// (see seer.Config.AttributionCounters).
+	Inference bool
 }
 
 // Result aggregates the repetitions of one Spec.
@@ -121,6 +125,7 @@ func runOnce(spec Spec, seed int64) (seer.Report, error) {
 		cfg.Seer = core.DefaultOptions()
 	}
 	cfg.MetricsInterval = spec.MetricsInterval
+	cfg.AttributionCounters = spec.Inference
 	sys, err := seer.NewSystem(cfg)
 	if err != nil {
 		return seer.Report{}, err

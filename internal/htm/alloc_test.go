@@ -134,3 +134,87 @@ func TestCommittedTxnZeroAllocs128Threads(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestExplicitAbortZeroAllocs guards the abort unwind path: tx.Abort
+// panics with the thread's pre-boxed signal and Run recovers it, so an
+// explicitly aborted transaction must be as allocation-free as a commit.
+func TestExplicitAbortZeroAllocs(t *testing.T) {
+	cfg := machine.Config{Topo: topology.Flat(1), Seed: 1, Cost: machine.DefaultCostModel()}
+	eng, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(1 << 12)
+	u := New(m, cfg, Config{ReadSetLines: 64, WriteSetLines: 16, SpuriousProb: 0})
+	base := m.AllocLines(2)
+
+	body := func(tx *Tx) {
+		tx.Store(base, tx.Load(base)+1)
+		tx.Work(4)
+		tx.Abort(0x42)
+	}
+	if _, err := eng.Run([]func(*machine.Ctx){func(c *machine.Ctx) {
+		if st := u.Run(c, body); !st.Explicit() {
+			t.Errorf("warm-up status = %v, want explicit abort", st)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if st := u.Run(c, body); !st.Explicit() {
+				t.Errorf("measured status = %v, want explicit abort", st)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("explicit abort allocates %.1f times per run, want 0", allocs)
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if c := u.Counters(); c.ExplicitAborts < 100 {
+		t.Errorf("explicit aborts = %d, want >= 100", c.ExplicitAborts)
+	}
+}
+
+// TestConflictAbortZeroAllocs guards the doomed-transaction unwind with
+// no doom hook installed (tracing disabled): the doom is injected through
+// the same Doomer entry point the memory's conflict registry uses, the
+// victim observes it at its next step and aborts — all without touching
+// the heap.
+func TestConflictAbortZeroAllocs(t *testing.T) {
+	cfg := machine.Config{Topo: topology.Flat(2), Seed: 1, Cost: machine.DefaultCostModel()}
+	eng, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(1 << 12)
+	u := New(m, cfg, Config{ReadSetLines: 64, WriteSetLines: 16, SpuriousProb: 0})
+	base := m.AllocLines(1)
+	ln := mem.LineOf(base)
+
+	body := func(tx *Tx) {
+		tx.Store(base, 1)
+		// A store by hardware thread 1 reaches the registry and dooms this
+		// writer (requester wins); the next step notices and unwinds.
+		u.DoomWriter(0, 1, ln)
+		tx.Work(8)
+	}
+	bodies := make([]func(*machine.Ctx), 2)
+	bodies[1] = func(c *machine.Ctx) {} // thread 1 exists only as the doom requester id
+	bodies[0] = func(c *machine.Ctx) {
+		if st := u.Run(c, body); !st.Conflict() {
+			t.Errorf("warm-up status = %v, want conflict", st)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if st := u.Run(c, body); !st.Conflict() {
+				t.Errorf("measured status = %v, want conflict", st)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("conflict abort allocates %.1f times per run, want 0", allocs)
+		}
+	}
+	if _, err := eng.Run(bodies); err != nil {
+		t.Fatal(err)
+	}
+	if c := u.Counters(); c.ConflictAborts < 100 {
+		t.Errorf("conflict aborts = %d, want >= 100", c.ConflictAborts)
+	}
+}

@@ -154,6 +154,10 @@ type txnState struct {
 	lines       []mem.Line // every registered line, for unregistering
 	wb          writeBuf   // buffered stores, reused across attempts
 	tx          Tx         // reusable per-attempt transaction handle
+	// sig is the pre-boxed abort panic payload: every abort panics with
+	// &sig, so unwinding a transaction never allocates (panicking with an
+	// abortSignal value would box it into the interface on every abort).
+	sig abortSignal
 }
 
 // reset clears the per-attempt state while keeping every reusable buffer's
@@ -191,6 +195,11 @@ type Unit struct {
 	// lastConflictor[hw] records who doomed hw's latest conflict abort
 	// (simulator-only oracle; see LastConflictor).
 	lastConflictor []int16
+	// doomHook, when set, observes every effective doom with its ground
+	// truth: victim, aborter (-1 for non-conflict dooms) and the contended
+	// cache line. It is the attribution subsystem's tap (internal/txtrace);
+	// like the oracle it is simulator-only and costs one nil check when off.
+	doomHook func(victim, aborter int, ln mem.Line)
 }
 
 // New creates the HTM unit and installs it as the memory's doomer.
@@ -239,19 +248,25 @@ func (u *Unit) ResetCounters() {
 // (the xtest() analogue at the unit level).
 func (u *Unit) Active(hw int) bool { return u.txns[hw].active }
 
+// SetDoomHook installs (or clears, with nil) the doom observer. The hook
+// fires once per effective doom — after the victim's registry entries are
+// removed, before the victim notices — and must not touch the machine
+// clock.
+func (u *Unit) SetDoomHook(fn func(victim, aborter int, ln mem.Line)) { u.doomHook = fn }
+
 // --- mem.Doomer implementation ---
 
 // DoomReaders aborts every transaction in the readers set except self.
 // The set arrives by value (a snapshot): doom unregisters the victim's
 // lines, mutating the very registry entry the caller is iterating.
-func (u *Unit) DoomReaders(readers topology.Set, self int) {
+func (u *Unit) DoomReaders(readers topology.Set, self int, ln mem.Line) {
 	for wi, w := range readers.W {
 		base := wi << 6
 		for w != 0 {
 			hw := base + bits.TrailingZeros64(w)
 			w &= w - 1
 			if hw != self {
-				u.doom(hw, BitConflict|BitRetry, self)
+				u.doom(hw, BitConflict|BitRetry, self, ln)
 			}
 		}
 	}
@@ -259,9 +274,9 @@ func (u *Unit) DoomReaders(readers topology.Set, self int) {
 
 // DoomWriter aborts the transaction of hardware thread writer unless it is
 // self.
-func (u *Unit) DoomWriter(writer, self int) {
+func (u *Unit) DoomWriter(writer, self int, ln mem.Line) {
 	if writer != self {
-		u.doom(writer, BitConflict|BitRetry, self)
+		u.doom(writer, BitConflict|BitRetry, self, ln)
 	}
 }
 
@@ -277,8 +292,9 @@ func (u *Unit) LastConflictor(hw int) int { return int(u.lastConflictor[hw]) }
 // doom marks hw's transaction as aborted and removes its registry entries
 // immediately so the conflict state stays consistent; the victim observes
 // the doom flag at its next instruction boundary. by records the
-// requester for the simulator-only oracle interface.
-func (u *Unit) doom(hw int, status Status, by int) {
+// requester for the simulator-only oracle interface; ln is the contended
+// cache line, forwarded to the attribution hook.
+func (u *Unit) doom(hw int, status Status, by int, ln mem.Line) {
 	t := &u.txns[hw]
 	if !t.active || t.doomed {
 		return
@@ -291,6 +307,9 @@ func (u *Unit) doom(hw int, status Status, by int) {
 	t.lines = t.lines[:0]
 	t.nReadLines = 0
 	t.nWriteLines = 0
+	if u.doomHook != nil {
+		u.doomHook(hw, by, ln)
+	}
 }
 
 // abortSignal is the panic payload used to unwind a transaction body, the
@@ -330,11 +349,13 @@ func (t *Tx) step(cost uint64) {
 	t.ctx.Tick(cost)
 	st := t.st
 	if st.doomed {
-		panic(abortSignal{st.doomStatus})
+		st.sig.status = st.doomStatus
+		panic(&st.sig)
 	}
 	if t.u.cfg.SpuriousProb > 0 && t.ctx.Rand().Bool(t.u.cfg.SpuriousProb) {
 		t.u.lastConflictor[t.hw] = -1
-		panic(abortSignal{BitSpurious | BitRetry})
+		st.sig.status = BitSpurious | BitRetry
+		panic(&st.sig)
 	}
 }
 
@@ -352,7 +373,8 @@ func (t *Tx) Load(a mem.Addr) uint64 {
 		st.nReadLines++
 		st.lines = append(st.lines, mem.LineOf(a))
 		if st.nReadLines > t.u.readCap(t.hw) {
-			panic(abortSignal{BitCapacity})
+			st.sig.status = BitCapacity
+			panic(&st.sig)
 		}
 	}
 	return t.u.mem.Peek(a)
@@ -368,7 +390,8 @@ func (t *Tx) Store(a mem.Addr, v uint64) {
 			st.lines = append(st.lines, mem.LineOf(a))
 		}
 		if st.nWriteLines > t.u.writeCap(t.hw) {
-			panic(abortSignal{BitCapacity})
+			st.sig.status = BitCapacity
+			panic(&st.sig)
 		}
 	}
 	st.wb.put(a, v)
@@ -389,7 +412,8 @@ func (t *Tx) ThreadID() int { return t.hw }
 // Abort explicitly aborts the transaction with an 8-bit code (the xabort
 // analogue). It never returns.
 func (t *Tx) Abort(code uint8) {
-	panic(abortSignal{BitExplicit | BitRetry | Status(code)<<24})
+	t.st.sig.status = BitExplicit | BitRetry | Status(code)<<24
+	panic(&t.st.sig)
 }
 
 // ReadSetLines and WriteSetLines report the current footprint, for tests.
@@ -426,7 +450,7 @@ func (u *Unit) Run(ctx *machine.Ctx, body func(*Tx)) (status Status) {
 	defer func() {
 		if r := recover(); r != nil {
 			u.coreActive[u.coreOf[hw]]--
-			sig, ok := r.(abortSignal)
+			sig, ok := r.(*abortSignal)
 			if !ok {
 				st.reset()
 				panic(r) // programming error in the body: propagate

@@ -140,5 +140,5 @@ func TestWriteBufAddrZero(t *testing.T) {
 // nopDoomer lets writeBuf tests build a Memory without an HTM unit.
 type nopDoomer struct{}
 
-func (nopDoomer) DoomReaders(topology.Set, int) {}
-func (nopDoomer) DoomWriter(int, int)           {}
+func (nopDoomer) DoomReaders(topology.Set, int, mem.Line) {}
+func (nopDoomer) DoomWriter(int, int, mem.Line)           {}

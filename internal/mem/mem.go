@@ -54,16 +54,18 @@ func LineOf(a Addr) Line { return Line(a / LineWords) }
 
 // Doomer is implemented by the HTM unit: the memory calls it to abort
 // transactions whose read/write sets are invalidated by a conflicting
-// access. reason is an htm status-code hint (conflict).
+// access. ln is the contended cache line — the ground truth the
+// attribution subsystem (internal/txtrace) records, which real hardware
+// never reveals.
 type Doomer interface {
 	// DoomReaders dooms every transaction in the readers set except the
 	// one running on hardware thread self (pass self = -1 to doom all).
 	// The set is passed by value on purpose: dooming a reader clears its
 	// registry bits, so the callee must iterate a snapshot.
-	DoomReaders(readers topology.Set, self int)
+	DoomReaders(readers topology.Set, self int, ln Line)
 	// DoomWriter dooms the transaction running on hardware thread
 	// writer unless writer == self.
-	DoomWriter(writer int, self int)
+	DoomWriter(writer int, self int, ln Line)
 }
 
 // AccessCostFunc returns extra virtual cycles for hardware thread hw
@@ -196,9 +198,10 @@ func (m *Memory) Poke(a Addr, v uint64) {
 // value returned is the committed one).
 func (m *Memory) DirectLoad(self int, a Addr) uint64 {
 	m.checkAddr(a)
-	ls := &m.lines[LineOf(a)]
+	ln := LineOf(a)
+	ls := &m.lines[ln]
 	if ls.writer >= 0 && int(ls.writer) != self {
-		m.doomer.DoomWriter(int(ls.writer), self)
+		m.doomer.DoomWriter(int(ls.writer), self, ln)
 	}
 	return m.words[a]
 }
@@ -208,12 +211,13 @@ func (m *Memory) DirectLoad(self int, a Addr) uint64 {
 // isolation, as in real best-effort HTM).
 func (m *Memory) DirectStore(self int, a Addr, v uint64) {
 	m.checkAddr(a)
-	ls := &m.lines[LineOf(a)]
+	ln := LineOf(a)
+	ls := &m.lines[ln]
 	if !ls.readers.Empty() {
-		m.doomer.DoomReaders(ls.readers, self)
+		m.doomer.DoomReaders(ls.readers, self, ln)
 	}
 	if ls.writer >= 0 && int(ls.writer) != self {
-		m.doomer.DoomWriter(int(ls.writer), self)
+		m.doomer.DoomWriter(int(ls.writer), self, ln)
 	}
 	m.words[a] = v
 }
@@ -232,9 +236,10 @@ func (m *Memory) DirectStore(self int, a Addr, v uint64) {
 // itself is the authoritative set representation.
 func (m *Memory) RegisterRead(hw int, a Addr) (grew, ownWrite bool) {
 	m.checkAddr(a)
-	ls := &m.lines[LineOf(a)]
+	ln := LineOf(a)
+	ls := &m.lines[ln]
 	if ls.writer >= 0 && int(ls.writer) != hw {
-		m.doomer.DoomWriter(int(ls.writer), hw)
+		m.doomer.DoomWriter(int(ls.writer), hw, ln)
 	}
 	ownWrite = int(ls.writer) == hw
 	if ls.readers.Has(hw) {
@@ -252,14 +257,15 @@ func (m *Memory) RegisterRead(hw int, a Addr) (grew, ownWrite bool) {
 // must not be recorded again.
 func (m *Memory) RegisterWrite(hw int, a Addr) (grew, wasReader bool) {
 	m.checkAddr(a)
-	ls := &m.lines[LineOf(a)]
+	ln := LineOf(a)
+	ls := &m.lines[ln]
 	otherReaders := ls.readers // value copy; safe to pass while doom mutates ls
 	otherReaders.Remove(hw)
 	if !otherReaders.Empty() {
-		m.doomer.DoomReaders(otherReaders, hw)
+		m.doomer.DoomReaders(otherReaders, hw, ln)
 	}
 	if ls.writer >= 0 && int(ls.writer) != hw {
-		m.doomer.DoomWriter(int(ls.writer), hw)
+		m.doomer.DoomWriter(int(ls.writer), hw, ln)
 	}
 	wasReader = ls.readers.Has(hw)
 	if int(ls.writer) == hw {

@@ -11,18 +11,21 @@ import (
 type recordingDoomer struct {
 	doomedReaders []uint64
 	doomedWriters []int
+	lines         []Line
 }
 
-func (d *recordingDoomer) DoomReaders(readers topology.Set, self int) {
+func (d *recordingDoomer) DoomReaders(readers topology.Set, self int, ln Line) {
 	if self >= 0 {
 		readers.Remove(self)
 	}
 	d.doomedReaders = append(d.doomedReaders, readers.W[0])
+	d.lines = append(d.lines, ln)
 }
 
-func (d *recordingDoomer) DoomWriter(writer, self int) {
+func (d *recordingDoomer) DoomWriter(writer, self int, ln Line) {
 	if writer != self {
 		d.doomedWriters = append(d.doomedWriters, writer)
+		d.lines = append(d.lines, ln)
 	}
 }
 

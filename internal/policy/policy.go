@@ -22,6 +22,7 @@ import (
 	"seer/internal/spinlock"
 	"seer/internal/telemetry"
 	"seer/internal/trace"
+	"seer/internal/txtrace"
 )
 
 // Mode classifies how a transaction finally committed; the breakdown of
@@ -94,8 +95,9 @@ type Thread struct {
 	HTM    *htm.Unit
 	Direct *mem.Direct
 	Modes  ModeCounts
-	Trace  *trace.Log       // nil disables event tracing
-	Tel    *telemetry.Shard // nil disables interval metrics
+	Trace  *trace.Log         // nil disables event tracing
+	Tel    *telemetry.Shard   // nil disables interval metrics
+	Spans  *txtrace.Collector // nil disables attempt tracing/attribution
 
 	Seer      *core.ThreadState // non-nil only under the Seer policy
 	Attempts  uint64            // hardware attempts issued
@@ -170,6 +172,7 @@ func attempt(t *Thread, sgl spinlock.Lock, body func(mem.Access)) htm.Status {
 	t.Attempts++
 	t.Tel.IncAttempt()
 	t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvBegin, t.curTx, 0)
+	t.Spans.AttemptBegin(t.Ctx.ID(), t.Ctx.Clock())
 	status := t.HTM.Run(t.Ctx, func(tx *htm.Tx) {
 		if sgl.LockedTx(tx) {
 			tx.Abort(spinlock.CodeSGLHeld)
@@ -178,9 +181,11 @@ func attempt(t *Thread, sgl spinlock.Lock, body func(mem.Access)) htm.Status {
 	})
 	if status == 0 {
 		t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvCommit, t.curTx, 0)
+		t.Spans.AttemptCommit(t.Ctx.ID(), t.Ctx.Clock())
 	} else {
 		t.Tel.IncAbort(abortCause(status))
 		t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvAbort, t.curTx, uint32(status))
+		t.Spans.AttemptAbort(t.Ctx.ID(), t.Ctx.Clock(), uint32(status), txtrace.Cause(abortCause(status)))
 	}
 	return status
 }
@@ -188,6 +193,7 @@ func attempt(t *Thread, sgl spinlock.Lock, body func(mem.Access)) htm.Status {
 // runSGL executes body under the single-global lock on the software path.
 func runSGL(t *Thread, sgl spinlock.Lock, body func(mem.Access)) {
 	t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvFallback, t.curTx, 0)
+	begin := t.Ctx.Clock()
 	start, skipped := t.lockWaitBegin()
 	sgl.Acquire(t.Ctx, t.Mem)
 	t.lockWaitEnd(start, skipped)
@@ -196,6 +202,7 @@ func runSGL(t *Thread, sgl spinlock.Lock, body func(mem.Access)) {
 	t.Fallbacks++
 	t.Tel.IncFallback()
 	t.commit(ModeSGL)
+	t.Spans.Fallback(t.Ctx.ID(), begin, t.Ctx.Clock())
 }
 
 // spinSGL waits out a held single-global lock (lemming avoidance),

@@ -29,7 +29,8 @@ func CSVHeader() []string {
 	return append(cols,
 		"fallbacks", "lock_wait_cycles", "park_skipped_cycles",
 		"th1", "th2", "scheme_pairs", "scheme_reuse_hits",
-		"throughput_per_kcycle", "abort_rate")
+		"throughput_per_kcycle", "abort_rate",
+		"attr_top_pair", "attr_top_pair_dooms", "cascade_deepest")
 }
 
 // CSVRecord renders one snapshot in CSVHeader's column order.
@@ -47,7 +48,7 @@ func CSVRecord(s Snapshot) []string {
 	for c := 0; c < int(NumCauses); c++ {
 		rec = append(rec, strconv.FormatUint(s.Aborts[c], 10))
 	}
-	return append(rec,
+	rec = append(rec,
 		strconv.FormatUint(s.Fallbacks, 10),
 		strconv.FormatUint(s.LockWait, 10),
 		strconv.FormatUint(s.ParkSkipped, 10),
@@ -58,6 +59,17 @@ func CSVRecord(s Snapshot) []string {
 		fmt.Sprintf("%.6f", s.Throughput()),
 		fmt.Sprintf("%.6f", s.AbortRate()),
 	)
+	// Attribution columns: empty/zero when the subsystem is off.
+	topPair, topDooms := "", "0"
+	if len(s.ConflictPairs) > 0 {
+		topPair = fmt.Sprintf("tx%d<-tx%d", s.ConflictPairs[0].Victim, s.ConflictPairs[0].Aborter)
+		topDooms = strconv.FormatUint(s.ConflictPairs[0].Count, 10)
+	}
+	deepest := ""
+	if len(s.CascadeHist) > 0 {
+		deepest = strconv.Itoa(len(s.CascadeHist) - 1)
+	}
+	return append(rec, topPair, topDooms, deepest)
 }
 
 // WriteCSV renders the timeline as CSV, one row per interval.
@@ -172,6 +184,18 @@ func WriteChromeTrace(w io.Writer, events []trace.Event) error {
 				Args: map[string]any{
 					"th1": float64(math.Float32frombits(e.Detail)),
 					"th2": float64(math.Float32frombits(e.Detail2)),
+				},
+			})
+		case trace.EvDoom:
+			// Attribution event from internal/txtrace: Detail is the
+			// conflicting line, Detail2 packs the aborter (hw, block).
+			out = append(out, chromeEvent{
+				Name: "doom", Ph: "i", Ts: e.Cycle, Pid: 0, Tid: hw, S: "t",
+				Args: map[string]any{
+					"victim_tx":     e.TxID,
+					"line":          e.Detail,
+					"aborter_hw":    int16(e.Detail2 >> 16),
+					"aborter_block": int16(e.Detail2 & 0xFFFF),
 				},
 			})
 		default:

@@ -143,6 +143,15 @@ type Snapshot struct {
 	// which keeps pre-topology timeline outputs byte-identical.
 	Sockets []SocketCounters `json:"sockets,omitempty"`
 
+	// ConflictPairs are the interval's heaviest ground-truth conflict
+	// edges (victim block ← aborter block, by doom count) and CascadeHist
+	// its abort cascade-depth histogram (trailing zeroes trimmed). Both
+	// are nil — and omitted from JSON — unless the attribution subsystem
+	// is on (Config.AttributionCounters), keeping pre-attribution
+	// timeline outputs byte-identical.
+	ConflictPairs []PairCount `json:"conflict_pairs,omitempty"`
+	CascadeHist   []uint64    `json:"cascade_hist,omitempty"`
+
 	// Scheduler state sampled at EndCycle (zero unless a probe is set,
 	// i.e. for non-Seer policies).
 	Th1         float64 `json:"th1"`
@@ -192,6 +201,24 @@ type totals struct {
 // scheme-update reuse-hit counter (diffed per interval by the recorder).
 type Probe func() (th1, th2 float64, schemePairs int, schemeReuse uint64)
 
+// PairCount is one victim←aborter conflict edge with its doom count
+// (mirrors txtrace.PairCount; telemetry sits below txtrace in the import
+// graph, so the shape is declared in both and asserted equal in tests).
+type PairCount struct {
+	Victim  int    `json:"victim"`
+	Aborter int    `json:"aborter"`
+	Count   uint64 `json:"count"`
+}
+
+// AttrProbe supplies the attribution subsystem's cumulative state at
+// snapshot time: the flat victim-major ground-truth conflict matrix
+// (borrowed view, nBlocks×nBlocks) and the cumulative cascade-depth
+// histogram. The recorder diffs both per interval.
+type AttrProbe func() (truth []uint64, nBlocks int, cascade []uint64)
+
+// topConflictPairs is the number of conflict edges retained per snapshot.
+const topConflictPairs = 4
+
 // Recorder owns the shards and cuts snapshots at interval boundaries. A
 // nil *Recorder is a valid, disabled recorder.
 type Recorder struct {
@@ -209,6 +236,12 @@ type Recorder struct {
 	prev      totals
 	prevReuse uint64 // probe's cumulative reuse counter at the last snapshot
 	start     uint64 // start cycle of the interval being accumulated
+
+	// Attribution probe state: cumulative truth matrix and cascade
+	// histogram at the last snapshot, for interval diffs.
+	attrProbe   AttrProbe
+	prevTruth   []uint64
+	prevCascade []uint64
 }
 
 // New creates a recorder cutting a snapshot every interval cycles for a
@@ -243,6 +276,17 @@ func (r *Recorder) SetProbe(p Probe) {
 		return
 	}
 	r.probe = p
+}
+
+// SetAttribution installs the abort-attribution probe: every snapshot
+// from here on carries the interval's top conflict pairs and cascade
+// histogram. Without it (the default) those fields stay nil and timeline
+// outputs are byte-identical to pre-attribution ones.
+func (r *Recorder) SetAttribution(p AttrProbe) {
+	if r == nil {
+		return
+	}
+	r.attrProbe = p
 }
 
 // SetTopology enables per-socket counter breakdowns for a multi-socket
@@ -317,6 +361,9 @@ func (r *Recorder) emit(end uint64) {
 		snap.SchemeReuse = reuse - r.prevReuse
 		r.prevReuse = reuse
 	}
+	if r.attrProbe != nil {
+		r.emitAttribution(&snap)
+	}
 	if r.socketOf != nil {
 		curSock := r.sumSockets()
 		snap.Sockets = make([]SocketCounters, r.sockets)
@@ -334,6 +381,62 @@ func (r *Recorder) emit(end uint64) {
 	r.snaps = append(r.snaps, snap)
 	r.prev = cur
 	r.start = end
+}
+
+// emitAttribution fills the snapshot's conflict-pair and cascade fields
+// with the interval's deltas against the attribution probe's cumulative
+// views.
+func (r *Recorder) emitAttribution(snap *Snapshot) {
+	truth, n, cascade := r.attrProbe()
+	if r.prevTruth == nil {
+		r.prevTruth = make([]uint64, len(truth))
+		r.prevCascade = make([]uint64, len(cascade))
+	}
+	// Top-K conflict edges by interval delta; insertion sort into a fixed
+	// K-slot buffer, ties broken by (victim, aborter) for determinism.
+	var top [topConflictPairs]PairCount
+	used := 0
+	for v := 0; v < n; v++ {
+		for a := 0; a < n; a++ {
+			d := truth[v*n+a] - r.prevTruth[v*n+a]
+			if d == 0 {
+				continue
+			}
+			pc := PairCount{Victim: v, Aborter: a, Count: d}
+			i := used
+			if i < topConflictPairs {
+				used++
+			} else if top[i-1].Count >= pc.Count {
+				continue
+			} else {
+				i--
+			}
+			for i > 0 && top[i-1].Count < pc.Count {
+				top[i] = top[i-1]
+				i--
+			}
+			top[i] = pc
+		}
+	}
+	if used > 0 {
+		snap.ConflictPairs = append([]PairCount(nil), top[:used]...)
+	}
+	copy(r.prevTruth, truth)
+
+	last := -1
+	for d := range cascade {
+		if cascade[d]-r.prevCascade[d] > 0 {
+			last = d
+		}
+	}
+	if last >= 0 {
+		hist := make([]uint64, last+1)
+		for d := 0; d <= last; d++ {
+			hist[d] = cascade[d] - r.prevCascade[d]
+		}
+		snap.CascadeHist = hist
+	}
+	copy(r.prevCascade, cascade)
 }
 
 // sumSockets folds the shards into cumulative per-socket totals.

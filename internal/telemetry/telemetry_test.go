@@ -264,3 +264,59 @@ func TestPerSocketBreakdown(t *testing.T) {
 		t.Fatalf("single-socket snapshot carries Sockets = %+v, want nil", s.Sockets)
 	}
 }
+
+// TestPerSocketAsymmetricTopology: with an odd core count per socket
+// (2s3c2t), hyperthread siblings are Cores()=6 apart, so the
+// socket-of-thread mapping is no longer a contiguous halving of the id
+// space: threads 0-2 and 6-8 share socket 0 while 3-5 and 9-11 share
+// socket 1. The recorder must group shard counters by topology.SocketOf,
+// not by any id-range shortcut.
+func TestPerSocketAsymmetricTopology(t *testing.T) {
+	topo := topology.Multi(2, 3, 2)
+	if topo.Threads() != 12 {
+		t.Fatalf("2s3c2t has %d threads, want 12", topo.Threads())
+	}
+	r := New(100, topo.Threads())
+	r.SetTopology(topo)
+	r.BeginRun()
+	// One commit per hardware thread; aborts only on socket-1 threads,
+	// including the sibling range 9-11 that a naive split would place in
+	// the "upper half = socket 1, lower half = socket 0" pattern wrongly
+	// for threads 6-8.
+	for hw := 0; hw < topo.Threads(); hw++ {
+		r.Shard(hw).IncMode(ModeHTM)
+		r.Shard(hw).IncAttempt()
+		if topo.SocketOf(hw) == 1 {
+			r.Shard(hw).IncAbort(CauseConflict)
+		}
+	}
+	r.Flush(100)
+
+	snaps := r.Snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("%d snapshots, want 1", len(snaps))
+	}
+	socks := snaps[0].Sockets
+	if len(socks) != 2 {
+		t.Fatalf("sockets = %+v, want 2 entries", socks)
+	}
+	for i, sc := range socks {
+		if sc.Socket != i || sc.Commits != 6 || sc.Attempts != 6 {
+			t.Fatalf("socket %d counters = %+v, want 6 commits/attempts", i, sc)
+		}
+	}
+	if socks[0].Aborts != 0 || socks[1].Aborts != 6 {
+		t.Fatalf("aborts misattributed across sockets: %+v", socks)
+	}
+	// Spot-check the sibling ranges directly against the topology.
+	for _, hw := range []int{6, 7, 8} {
+		if topo.SocketOf(hw) != 0 {
+			t.Fatalf("thread %d on socket %d, want 0", hw, topo.SocketOf(hw))
+		}
+	}
+	for _, hw := range []int{9, 10, 11} {
+		if topo.SocketOf(hw) != 1 {
+			t.Fatalf("thread %d on socket %d, want 1", hw, topo.SocketOf(hw))
+		}
+	}
+}

@@ -27,6 +27,7 @@ const (
 	EvWait                 // cooperative wait started
 	EvScheme               // locking scheme recomputed
 	EvTune                 // thresholds re-tuned
+	EvDoom                 // abort attributed: Detail=conflicting line, Detail2=packed aborter hw/block
 )
 
 // String returns the event kind's mnemonic.
@@ -50,6 +51,8 @@ func (k Kind) String() string {
 		return "scheme"
 	case EvTune:
 		return "tune"
+	case EvDoom:
+		return "doom"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -188,7 +191,7 @@ func (l *Log) FormatSummary() string {
 // knownKinds lists every defined kind, for name-based lookups.
 var knownKinds = []Kind{
 	EvBegin, EvCommit, EvAbort, EvFallback,
-	EvLockAcq, EvLockRel, EvWait, EvScheme, EvTune,
+	EvLockAcq, EvLockRel, EvWait, EvScheme, EvTune, EvDoom,
 }
 
 // ParseKinds parses a comma-separated list of kind mnemonics (as printed

@@ -175,3 +175,34 @@ func TestParseKinds(t *testing.T) {
 		t.Fatalf("unknown kind accepted: %v", err)
 	}
 }
+
+// TestParseKindsEdges pins down the less obvious contract points:
+// duplicates collapse, every known mnemonic round-trips (including doom,
+// added with the attribution subsystem), names are case-sensitive, inner
+// whitespace survives trimming, and the error names the known kinds.
+func TestParseKindsEdges(t *testing.T) {
+	if m, err := ParseKinds("abort,abort, abort "); err != nil || len(m) != 1 || !m[EvAbort] {
+		t.Fatalf("duplicates must collapse: %v, %v", m, err)
+	}
+	for _, k := range knownKinds {
+		m, err := ParseKinds(k.String())
+		if err != nil || len(m) != 1 || !m[k] {
+			t.Fatalf("mnemonic %q does not round-trip: %v, %v", k.String(), m, err)
+		}
+	}
+	if m, err := ParseKinds("doom"); err != nil || !m[EvDoom] {
+		t.Fatalf("doom not accepted: %v, %v", m, err)
+	}
+	if _, err := ParseKinds("Abort"); err == nil {
+		t.Fatal("mnemonics must be case-sensitive")
+	}
+	if m, err := ParseKinds("\tabort ,\n lock+"); err != nil || len(m) != 2 || !m[EvAbort] || !m[EvLockAcq] {
+		t.Fatalf("whitespace trimming: %v, %v", m, err)
+	}
+	if _, err := ParseKinds("nope"); err == nil || !strings.Contains(err.Error(), "doom") {
+		t.Fatalf("error must list known kinds: %v", err)
+	}
+	if m, err := ParseKinds(",,,"); err != nil || m != nil {
+		t.Fatalf("commas-only spec must be nil: %v, %v", m, err)
+	}
+}

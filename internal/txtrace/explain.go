@@ -1,0 +1,82 @@
+package txtrace
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteExplain renders the attribution digest behind `seerstat -explain`:
+// the top-K aborting block pairs with ground-truth attribution, the
+// hottest conflicting cache lines, the per-cause abort counts per block,
+// the cascade-depth histogram, and — when inference introspection ran —
+// the final precision/recall of Seer's learned locks against truth.
+// Output is deterministic for a deterministic run.
+func (c *Collector) WriteExplain(w io.Writer, topK int) error {
+	if c == nil {
+		return fmt.Errorf("txtrace: attribution disabled (set Config.TraceAttempts or Config.AttributionCounters)")
+	}
+	if topK <= 0 {
+		topK = 10
+	}
+
+	fmt.Fprintf(w, "attributed aborts: %d\n", c.attributed)
+
+	fmt.Fprintf(w, "top conflicting block pairs (victim <- aborter):\n")
+	pairs := c.TopPairs(topK)
+	if len(pairs) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	}
+	for _, p := range pairs {
+		fmt.Fprintf(w, "  tx%-3d <- tx%-3d  %8d dooms\n", p.Victim, p.Aborter, p.Count)
+	}
+
+	fmt.Fprintf(w, "hot conflict lines:\n")
+	lines := c.TopLines(topK)
+	if len(lines) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	}
+	for _, l := range lines {
+		fmt.Fprintf(w, "  line %-8d %8d dooms\n", l.Line, l.Count)
+	}
+
+	fmt.Fprintf(w, "aborts by cause x victim block:\n")
+	for cause := Cause(0); cause < NumCauses; cause++ {
+		var total uint64
+		for b := 0; b < c.nBlocks; b++ {
+			total += c.causeBlock[int(cause)*c.nBlocks+b]
+		}
+		if total == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-9s total=%d", CauseNames[cause], total)
+		for b := 0; b < c.nBlocks; b++ {
+			if v := c.causeBlock[int(cause)*c.nBlocks+b]; v > 0 {
+				fmt.Fprintf(w, " tx%d=%d", b, v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "cascade depth histogram:\n")
+	last := 0
+	for d, v := range c.cascadeHist {
+		if v > 0 {
+			last = d
+		}
+	}
+	for d := 0; d <= last; d++ {
+		label := fmt.Sprintf("%d", d)
+		if d == MaxCascadeDepth {
+			label = fmt.Sprintf("%d+", d)
+		}
+		fmt.Fprintf(w, "  depth %-3s %8d\n", label, c.cascadeHist[d])
+	}
+
+	if snaps := c.Quality(); len(snaps) > 0 {
+		fin := snaps[len(snaps)-1]
+		fmt.Fprintf(w, "inference quality (final of %d snapshots):\n", len(snaps))
+		fmt.Fprintf(w, "  true pairs=%d predicted=%d tp=%d precision=%.3f recall=%.3f rank-divergence=%.3f\n",
+			fin.TruePairs, fin.PredictedPairs, fin.TP, fin.Precision, fin.Recall, fin.RankDivergence)
+	}
+	return nil
+}

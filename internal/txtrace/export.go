@@ -1,0 +1,214 @@
+package txtrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteSpansJSONL writes every retained attempt span as one JSON object
+// per line, ordered by (hardware thread, begin cycle) — the per-thread
+// buffers are already chronological. Enabled-only path; allocation is
+// fine here.
+func (c *Collector) WriteSpansJSONL(w io.Writer) error {
+	if c == nil {
+		return fmt.Errorf("txtrace: span tracing disabled (set Config.TraceAttempts)")
+	}
+	bw := bufio.NewWriter(w)
+	for hw := range c.shards {
+		for _, sp := range c.shards[hw].spans {
+			if err := writeSpanJSON(bw, sp); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSpanJSON renders one span; hand-rolled so field order and number
+// formatting are stable across Go versions.
+func writeSpanJSON(w io.Writer, sp Span) error {
+	_, err := fmt.Fprintf(w,
+		`{"begin":%d,"end":%d,"hw":%d,"block":%d,"retry":%d,"outcome":%q`,
+		sp.Begin, sp.End, sp.HW, sp.Block, sp.Retry, sp.Outcome.String())
+	if err != nil {
+		return err
+	}
+	if sp.Outcome == OutcomeAbort {
+		if _, err = fmt.Fprintf(w, `,"status":"%#x","depth":%d`, sp.Status, sp.Depth); err != nil {
+			return err
+		}
+		if sp.Line != NoLine {
+			if _, err = fmt.Fprintf(w, `,"aborter_hw":%d,"aborter_block":%d,"line":%d`,
+				sp.AborterHW, sp.AborterBlock, sp.Line); err != nil {
+				return err
+			}
+		}
+	}
+	_, err = fmt.Fprintln(w, "}")
+	return err
+}
+
+// WriteChromeSpans renders the attempt spans as Chrome trace-event
+// complete events ("X" phase), one track per hardware thread, loadable
+// in chrome://tracing or Perfetto. Abort spans carry the attribution in
+// args.
+func (c *Collector) WriteChromeSpans(w io.Writer) error {
+	if c == nil {
+		return fmt.Errorf("txtrace: span tracing disabled (set Config.TraceAttempts)")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	for hw := range c.shards {
+		for _, sp := range c.shards[hw].spans {
+			if !first {
+				if _, err := fmt.Fprintln(bw, ","); err != nil {
+					return err
+				}
+			}
+			first = false
+			dur := sp.End - sp.Begin
+			if dur == 0 {
+				dur = 1
+			}
+			_, err := fmt.Fprintf(bw,
+				`{"name":"tx%d/%s","cat":"attempt","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"retry":%d`,
+				sp.Block, sp.Outcome.String(), sp.Begin, dur, sp.HW, sp.Retry)
+			if err != nil {
+				return err
+			}
+			if sp.Outcome == OutcomeAbort {
+				if _, err = fmt.Fprintf(bw, `,"status":"%#x","depth":%d`, sp.Status, sp.Depth); err != nil {
+					return err
+				}
+				if sp.Line != NoLine {
+					if _, err = fmt.Fprintf(bw, `,"aborter_hw":%d,"aborter_block":%d,"line":%d`,
+						sp.AborterHW, sp.AborterBlock, sp.Line); err != nil {
+						return err
+					}
+				}
+			}
+			if _, err = fmt.Fprint(bw, `}}`); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "\n]}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteDOT renders the ground-truth conflict graph in Graphviz DOT form:
+// one node per atomic block that participated in a conflict, one
+// directed edge aborter→victim weighted by the doom count. Deterministic
+// output (nodes and edges in ascending block order).
+func (c *Collector) WriteDOT(w io.Writer) error {
+	if c == nil {
+		return fmt.Errorf("txtrace: attribution disabled (set Config.TraceAttempts or Config.AttributionCounters)")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph conflicts {")
+	fmt.Fprintln(bw, "  rankdir=LR;")
+	fmt.Fprintln(bw, "  node [shape=box];")
+	n := c.nBlocks
+	used := make([]bool, n)
+	var maxW uint64
+	for v := 0; v < n; v++ {
+		for a := 0; a < n; a++ {
+			if w := c.truth[v*n+a]; w > 0 {
+				used[v], used[a] = true, true
+				if w > maxW {
+					maxW = w
+				}
+			}
+		}
+	}
+	for b := 0; b < n; b++ {
+		if used[b] {
+			fmt.Fprintf(bw, "  tx%d [label=\"block %d\"];\n", b, b)
+		}
+	}
+	for a := 0; a < n; a++ {
+		for v := 0; v < n; v++ {
+			w := c.truth[v*n+a]
+			if w == 0 {
+				continue
+			}
+			// Pen width scales with relative weight so hot edges pop.
+			pw := 1 + 4*float64(w)/float64(maxW)
+			fmt.Fprintf(bw, "  tx%d -> tx%d [label=\"%d\", penwidth=%.2f];\n", a, v, w, pw)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// PairCount is one victim←aborter conflict edge with its doom count.
+type PairCount struct {
+	Victim  int    `json:"victim"`
+	Aborter int    `json:"aborter"`
+	Count   uint64 `json:"count"`
+}
+
+// TopPairs returns the k heaviest ground-truth conflict edges, sorted by
+// count descending, then victim, then aborter (deterministic).
+func (c *Collector) TopPairs(k int) []PairCount {
+	if c == nil {
+		return nil
+	}
+	n := c.nBlocks
+	out := make([]PairCount, 0, 8)
+	for v := 0; v < n; v++ {
+		for a := 0; a < n; a++ {
+			if w := c.truth[v*n+a]; w > 0 {
+				out = append(out, PairCount{Victim: v, Aborter: a, Count: w})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Victim != out[j].Victim {
+			return out[i].Victim < out[j].Victim
+		}
+		return out[i].Aborter < out[j].Aborter
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// LineCount is one cache line with its conflict (doom) count.
+type LineCount struct {
+	Line  uint32 `json:"line"`
+	Count uint64 `json:"count"`
+}
+
+// TopLines returns the k hottest conflicting cache lines, sorted by
+// count descending then line ascending (deterministic).
+func (c *Collector) TopLines(k int) []LineCount {
+	if c == nil {
+		return nil
+	}
+	out := make([]LineCount, 0, len(c.lineConflicts))
+	for ln, w := range c.lineConflicts {
+		out = append(out, LineCount{Line: ln, Count: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Line < out[j].Line
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

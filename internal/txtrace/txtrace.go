@@ -1,0 +1,461 @@
+// Package txtrace is the attempt-level tracing and abort-attribution
+// subsystem of the runtime. Where internal/telemetry aggregates interval
+// counters and internal/trace retains a bounded event ring, txtrace keeps
+// the causal record the paper's authors could never obtain from real TSX
+// hardware: for every hardware attempt, a span (begin/end cycle, outcome,
+// retry index, fall-back path) carrying ground-truth attribution of the
+// abort — the conflicting cache line, the aborter/victim thread pair and
+// the atomic-block pair — captured at the instant the memory's conflict
+// registry detects the clash, plus the cascade depth when one abort
+// triggers follow-on aborts.
+//
+// On top of the raw spans, the collector accumulates the ground-truth
+// block×block conflict matrix and, per metrics interval, compares it with
+// the locking scheme Seer inferred from its imprecise feedback (see
+// quality.go) — the direct inference-accuracy measurement behind the
+// `seerbench -experiment inference` exhibit and `seerstat -explain`.
+//
+// Discipline mirrors the telemetry shards: a nil *Collector is a valid,
+// disabled collector (every method is a no-op, one predictable branch),
+// recording never advances the virtual clock — so schedules are
+// byte-identical with tracing on or off — and spans append to per-thread
+// buffers owned by the single-goroutine engine, so no synchronization is
+// needed.
+package txtrace
+
+import (
+	"seer/internal/mem"
+	"seer/internal/trace"
+)
+
+// Cause classifies an abort for the attribution counters, mirroring the
+// priority order of internal/telemetry's Cause (asserted by tests).
+type Cause uint8
+
+// Abort causes.
+const (
+	CauseConflict Cause = iota
+	CauseCapacity
+	CauseExplicit
+	CauseSpurious
+	CauseOther
+	NumCauses
+)
+
+// CauseNames are the rendering labels per cause slot.
+var CauseNames = [NumCauses]string{"conflict", "capacity", "explicit", "spurious", "other"}
+
+// Outcome classifies how an attempt span ended.
+type Outcome uint8
+
+// Span outcomes.
+const (
+	OutcomeCommit   Outcome = iota // hardware transaction committed
+	OutcomeAbort                   // hardware transaction aborted
+	OutcomeFallback                // single-global-lock software path
+)
+
+// String returns the outcome's mnemonic.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCommit:
+		return "commit"
+	case OutcomeAbort:
+		return "abort"
+	default:
+		return "sgl"
+	}
+}
+
+// NoLine marks a span without an attributed conflict line.
+const NoLine = ^uint32(0)
+
+// MaxCascadeDepth caps the cascade-depth histogram; deeper chains fold
+// into the last bucket.
+const MaxCascadeDepth = 15
+
+// Span is one transaction attempt (or one fall-back execution). Abort
+// spans carry the ground-truth attribution captured when the conflict
+// registry doomed the victim; AborterHW is -1 for aborts with no
+// attributable requester (capacity, spurious, explicit, or a doom issued
+// outside any atomic block).
+type Span struct {
+	Begin uint64 `json:"begin"`
+	End   uint64 `json:"end"`
+	HW    int16  `json:"hw"`
+	Block int16  `json:"block"`
+	// Retry is the attempt index within the atomic-block episode
+	// (0 = first hardware attempt).
+	Retry   uint8   `json:"retry"`
+	Outcome Outcome `json:"-"`
+	// Status is the raw HTM status word of an abort span (0 otherwise).
+	Status uint32 `json:"status,omitempty"`
+	// AborterHW/AborterBlock identify the access that doomed this
+	// attempt (-1 when unattributed).
+	AborterHW    int16 `json:"aborter_hw"`
+	AborterBlock int16 `json:"aborter_block"`
+	// Line is the conflicting cache line (NoLine when unattributed).
+	Line uint32 `json:"line,omitempty"`
+	// Depth is the abort's cascade depth: 0 for a root abort, d+1 when
+	// the aborter was itself retrying after an abort of depth d.
+	Depth uint16 `json:"depth"`
+}
+
+// pending is the doom-time attribution parked until the victim observes
+// its abort and closes the span (the victim notices asynchronously, at
+// its next instruction boundary, so the clash point cannot stamp the
+// span's end cycle itself).
+type pending struct {
+	aborterHW    int16
+	aborterBlock int16
+	line         uint32
+	depth        uint16
+	valid        bool
+}
+
+// shard is one hardware thread's append-only span buffer.
+type shard struct {
+	spans []Span
+}
+
+// Collector owns the per-thread span shards and every attribution
+// accumulator. One per system; all methods are nil-safe.
+type Collector struct {
+	nBlocks int
+	spans   bool // retain full spans (attribution counters are always on)
+
+	shards []shard
+
+	// Per-hardware-thread episode state, written only by the owning
+	// thread (and by OnDoom, which the engine serializes like any access).
+	block     []int16  // current atomic block, -1 when idle
+	retry     []uint8  // attempts issued in the current episode
+	begin     []uint64 // begin cycle of the in-flight attempt
+	inAttempt []bool   // between AttemptBegin and commit/abort
+	aborted   []bool   // aborted at least once in the current episode
+	lastDepth []uint16 // cascade depth of the episode's latest abort
+	pend      []pending
+
+	// truth is the ground-truth conflict matrix: truth[victim*n+aborter]
+	// counts dooms of an attempt of block `victim` by an access of block
+	// `aborter`, excluding ignored lines (the SGL word, whose conflicts
+	// are fall-back mechanics rather than data conflicts).
+	truth []uint64
+	// causeBlock[cause*n+block] counts aborts by cause per victim block.
+	causeBlock []uint64
+	// cascadeHist[d] counts aborts of cascade depth d (capped).
+	cascadeHist [MaxCascadeDepth + 1]uint64
+	// lineConflicts counts dooms per conflicting cache line.
+	lineConflicts map[uint32]uint64
+	// attributed counts aborts that consumed a doom-time attribution.
+	attributed uint64
+
+	ignored map[uint32]bool // lines excluded from the truth matrix
+
+	trc *trace.Log // optional: attribution mirrored as EvDoom events
+
+	qual quality // inference-quality accumulator (quality.go)
+}
+
+// NewCollector creates a collector for nBlocks atomic blocks on a machine
+// with threads hardware threads. spans selects full span retention; with
+// it false the collector keeps only the attribution counters and the
+// conflict matrix (the telemetry-timeline mode).
+func NewCollector(nBlocks, threads int, spans bool) *Collector {
+	c := &Collector{
+		nBlocks:       nBlocks,
+		spans:         spans,
+		shards:        make([]shard, threads),
+		block:         make([]int16, threads),
+		retry:         make([]uint8, threads),
+		begin:         make([]uint64, threads),
+		inAttempt:     make([]bool, threads),
+		aborted:       make([]bool, threads),
+		lastDepth:     make([]uint16, threads),
+		pend:          make([]pending, threads),
+		truth:         make([]uint64, nBlocks*nBlocks),
+		causeBlock:    make([]uint64, int(NumCauses)*nBlocks),
+		lineConflicts: make(map[uint32]uint64),
+		ignored:       make(map[uint32]bool),
+	}
+	for i := range c.block {
+		c.block[i] = -1
+	}
+	return c
+}
+
+// NumBlocks returns the number of atomic blocks (0 on a nil collector).
+func (c *Collector) NumBlocks() int {
+	if c == nil {
+		return 0
+	}
+	return c.nBlocks
+}
+
+// SpansEnabled reports whether full span retention is on.
+func (c *Collector) SpansEnabled() bool { return c != nil && c.spans }
+
+// IgnoreLine excludes a cache line from the ground-truth conflict matrix
+// and the hot-line ranking. The system registers the single-global-lock
+// word here: every attempt subscribes to it, so its conflicts describe
+// the fall-back protocol, not the workload's data.
+func (c *Collector) IgnoreLine(ln uint32) {
+	if c == nil {
+		return
+	}
+	c.ignored[ln] = true
+}
+
+// SetTraceLog mirrors each consumed attribution into the bounded event
+// log as an EvDoom event (Detail = conflicting line, Detail2 = packed
+// aborter hw/block).
+func (c *Collector) SetTraceLog(l *trace.Log) {
+	if c == nil {
+		return
+	}
+	c.trc = l
+}
+
+// BlockEnter opens an atomic-block episode for hardware thread hw.
+func (c *Collector) BlockEnter(hw, block int) {
+	if c == nil {
+		return
+	}
+	c.block[hw] = int16(block)
+	c.retry[hw] = 0
+	c.aborted[hw] = false
+	c.lastDepth[hw] = 0
+	c.pend[hw].valid = false
+}
+
+// BlockExit closes hw's episode.
+func (c *Collector) BlockExit(hw int) {
+	if c == nil {
+		return
+	}
+	c.block[hw] = -1
+	c.inAttempt[hw] = false
+	c.aborted[hw] = false
+	c.pend[hw].valid = false
+}
+
+// AttemptBegin opens a hardware-attempt span at the given cycle.
+func (c *Collector) AttemptBegin(hw int, cycle uint64) {
+	if c == nil {
+		return
+	}
+	c.begin[hw] = cycle
+	c.inAttempt[hw] = true
+	c.pend[hw].valid = false
+}
+
+// AttemptCommit closes the in-flight attempt span as a commit.
+func (c *Collector) AttemptCommit(hw int, cycle uint64) {
+	if c == nil {
+		return
+	}
+	c.inAttempt[hw] = false
+	retry := c.retry[hw]
+	c.retry[hw]++
+	if !c.spans {
+		return
+	}
+	c.shards[hw].spans = append(c.shards[hw].spans, Span{
+		Begin: c.begin[hw], End: cycle, HW: int16(hw), Block: c.block[hw],
+		Retry: retry, Outcome: OutcomeCommit,
+		AborterHW: -1, AborterBlock: -1, Line: NoLine,
+	})
+}
+
+// AttemptAbort closes the in-flight attempt span as an abort, consuming
+// any doom-time attribution parked by OnDoom.
+func (c *Collector) AttemptAbort(hw int, cycle uint64, status uint32, cause Cause) {
+	if c == nil {
+		return
+	}
+	c.inAttempt[hw] = false
+	retry := c.retry[hw]
+	c.retry[hw]++
+	c.aborted[hw] = true
+
+	sp := Span{
+		Begin: c.begin[hw], End: cycle, HW: int16(hw), Block: c.block[hw],
+		Retry: retry, Outcome: OutcomeAbort, Status: status,
+		AborterHW: -1, AborterBlock: -1, Line: NoLine,
+	}
+	if p := &c.pend[hw]; p.valid {
+		p.valid = false
+		sp.AborterHW = p.aborterHW
+		sp.AborterBlock = p.aborterBlock
+		sp.Line = p.line
+		sp.Depth = p.depth
+		c.attributed++
+		c.trc.Record2(cycle, hw, trace.EvDoom, int(sp.Block), sp.Line,
+			packAborter(p.aborterHW, p.aborterBlock))
+	}
+	c.lastDepth[hw] = sp.Depth
+	d := sp.Depth
+	if d > MaxCascadeDepth {
+		d = MaxCascadeDepth
+	}
+	c.cascadeHist[d]++
+	if b := int(sp.Block); b >= 0 && cause < NumCauses {
+		c.causeBlock[int(cause)*c.nBlocks+b]++
+	}
+	if c.spans {
+		c.shards[hw].spans = append(c.shards[hw].spans, sp)
+	}
+}
+
+// Fallback records one single-global-lock execution as a span covering
+// acquisition wait, body and release.
+func (c *Collector) Fallback(hw int, begin, end uint64) {
+	if c == nil || !c.spans {
+		return
+	}
+	c.shards[hw].spans = append(c.shards[hw].spans, Span{
+		Begin: begin, End: end, HW: int16(hw), Block: c.block[hw],
+		Retry: c.retry[hw], Outcome: OutcomeFallback,
+		AborterHW: -1, AborterBlock: -1, Line: NoLine,
+	})
+}
+
+// packAborter encodes the aborter for the EvDoom event's second payload.
+func packAborter(hw, block int16) uint32 {
+	return uint32(uint16(hw))<<16 | uint32(uint16(block))
+}
+
+// UnpackAborter decodes an EvDoom Detail2 payload.
+func UnpackAborter(d uint32) (hw, block int16) {
+	return int16(d >> 16), int16(d & 0xFFFF)
+}
+
+// OnDoom is the HTM's doom hook: the access of hardware thread aborter
+// has doomed the transaction of hardware thread victim on cache line ln.
+// It parks the attribution for the victim's abort span and, when the
+// victim is inside a policy-level attempt and the line is not ignored,
+// feeds the ground-truth conflict matrix, the hot-line ranking and the
+// cascade chain.
+func (c *Collector) OnDoom(victim, aborter int, ln mem.Line) {
+	if c == nil {
+		return
+	}
+	var aBlock int16 = -1
+	var aHW int16 = -1
+	depth := uint16(0)
+	if aborter >= 0 {
+		aHW = int16(aborter)
+		aBlock = c.block[aborter]
+		if c.aborted[aborter] {
+			// The aborter is retrying after its own abort: this doom
+			// extends that blame chain.
+			depth = c.lastDepth[aborter] + 1
+		}
+	}
+	c.pend[victim] = pending{
+		aborterHW: aHW, aborterBlock: aBlock,
+		line: uint32(ln), depth: depth, valid: true,
+	}
+	if !c.inAttempt[victim] || c.ignored[uint32(ln)] {
+		// Dooms of scheduler-internal transactions (Seer's multi-CAS lock
+		// acquisition) and conflicts on ignored lines attribute the span
+		// but do not describe workload data conflicts.
+		return
+	}
+	if v, a := c.block[victim], aBlock; v >= 0 && a >= 0 {
+		c.truth[int(v)*c.nBlocks+int(a)]++
+	}
+	c.lineConflicts[uint32(ln)]++
+}
+
+// --- Read-only views (explain, exporters, telemetry probes) ---
+
+// Spans returns hardware thread hw's span buffer (borrowed, not copied).
+func (c *Collector) Spans(hw int) []Span {
+	if c == nil {
+		return nil
+	}
+	return c.shards[hw].spans
+}
+
+// SpanCount returns the total retained spans across threads.
+func (c *Collector) SpanCount() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		n += len(c.shards[i].spans)
+	}
+	return n
+}
+
+// Threads returns the number of hardware-thread shards.
+func (c *Collector) Threads() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.shards)
+}
+
+// TruthPair returns the ground-truth conflict count of (victim, aborter).
+func (c *Collector) TruthPair(victim, aborter int) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.truth[victim*c.nBlocks+aborter]
+}
+
+// TruthMatrix returns the flat victim-major conflict matrix (borrowed).
+func (c *Collector) TruthMatrix() []uint64 {
+	if c == nil {
+		return nil
+	}
+	return c.truth
+}
+
+// CauseBlock returns aborts of the given cause whose victim ran block b.
+func (c *Collector) CauseBlock(cause Cause, b int) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.causeBlock[int(cause)*c.nBlocks+b]
+}
+
+// CascadeHist returns the cascade-depth histogram (borrowed).
+func (c *Collector) CascadeHist() []uint64 {
+	if c == nil {
+		return nil
+	}
+	return c.cascadeHist[:]
+}
+
+// Attributed returns the number of aborts that carried ground-truth
+// attribution.
+func (c *Collector) Attributed() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.attributed
+}
+
+// LineConflicts returns the per-line doom counts (borrowed map; iterate
+// with a deterministic sort).
+func (c *Collector) LineConflicts() map[uint32]uint64 {
+	if c == nil {
+		return nil
+	}
+	return c.lineConflicts
+}
+
+// AttrProbe returns the cumulative-views closure the telemetry recorder
+// diffs per interval (assignable to telemetry.AttrProbe; nil on a nil
+// collector, which SetAttribution treats as disabled).
+func (c *Collector) AttrProbe() func() (truth []uint64, nBlocks int, cascade []uint64) {
+	if c == nil {
+		return nil
+	}
+	return func() ([]uint64, int, []uint64) {
+		return c.truth, c.nBlocks, c.cascadeHist[:]
+	}
+}

@@ -1,0 +1,472 @@
+package txtrace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"seer/internal/mem"
+	"seer/internal/stats"
+	"seer/internal/telemetry"
+	"seer/internal/trace"
+)
+
+// TestCauseMirrorsTelemetry pins the txtrace Cause enum to telemetry's:
+// policy code converts between them by integer value, so slot order and
+// labels must stay in lockstep.
+func TestCauseMirrorsTelemetry(t *testing.T) {
+	if int(NumCauses) != int(telemetry.NumCauses) {
+		t.Fatalf("NumCauses = %d, telemetry.NumCauses = %d", NumCauses, telemetry.NumCauses)
+	}
+	for c := Cause(0); c < NumCauses; c++ {
+		if CauseNames[c] != telemetry.CauseNames[c] {
+			t.Errorf("cause %d: name %q != telemetry %q", c, CauseNames[c], telemetry.CauseNames[c])
+		}
+	}
+}
+
+func TestNilCollectorNoOps(t *testing.T) {
+	var c *Collector
+	// Every recording method must be callable on nil.
+	c.BlockEnter(0, 1)
+	c.BlockExit(0)
+	c.AttemptBegin(0, 10)
+	c.AttemptCommit(0, 20)
+	c.AttemptAbort(0, 20, 1, CauseConflict)
+	c.Fallback(0, 10, 20)
+	c.OnDoom(0, 1, 7)
+	c.IgnoreLine(3)
+	c.SetTraceLog(nil)
+	c.SetProbe(nil)
+	c.SetInterval(100)
+	c.OnTick(1000)
+	c.Flush(1000)
+	if c.NumBlocks() != 0 || c.Threads() != 0 || c.SpanCount() != 0 ||
+		c.Attributed() != 0 || c.SpansEnabled() {
+		t.Error("nil collector must report zero state")
+	}
+	if c.Spans(0) != nil || c.TruthMatrix() != nil || c.CascadeHist() != nil ||
+		c.LineConflicts() != nil || c.Quality() != nil || c.TopPairs(5) != nil ||
+		c.TopLines(5) != nil || c.AttrProbe() != nil {
+		t.Error("nil collector views must be nil")
+	}
+	if err := c.WriteExplain(&bytes.Buffer{}, 5); err == nil {
+		t.Error("WriteExplain on nil collector must error")
+	}
+	if err := c.WriteSpansJSONL(&bytes.Buffer{}); err == nil {
+		t.Error("WriteSpansJSONL on nil collector must error")
+	}
+	if err := c.WriteChromeSpans(&bytes.Buffer{}); err == nil {
+		t.Error("WriteChromeSpans on nil collector must error")
+	}
+	if err := c.WriteDOT(&bytes.Buffer{}); err == nil {
+		t.Error("WriteDOT on nil collector must error")
+	}
+}
+
+func TestPackAborterRoundTrip(t *testing.T) {
+	cases := []struct{ hw, block int16 }{
+		{0, 0}, {1, 2}, {-1, -1}, {127, 255}, {-1, 3}, {5, -1},
+	}
+	for _, c := range cases {
+		hw, block := UnpackAborter(packAborter(c.hw, c.block))
+		if hw != c.hw || block != c.block {
+			t.Errorf("round trip (%d,%d) -> (%d,%d)", c.hw, c.block, hw, block)
+		}
+	}
+}
+
+// TestSpanLifecycle walks one thread through commit, unattributed abort
+// and fallback, checking the retained spans field by field.
+func TestSpanLifecycle(t *testing.T) {
+	c := NewCollector(3, 2, true)
+
+	c.BlockEnter(0, 2)
+	c.AttemptBegin(0, 100)
+	c.AttemptAbort(0, 150, 0x2, CauseCapacity) // no OnDoom: unattributed
+	c.AttemptBegin(0, 160)
+	c.AttemptCommit(0, 200)
+	c.BlockExit(0)
+
+	c.BlockEnter(0, 1)
+	c.AttemptBegin(0, 300)
+	c.AttemptAbort(0, 310, 0x4, CauseExplicit)
+	c.Fallback(0, 320, 400)
+	c.BlockExit(0)
+
+	spans := c.Spans(0)
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	ab := spans[0]
+	if ab.Outcome != OutcomeAbort || ab.Begin != 100 || ab.End != 150 ||
+		ab.Block != 2 || ab.Retry != 0 || ab.Status != 0x2 {
+		t.Errorf("abort span = %+v", ab)
+	}
+	if ab.AborterHW != -1 || ab.AborterBlock != -1 || ab.Line != NoLine || ab.Depth != 0 {
+		t.Errorf("unattributed abort must carry no attribution: %+v", ab)
+	}
+	cm := spans[1]
+	if cm.Outcome != OutcomeCommit || cm.Begin != 160 || cm.End != 200 || cm.Retry != 1 {
+		t.Errorf("commit span = %+v", cm)
+	}
+	if sp := spans[2]; sp.Block != 1 || sp.Retry != 0 {
+		t.Errorf("BlockEnter must reset episode state: %+v", sp)
+	}
+	fb := spans[3]
+	if fb.Outcome != OutcomeFallback || fb.Begin != 320 || fb.End != 400 || fb.Block != 1 {
+		t.Errorf("fallback span = %+v", fb)
+	}
+	if c.SpanCount() != 4 || c.Threads() != 2 {
+		t.Errorf("SpanCount=%d Threads=%d", c.SpanCount(), c.Threads())
+	}
+	// Capacity and explicit aborts land in their cause rows.
+	if c.CauseBlock(CauseCapacity, 2) != 1 || c.CauseBlock(CauseExplicit, 1) != 1 {
+		t.Errorf("causeBlock: capacity[2]=%d explicit[1]=%d",
+			c.CauseBlock(CauseCapacity, 2), c.CauseBlock(CauseExplicit, 1))
+	}
+}
+
+// TestAttribution drives the doom hook and checks that the victim's abort
+// span, the truth matrix, the hot-line ranking and the EvDoom mirror all
+// carry the ground truth.
+func TestAttribution(t *testing.T) {
+	c := NewCollector(4, 2, true)
+	log := trace.New(16)
+	c.SetTraceLog(log)
+
+	// Thread 1 runs block 3; thread 0's access in block 2 dooms it on
+	// line 7.
+	c.BlockEnter(0, 2)
+	c.BlockEnter(1, 3)
+	c.AttemptBegin(1, 100)
+	c.OnDoom(1, 0, mem.Line(7))
+	c.AttemptAbort(1, 140, 0x1, CauseConflict)
+
+	sp := c.Spans(1)[0]
+	if sp.AborterHW != 0 || sp.AborterBlock != 2 || sp.Line != 7 || sp.Depth != 0 {
+		t.Errorf("attributed span = %+v", sp)
+	}
+	if c.Attributed() != 1 {
+		t.Errorf("attributed = %d, want 1", c.Attributed())
+	}
+	if got := c.TruthPair(3, 2); got != 1 {
+		t.Errorf("truth[victim=3][aborter=2] = %d, want 1", got)
+	}
+	if got := c.LineConflicts()[7]; got != 1 {
+		t.Errorf("lineConflicts[7] = %d, want 1", got)
+	}
+
+	// The attribution is mirrored as one EvDoom event.
+	var doom *trace.Event
+	for _, e := range log.Events() {
+		if e.Kind == trace.EvDoom {
+			e := e
+			doom = &e
+		}
+	}
+	if doom == nil {
+		t.Fatal("no EvDoom event recorded")
+	}
+	if doom.Detail != 7 {
+		t.Errorf("EvDoom Detail (line) = %d, want 7", doom.Detail)
+	}
+	if hw, block := UnpackAborter(doom.Detail2); hw != 0 || block != 2 {
+		t.Errorf("EvDoom aborter = (%d,%d), want (0,2)", hw, block)
+	}
+
+	// A doom with no attributable requester (-1) attributes the span but
+	// adds nothing to the truth matrix.
+	c.AttemptBegin(1, 200)
+	c.OnDoom(1, -1, mem.Line(9))
+	c.AttemptAbort(1, 220, 0x1, CauseConflict)
+	sp = c.Spans(1)[1]
+	if sp.AborterHW != -1 || sp.AborterBlock != -1 || sp.Line != 9 {
+		t.Errorf("requesterless doom span = %+v", sp)
+	}
+	sum := uint64(0)
+	for _, w := range c.TruthMatrix() {
+		sum += w
+	}
+	if sum != 1 {
+		t.Errorf("truth total = %d, want 1 (requesterless doom excluded)", sum)
+	}
+}
+
+// TestIgnoredLineAndIdleVictim checks the two truth-matrix filters: dooms
+// on ignored lines (the SGL word) and dooms of threads outside a
+// policy-level attempt (Seer's multi-CAS) attribute spans but never feed
+// the conflict matrix.
+func TestIgnoredLineAndIdleVictim(t *testing.T) {
+	c := NewCollector(2, 2, true)
+	c.IgnoreLine(5)
+
+	c.BlockEnter(0, 0)
+	c.BlockEnter(1, 1)
+
+	// Doom on the ignored line, victim mid-attempt.
+	c.AttemptBegin(1, 10)
+	c.OnDoom(1, 0, mem.Line(5))
+	c.AttemptAbort(1, 20, 0x1, CauseConflict)
+	if sp := c.Spans(1)[0]; sp.Line != 5 {
+		t.Errorf("ignored-line doom must still attribute the span: %+v", sp)
+	}
+
+	// Doom outside any attempt (victim between attempts).
+	c.OnDoom(1, 0, mem.Line(6))
+
+	for _, w := range c.TruthMatrix() {
+		if w != 0 {
+			t.Fatalf("truth matrix must stay empty, got %v", c.TruthMatrix())
+		}
+	}
+	if len(c.LineConflicts()) != 0 {
+		t.Errorf("lineConflicts must stay empty, got %v", c.LineConflicts())
+	}
+}
+
+// TestCascadeDepth checks the blame chain: when the aborter is itself
+// retrying after an abort of depth d, the victim's abort gets depth d+1.
+func TestCascadeDepth(t *testing.T) {
+	c := NewCollector(2, 3, true)
+	c.BlockEnter(0, 0)
+	c.BlockEnter(1, 1)
+	c.BlockEnter(2, 0)
+
+	// Root abort: thread 0 doomed by thread 1 (which has not aborted).
+	c.AttemptBegin(0, 10)
+	c.OnDoom(0, 1, mem.Line(3))
+	c.AttemptAbort(0, 20, 0x1, CauseConflict)
+	if d := c.Spans(0)[0].Depth; d != 0 {
+		t.Fatalf("root abort depth = %d, want 0", d)
+	}
+
+	// Thread 0 retries and dooms thread 1: depth 1.
+	c.AttemptBegin(0, 30)
+	c.AttemptBegin(1, 30)
+	c.OnDoom(1, 0, mem.Line(3))
+	c.AttemptAbort(1, 40, 0x1, CauseConflict)
+	if d := c.Spans(1)[0].Depth; d != 1 {
+		t.Fatalf("first cascade depth = %d, want 1", d)
+	}
+
+	// Thread 1 retries and dooms thread 2: depth 2.
+	c.AttemptBegin(1, 50)
+	c.AttemptBegin(2, 50)
+	c.OnDoom(2, 1, mem.Line(3))
+	c.AttemptAbort(2, 60, 0x1, CauseConflict)
+	if d := c.Spans(2)[0].Depth; d != 2 {
+		t.Fatalf("second cascade depth = %d, want 2", d)
+	}
+
+	hist := c.CascadeHist()
+	if hist[0] != 1 || hist[1] != 1 || hist[2] != 1 {
+		t.Errorf("cascade histogram = %v", hist[:4])
+	}
+
+	// A committed episode clears the chain: thread 0 commits, re-enters,
+	// and its next doom is a fresh root.
+	c.AttemptCommit(0, 70)
+	c.BlockExit(0)
+	c.BlockEnter(0, 0)
+	c.AttemptBegin(2, 80)
+	c.OnDoom(2, 0, mem.Line(3))
+	c.AttemptAbort(2, 90, 0x1, CauseConflict)
+	if d := c.Spans(2)[1].Depth; d != 0 {
+		t.Errorf("post-commit doom depth = %d, want 0 (chain reset)", d)
+	}
+}
+
+// TestQualitySnapshots drives the inference scorer with a synthetic probe
+// and checks precision/recall/rank-divergence arithmetic.
+func TestQualitySnapshots(t *testing.T) {
+	c := NewCollector(3, 2, false)
+	c.BlockEnter(0, 0)
+	c.BlockEnter(1, 1)
+
+	// Ground truth: pair {0,1} conflicts 3 times.
+	for i := 0; i < 3; i++ {
+		c.AttemptBegin(1, uint64(10*i))
+		c.OnDoom(1, 0, mem.Line(4))
+		c.AttemptAbort(1, uint64(10*i+5), 0x1, CauseConflict)
+	}
+
+	// The probe predicts {0,1} (true) and {2,2} (false), and reports
+	// learned abort weights that rank {0,1} first — matching truth.
+	probe := func(dst *stats.Matrices) [][]int {
+		dst.Reset()
+		for i := 0; i < 5; i++ {
+			dst.AddAbort(0, 1)
+		}
+		dst.AddAbort(2, 2)
+		return [][]int{{1}, {}, {2}}
+	}
+	c.SetProbe(probe)
+	c.SetInterval(100)
+
+	// One periodic cut at 100 and 200, then the final flush at 250.
+	c.OnTick(205)
+	c.Flush(250)
+
+	snaps := c.Quality()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3 (two periodic + flush)", len(snaps))
+	}
+	if snaps[0].EndCycle != 100 || snaps[1].EndCycle != 200 || snaps[2].EndCycle != 250 {
+		t.Errorf("snapshot cycles = %d,%d,%d", snaps[0].EndCycle, snaps[1].EndCycle, snaps[2].EndCycle)
+	}
+	fin := snaps[2]
+	if fin.TruePairs != 1 || fin.PredictedPairs != 2 || fin.TP != 1 {
+		t.Errorf("true=%d predicted=%d tp=%d", fin.TruePairs, fin.PredictedPairs, fin.TP)
+	}
+	if fin.Precision != 0.5 || fin.Recall != 1.0 {
+		t.Errorf("precision=%v recall=%v, want 0.5/1.0", fin.Precision, fin.Recall)
+	}
+	// Two ranked pairs, same order on both sides: divergence 0.
+	if fin.RankDivergence != 0 {
+		t.Errorf("rank divergence = %v, want 0", fin.RankDivergence)
+	}
+	if fin.Attributed != 3 {
+		t.Errorf("attributed = %d, want 3", fin.Attributed)
+	}
+}
+
+// TestRankDivergenceReversed checks the normalization: a perfectly
+// reversed ranking of m pairs scores 1.
+func TestRankDivergenceReversed(t *testing.T) {
+	n := 2
+	truth := map[int]uint64{
+		pairKey(0, 0, n): 10, // truth ranks {0,0} first
+		pairKey(0, 1, n): 5,
+	}
+	learned := stats.NewMatrices(n)
+	learned.AddAbort(0, 1) // learner ranks {0,1} first
+	learned.AddAbort(0, 1)
+	learned.AddAbort(0, 1)
+	learned.AddAbort(0, 0)
+	if d := rankDivergence(truth, learned, n); d != 1 {
+		t.Errorf("reversed ranking divergence = %v, want 1", d)
+	}
+	// Fewer than two pairs: divergence defined as 0.
+	if d := rankDivergence(map[int]uint64{0: 3}, stats.NewMatrices(n), n); d != 0 {
+		t.Errorf("single-pair divergence = %v, want 0", d)
+	}
+}
+
+// TestExporters smoke-tests the three export formats on a tiny attributed
+// history: JSONL lines must parse, the Chrome document must be valid JSON,
+// and the DOT graph must name the participating blocks.
+func TestExporters(t *testing.T) {
+	c := NewCollector(3, 2, true)
+	c.BlockEnter(0, 0)
+	c.BlockEnter(1, 2)
+	c.AttemptBegin(1, 100)
+	c.OnDoom(1, 0, mem.Line(8))
+	c.AttemptAbort(1, 120, 0x1, CauseConflict)
+	c.AttemptBegin(1, 130)
+	c.AttemptCommit(1, 150)
+
+	var jsonl bytes.Buffer
+	if err := c.WriteSpansJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(jsonl.Bytes()))
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("JSONL line %d invalid: %v\n%s", lines, err, sc.Text())
+		}
+		if lines == 1 {
+			if m["outcome"] != "abort" || m["line"] != float64(8) || m["aborter_hw"] != float64(0) {
+				t.Errorf("abort JSONL = %v", m)
+			}
+		}
+	}
+	if lines != 2 {
+		t.Errorf("got %d JSONL lines, want 2", lines)
+	}
+
+	var chrome bytes.Buffer
+	if err := c.WriteChromeSpans(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome document invalid: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Errorf("got %d trace events, want 2", len(doc.TraceEvents))
+	}
+
+	var dot bytes.Buffer
+	if err := c.WriteDOT(&dot); err != nil {
+		t.Fatal(err)
+	}
+	s := dot.String()
+	for _, want := range []string{"digraph conflicts", "tx0 [", "tx2 [", "tx0 -> tx2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, s)
+		}
+	}
+
+	pairs := c.TopPairs(10)
+	if len(pairs) != 1 || pairs[0] != (PairCount{Victim: 2, Aborter: 0, Count: 1}) {
+		t.Errorf("TopPairs = %v", pairs)
+	}
+	tl := c.TopLines(10)
+	if len(tl) != 1 || tl[0] != (LineCount{Line: 8, Count: 1}) {
+		t.Errorf("TopLines = %v", tl)
+	}
+
+	var explain bytes.Buffer
+	if err := c.WriteExplain(&explain, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"attributed aborts: 1", "tx2", "line 8", "conflict"} {
+		if !strings.Contains(explain.String(), want) {
+			t.Errorf("explain missing %q:\n%s", want, explain.String())
+		}
+	}
+}
+
+// TestTopPairsOrdering checks the deterministic sort: count descending,
+// ties by victim then aborter, truncated at k.
+func TestTopPairsOrdering(t *testing.T) {
+	c := NewCollector(3, 2, false)
+	c.BlockEnter(0, 0)
+	doom := func(victimBlock int, times int) {
+		c.BlockEnter(1, victimBlock)
+		for i := 0; i < times; i++ {
+			c.AttemptBegin(1, 0)
+			c.OnDoom(1, 0, mem.Line(1))
+			c.AttemptAbort(1, 1, 0x1, CauseConflict)
+		}
+	}
+	doom(2, 1)
+	doom(1, 3)
+	doom(0, 1)
+
+	got := c.TopPairs(0)
+	want := []PairCount{
+		{Victim: 1, Aborter: 0, Count: 3},
+		{Victim: 0, Aborter: 0, Count: 1},
+		{Victim: 2, Aborter: 0, Count: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("TopPairs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TopPairs[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if k2 := c.TopPairs(2); len(k2) != 2 || k2[0] != want[0] {
+		t.Errorf("TopPairs(2) = %v", k2)
+	}
+}

@@ -35,6 +35,12 @@ type Report struct {
 	// recorder (nil unless Config.MetricsInterval > 0). Snapshots from
 	// repeated Runs on one System accumulate.
 	Timeline []Snapshot
+
+	// Inference is the Seer inference-quality trajectory: the learned
+	// locking scheme scored against the ground-truth conflict matrix at
+	// each metrics interval (nil unless attribution is on and the Seer
+	// policy ran; see Config.TraceAttempts/AttributionCounters).
+	Inference []InferenceSnapshot
 }
 
 // SeerReport captures the scheduler state at the end of a run.
@@ -137,6 +143,12 @@ func (r Report) Summary() string {
 		fmt.Fprintf(&b, "interval[%d] %d..%d commits=%d attempts=%d aborts=%v fallbacks=%d lockwait=%d modes=%v\n",
 			s.Index, s.StartCycle, s.EndCycle, s.Commits, s.Attempts, s.Aborts, s.Fallbacks, s.LockWait, s.Modes)
 	}
+	// Inference lines appear only when attribution ran, so digests of
+	// runs with tracing disabled are unchanged.
+	for _, q := range r.Inference {
+		fmt.Fprintf(&b, "inference[%d] end=%d true=%d predicted=%d tp=%d precision=%.6f recall=%.6f rankdiv=%.6f attributed=%d\n",
+			q.Index, q.EndCycle, q.TruePairs, q.PredictedPairs, q.TP, q.Precision, q.Recall, q.RankDivergence, q.Attributed)
+	}
 	return b.String()
 }
 
@@ -197,6 +209,10 @@ func (s *System) buildReport(makespan uint64, threads []*policy.Thread) Report {
 	if s.tel != nil {
 		s.tel.Flush(makespan)
 		r.Timeline = s.tel.Snapshots()
+	}
+	if s.txc != nil {
+		s.txc.Flush(makespan)
+		r.Inference = s.txc.Quality()
 	}
 	return r
 }

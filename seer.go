@@ -42,9 +42,11 @@ import (
 	"seer/internal/mem"
 	"seer/internal/policy"
 	"seer/internal/spinlock"
+	"seer/internal/stats"
 	"seer/internal/telemetry"
 	"seer/internal/topology"
 	"seer/internal/trace"
+	"seer/internal/txtrace"
 )
 
 // Re-exported substrate types, so programs written against the public API
@@ -76,6 +78,13 @@ type (
 	// TraceEvent is one entry of the bounded runtime event log
 	// (enabled by Config.TraceEvents).
 	TraceEvent = trace.Event
+	// AttemptSpan is one transaction attempt with ground-truth abort
+	// attribution (enabled by Config.TraceAttempts).
+	AttemptSpan = txtrace.Span
+	// InferenceSnapshot is one point of the Seer inference-quality
+	// trajectory: the learned locking scheme scored against the
+	// ground-truth conflict matrix (Report.Inference).
+	InferenceSnapshot = txtrace.QualitySnapshot
 	// Topology describes the machine shape as sockets × physical cores
 	// × SMT threads (see Config.Topology).
 	Topology = topology.Topology
@@ -191,6 +200,21 @@ type Config struct {
 	// timeline is reproducible for a fixed seed. 0 disables it at zero
 	// hot-path cost.
 	MetricsInterval uint64
+	// TraceAttempts enables attempt-level span tracing with ground-truth
+	// abort attribution: every hardware attempt and fall-back becomes a
+	// span recording begin/end cycle, outcome, retry index and — for
+	// aborts — the conflicting cache line, the aborter thread and the
+	// atomic-block pair, information real HTM never exposes. Spans go to
+	// per-thread append-only buffers; recording never advances the
+	// virtual clock, so schedules are identical with tracing on or off,
+	// and disabling it (the default) keeps the hot path allocation-free.
+	TraceAttempts bool
+	// AttributionCounters enables the abort-attribution accumulators
+	// (ground-truth conflict matrix, aborts by cause × block, cascade
+	// depth histogram, hot conflict lines) without retaining per-attempt
+	// spans — the cheap mode the telemetry timeline and `seerstat
+	// -explain` use. Implied by TraceAttempts.
+	AttributionCounters bool
 }
 
 // DefaultConfig mirrors the paper's testbed: 8 hardware threads on 4
@@ -306,6 +330,7 @@ type System struct {
 	pol   policy.Policy
 	trc   *trace.Log
 	tel   *telemetry.Recorder // nil unless Config.MetricsInterval > 0
+	txc   *txtrace.Collector  // nil unless TraceAttempts/AttributionCounters
 }
 
 // NewSystem builds a system from cfg. The returned system is single-use
@@ -384,7 +409,41 @@ func NewSystem(cfg Config) (*System, error) {
 				return th.Th1, th.Th2, sched.SchemePairs(), sched.SchemeReuseHits
 			})
 		}
+	}
+	if cfg.TraceAttempts || cfg.AttributionCounters {
+		s.txc = txtrace.NewCollector(cfg.NumAtomicBlocks, hw, cfg.TraceAttempts)
+		// Conflicts on the single-global-lock word are fall-back protocol
+		// mechanics, not workload data conflicts: keep them out of the
+		// ground-truth matrix (spans still carry their attribution).
+		s.txc.IgnoreLine(uint32(mem.LineOf(s.sgl.Addr())))
+		s.txc.SetTraceLog(s.trc)
+		s.htm.SetDoomHook(s.txc.OnDoom)
+		if sched := s.sched; sched != nil {
+			s.txc.SetProbe(func(dst *stats.Matrices) [][]int {
+				sched.SnapshotLearned(dst)
+				return sched.Scheme()
+			})
+			interval := cfg.MetricsInterval
+			if interval == 0 {
+				interval = 1 << 16
+			}
+			s.txc.SetInterval(interval)
+		}
+		s.tel.SetAttribution(s.txc.AttrProbe())
+	}
+	// The engine holds a single tick hook; chain telemetry and the
+	// inference-quality snapshots when both are live.
+	switch {
+	case s.tel != nil && s.txc != nil:
+		tel, txc := s.tel, s.txc
+		s.eng.SetTickHook(func(now uint64) {
+			tel.OnTick(now)
+			txc.OnTick(now)
+		})
+	case s.tel != nil:
 		s.eng.SetTickHook(s.tel.OnTick)
+	case s.txc != nil:
+		s.eng.SetTickHook(s.txc.OnTick)
 	}
 	return s, nil
 }
@@ -417,6 +476,11 @@ func (s *System) Telemetry() *telemetry.Recorder { return s.tel }
 // TraceEvents returns the retained runtime events in chronological order
 // (nil unless Config.TraceEvents > 0).
 func (s *System) TraceEvents() []TraceEvent { return s.trc.Events() }
+
+// TxTrace returns the attempt-tracing/attribution collector (nil unless
+// Config.TraceAttempts or Config.AttributionCounters is set). Use it for
+// span/DOT/explain exports after a run.
+func (s *System) TxTrace() *txtrace.Collector { return s.txc }
 
 // Alloc reserves n words of simulated memory.
 func (s *System) Alloc(n int) Addr { return s.mem.Alloc(n) }
@@ -459,6 +523,7 @@ func (s *System) Run(workers []Worker) (Report, error) {
 			pt := policy.NewThread(ctx, s.mem, s.htm)
 			pt.Trace = s.trc
 			pt.Tel = s.tel.Shard(ctx.ID())
+			pt.Spans = s.txc
 			if s.sched != nil {
 				pt.Seer = s.sched.NewThreadState(ctx)
 			}
