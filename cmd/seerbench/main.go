@@ -3,16 +3,19 @@
 //
 // Usage:
 //
-//	seerbench -experiment fig3|table3|fig4|fig5|lockfrac|ext|attempts|contended|scaling|inference|all [flags]
+//	seerbench -experiment fig3|table3|fig4|fig5|lockfrac|ext|attempts|contended|scaling|inference|adversarial|fullsuite|all [flags]
 //	seerbench -compare old.json new.json [-compare-threshold f]
 //
 // The contended experiment is a stress view of the SGL park/wake path
 // (HLE at 8 threads), the scaling experiment sweeps machine shapes from
-// the paper's 8-thread socket up to a 4-socket, 128-thread box, and the
+// the paper's 8-thread socket up to a 4-socket, 128-thread box, the
 // inference experiment scores Seer's learned locking scheme against the
 // simulator's ground-truth conflict matrix (precision/recall over
-// virtual time); none is part of "all", which regenerates only the
-// paper's exhibits.
+// virtual time), the adversarial experiment runs synthetic worst-case
+// conflict graphs (ring, star, bipartite, clique, phase-shift) under
+// every contention manager, and fullsuite runs Figure 3 over the opt-in
+// bayes/labyrinth workloads; none is part of "all", which regenerates
+// only the paper's exhibits.
 //
 // The second form compares two -bench-json snapshots (per-experiment
 // cells/sec ratio and geomean) and exits nonzero when the geomean falls
@@ -24,6 +27,7 @@
 //	-runs n      repetitions per cell (default 3)
 //	-seed n      base seed (default 1)
 //	-workloads s comma-separated subset (default: the full STAMP suite)
+//	-full-suite  widen the default workload set with bayes and labyrinth
 //	-parallel n  run n grid cells concurrently (-1 = one per CPU; output
 //	             is byte-identical to a sequential run at any width)
 //	-topology s  run every cell on this machine shape instead of the
@@ -37,7 +41,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -48,34 +51,13 @@ import (
 	"time"
 
 	"seer"
+	"seer/internal/bench"
 	"seer/internal/harness"
 )
 
-// benchExperiment is the per-experiment slice of the -bench-json report.
-type benchExperiment struct {
-	Name      string  `json:"name"`
-	WallMS    float64 `json:"wall_ms"`
-	Cells     int64   `json:"cells"`
-	Runs      int64   `json:"runs"`
-	SimCycles uint64  `json:"sim_cycles"`
-	CellsPerS float64 `json:"cells_per_sec"`
-}
-
-// benchReport is the top-level -bench-json document.
-type benchReport struct {
-	GoVersion   string            `json:"go_version"`
-	GOMAXPROCS  int               `json:"gomaxprocs"`
-	Parallel    int               `json:"parallel"`
-	Scale       float64           `json:"scale"`
-	Runs        int               `json:"runs"`
-	Seed        int64             `json:"seed"`
-	Experiments []benchExperiment `json:"experiments"`
-	TotalWallMS float64           `json:"total_wall_ms"`
-}
-
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|table3|fig4|fig5|lockfrac|ext|attempts|timeline|inference|contended|scaling|all")
+		experiment = flag.String("experiment", "all", "fig3|table3|fig4|fig5|lockfrac|ext|attempts|timeline|inference|contended|scaling|adversarial|fullsuite|all")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor")
 		runs       = flag.Int("runs", 3, "repetitions per measurement")
 		seed       = flag.Int64("seed", 1, "base PRNG seed")
@@ -90,6 +72,7 @@ func main() {
 		benchJSON  = flag.String("bench-json", "", "write executor timing stats to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		fullSuite  = flag.Bool("full-suite", false, "widen the default workload set with bayes and labyrinth")
 		compareOld = flag.String("compare", "", "compare this old -bench-json snapshot against the new one given as a positional argument, then exit (nonzero on regression)")
 		compareTh  = flag.Float64("compare-threshold", 0.9, "compare: fail when the cells/sec geomean ratio new/old falls below this")
 	)
@@ -102,7 +85,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "seerbench: -compare OLD.json needs exactly one positional argument (NEW.json)")
 			os.Exit(2)
 		}
-		ok, err := compareBench(*compareOld, flag.Arg(0), *compareTh, os.Stdout)
+		ok, err := bench.Compare(*compareOld, flag.Arg(0), *compareTh, os.Stdout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seerbench: %v\n", err)
 			os.Exit(2)
@@ -130,7 +113,7 @@ func main() {
 		}
 	}
 
-	opt := harness.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel}
+	opt := harness.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel, FullSuite: *fullSuite}
 	if *topoSpec != "" {
 		topo, err := seer.ParseTopology(*topoSpec)
 		if err != nil {
@@ -254,6 +237,23 @@ func main() {
 				return err
 			}
 			d.Render(os.Stdout)
+		case "adversarial":
+			d, err := harness.Adversarial(opt, wls, *interval, progress)
+			if err != nil {
+				return err
+			}
+			d.Render(os.Stdout)
+		case "fullsuite":
+			// Figure 3 restricted to the opt-in workloads, over the full
+			// policy set — the bayes/labyrinth companion to fig3.
+			d, err := harness.Fig3With(opt, []string{"bayes", "labyrinth"}, harness.AllPolicies, progress)
+			if err != nil {
+				return err
+			}
+			d.Render(os.Stdout)
+			if err := maybeCSV(d.WriteCSV); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -264,7 +264,7 @@ func main() {
 	if *experiment == "all" {
 		names = []string{"fig3", "table3", "fig4", "fig5", "lockfrac", "ext", "attempts", "timeline"}
 	}
-	report := benchReport{
+	report := bench.Report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Parallel:   *parallel,
@@ -279,24 +279,10 @@ func main() {
 		if err := run(name); err != nil {
 			fail(err)
 		}
-		wall := time.Since(start)
-		ms := float64(wall.Nanoseconds()) / 1e6
-		exp := benchExperiment{
-			Name: name, WallMS: ms,
-			Cells: stats.Cells(), Runs: stats.Runs(), SimCycles: stats.SimCycles(),
-		}
-		if wall > 0 {
-			exp.CellsPerS = float64(stats.Cells()) / wall.Seconds()
-		}
-		report.Experiments = append(report.Experiments, exp)
-		report.TotalWallMS += ms
+		report.Add(name, float64(time.Since(start).Nanoseconds())/1e6, stats)
 	}
 	if *benchJSON != "" {
-		buf, err := json.MarshalIndent(report, "", "  ")
-		if err == nil {
-			err = os.WriteFile(*benchJSON, append(buf, '\n'), 0o644)
-		}
-		if err != nil {
+		if err := report.WriteFile(*benchJSON); err != nil {
 			fail(err)
 		}
 	}

@@ -209,7 +209,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "seerstat: %v\n", err)
 		os.Exit(1)
 	}
-	wl.Setup(sys)
+	if err := wl.Setup(sys); err != nil {
+		fmt.Fprintf(os.Stderr, "seerstat: setup: %v\n", err)
+		os.Exit(1)
+	}
 	rep, err := sys.Run(wl.Workers(*threads))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "seerstat: run: %v\n", err)

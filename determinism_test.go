@@ -18,6 +18,9 @@ var updateGolden = flag.Bool("update", false, "regenerate testdata golden files"
 var detPolicies = []seer.PolicyKind{
 	seer.PolicyHLE, seer.PolicyRTM, seer.PolicySCM,
 	seer.PolicyATS, seer.PolicyOracle, seer.PolicySeer, seer.PolicySeq,
+	// Backoff is appended last so the golden sections of the older
+	// policies stay byte-identical across the PR that introduced it.
+	seer.PolicyBackoff,
 }
 
 // detConfig is the fixed configuration of the golden run: 4 workers on a

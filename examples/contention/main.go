@@ -42,7 +42,9 @@ func run(policy seer.PolicyKind, hot int) float64 {
 	if err != nil {
 		log.Fatal(err)
 	}
-	wl.Setup(sys)
+	if err := wl.Setup(sys); err != nil {
+		log.Fatal(err)
+	}
 	rep, err := sys.Run(wl.Workers(8))
 	if err != nil {
 		log.Fatal(err)

@@ -131,6 +131,26 @@ func TestExhibitGoldens(t *testing.T) {
 			d.Render(&buf)
 			return buf.String(), nil
 		}},
+		{"adversarial", func(opt harness.Options) (string, error) {
+			d, err := harness.Adversarial(opt, nil, 0, nil)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			d.Render(&buf)
+			return buf.String(), nil
+		}},
+		{"fullsuite", func(opt harness.Options) (string, error) {
+			// The opt-in workloads through the fig3 pipeline over the full
+			// policy set (the seerbench -experiment fullsuite exhibit).
+			d, err := harness.Fig3With(opt, []string{"bayes", "labyrinth"}, harness.AllPolicies, nil)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			d.Render(&buf)
+			return buf.String(), nil
+		}},
 	}
 
 	for _, ex := range exhibits {

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Experiment is the per-experiment slice of a -bench-json report.
+type Experiment struct {
+	Name      string  `json:"name"`
+	WallMS    float64 `json:"wall_ms"`
+	Cells     int64   `json:"cells"`
+	Runs      int64   `json:"runs"`
+	SimCycles uint64  `json:"sim_cycles"`
+	CellsPerS float64 `json:"cells_per_sec"`
+}
+
+// Report is the top-level -bench-json document.
+type Report struct {
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Parallel    int          `json:"parallel"`
+	Scale       float64      `json:"scale"`
+	Runs        int          `json:"runs"`
+	Seed        int64        `json:"seed"`
+	Experiments []Experiment `json:"experiments"`
+	TotalWallMS float64      `json:"total_wall_ms"`
+}
+
+// Add appends one experiment's totals, computing its throughput from the
+// wall-clock milliseconds.
+func (r *Report) Add(name string, wallMS float64, c *Counters) {
+	exp := Experiment{
+		Name: name, WallMS: wallMS,
+		Cells: c.Cells(), Runs: c.Runs(), SimCycles: c.SimCycles(),
+	}
+	if wallMS > 0 {
+		exp.CellsPerS = float64(c.Cells()) / (wallMS / 1000)
+	}
+	r.Experiments = append(r.Experiments, exp)
+	r.TotalWallMS += wallMS
+}
+
+// WriteFile renders the report as indented JSON at path.
+func (r Report) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// Load reads a -bench-json report back from disk.
+func Load(path string) (Report, error) {
+	var rep Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Compare loads two -bench-json reports and renders a per-experiment
+// throughput comparison (cells/sec ratio new/old) plus the geometric
+// mean over experiments present in both. It returns ok = false when the
+// geomean falls below threshold — the regression gate CI runs against
+// the previous PR's snapshot. Experiments only in the new report are
+// listed but not compared, so adding an experiment never breaks the
+// gate.
+func Compare(oldPath, newPath string, threshold float64, w io.Writer) (ok bool, err error) {
+	oldRep, err := Load(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := Load(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := map[string]Experiment{}
+	for _, e := range oldRep.Experiments {
+		oldBy[e.Name] = e
+	}
+
+	fmt.Fprintf(w, "bench compare: %s -> %s (threshold %.2f)\n", oldPath, newPath, threshold)
+	fmt.Fprintf(w, "%-12s %14s %14s %8s\n", "experiment", "old cells/s", "new cells/s", "ratio")
+	ratios := make([]float64, 0, len(newRep.Experiments))
+	for _, ne := range newRep.Experiments {
+		oe, found := oldBy[ne.Name]
+		if !found {
+			fmt.Fprintf(w, "%-12s %14s %14.2f %8s  (new experiment, not compared)\n",
+				ne.Name, "-", ne.CellsPerS, "-")
+			continue
+		}
+		if oe.CellsPerS <= 0 || ne.CellsPerS <= 0 {
+			fmt.Fprintf(w, "%-12s %14.2f %14.2f %8s  (zero rate, not compared)\n",
+				ne.Name, oe.CellsPerS, ne.CellsPerS, "-")
+			continue
+		}
+		ratio := ne.CellsPerS / oe.CellsPerS
+		fmt.Fprintf(w, "%-12s %14.2f %14.2f %8.3f\n", ne.Name, oe.CellsPerS, ne.CellsPerS, ratio)
+		ratios = append(ratios, ratio)
+	}
+	if len(ratios) == 0 {
+		return false, fmt.Errorf("no experiments in common between %s and %s", oldPath, newPath)
+	}
+	geomean := GeoMean(ratios)
+	fmt.Fprintf(w, "geomean ratio over %d experiments: %.3f\n", len(ratios), geomean)
+	if math.IsNaN(geomean) || geomean < threshold {
+		fmt.Fprintf(w, "REGRESSION: geomean %.3f below threshold %.2f\n", geomean, threshold)
+		return false, nil
+	}
+	fmt.Fprintf(w, "OK: geomean %.3f within threshold %.2f\n", geomean, threshold)
+	return true, nil
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// RatioTable is a fixed-width rows × columns table of ratios (speedups,
+// slowdowns, normalized throughputs) with an optional geomean summary
+// row. Rendering is deterministic: identical inputs produce byte-
+// identical output, so rendered tables can be pinned as goldens.
+type RatioTable struct {
+	// Title is printed above the table.
+	Title string
+	// RowHeader labels the row-name column (e.g. "graph", "workload").
+	RowHeader string
+	// Rows and Cols name the axes; Cells[r][c] is the value, with NaN
+	// rendered as "-" (missing cell).
+	Rows, Cols []string
+	Cells      [][]float64
+	// Geomean, when true, appends a geomean summary row over the data
+	// rows (per column, non-positive cells ignored).
+	Geomean bool
+}
+
+// Render writes the table in the harness' fixed-width exhibit style.
+func (t RatioTable) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	fmt.Fprintf(w, "%-14s", t.RowHeader)
+	for _, c := range t.Cols {
+		fmt.Fprintf(w, " %9s", c)
+	}
+	fmt.Fprintln(w)
+	cell := func(v float64) {
+		if v != v { // NaN: missing
+			fmt.Fprintf(w, " %9s", "-")
+			return
+		}
+		fmt.Fprintf(w, " %9.2f", v)
+	}
+	for r, name := range t.Rows {
+		fmt.Fprintf(w, "%-14s", name)
+		for c := range t.Cols {
+			cell(t.Cells[r][c])
+		}
+		fmt.Fprintln(w)
+	}
+	if t.Geomean && len(t.Rows) > 1 {
+		fmt.Fprintf(w, "%-14s", "geomean")
+		for c := range t.Cols {
+			col := make([]float64, 0, len(t.Rows))
+			for r := range t.Rows {
+				if v := t.Cells[r][c]; v == v {
+					col = append(col, v)
+				}
+			}
+			cell(GeoMean(col))
+		}
+		fmt.Fprintln(w)
+	}
+}

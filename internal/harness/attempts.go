@@ -25,7 +25,7 @@ var AttemptBudgets = []int{1, 2, 3, 5, 8, 12}
 func Attempts(opt Options, workloads []string, progress io.Writer) (*AttemptsData, error) {
 	opt = opt.normalized()
 	if workloads == nil {
-		workloads = Suite()
+		workloads = opt.suite()
 	}
 	policies := []seer.PolicyKind{seer.PolicyRTM, seer.PolicySCM, seer.PolicySeer}
 	data := &AttemptsData{

@@ -40,7 +40,7 @@ const contendedInterval = 1 << 16
 func Contended(opt Options, workloads []string, progress io.Writer) (*ContendedData, error) {
 	opt = opt.normalized()
 	if workloads == nil {
-		workloads = Suite()
+		workloads = opt.suite()
 	}
 	data := &ContendedData{
 		Workloads: append([]string{}, workloads...),

@@ -31,6 +31,20 @@ type Options struct {
 	// -topology flag). Cells whose thread count exceeds the shape fail
 	// with a config error rather than silently resizing.
 	Topology seer.Topology
+	// FullSuite widens the default workload set from stamp.Suite to
+	// stamp.FullSuite (adds bayes and labyrinth) in every experiment
+	// that was not given an explicit list (the seerbench -full-suite
+	// flag). Explicit workload arguments are unaffected.
+	FullSuite bool
+}
+
+// suite resolves the default workload list for experiments that were not
+// handed an explicit one.
+func (o Options) suite() []string {
+	if o.FullSuite {
+		return append([]string{}, stamp.FullSuite...)
+	}
+	return Suite()
 }
 
 // DefaultOptions returns full-scale settings (Figure 3 at scale 1 takes
@@ -84,7 +98,7 @@ func Fig3(opt Options, workloads []string, progress io.Writer) (*Fig3Data, error
 func Fig3With(opt Options, workloads []string, policies []seer.PolicyKind, progress io.Writer) (*Fig3Data, error) {
 	opt = opt.normalized()
 	if workloads == nil {
-		workloads = Suite()
+		workloads = opt.suite()
 	}
 	if policies == nil {
 		policies = Fig3Policies
@@ -202,7 +216,7 @@ var Table3Threads = []int{2, 4, 6, 8}
 func Table3(opt Options, workloads []string, progress io.Writer) (*Table3Data, error) {
 	opt = opt.normalized()
 	if workloads == nil {
-		workloads = Suite()
+		workloads = opt.suite()
 	}
 	data := &Table3Data{
 		Policies: Fig3Policies,
@@ -298,7 +312,7 @@ type Fig4Data struct {
 func Fig4(opt Options, workloads []string, progress io.Writer) (*Fig4Data, error) {
 	opt = opt.normalized()
 	if workloads == nil {
-		workloads = append(Suite(), "hashmap")
+		workloads = append(opt.suite(), "hashmap")
 	}
 	profOpts := profileOnlyOpts()
 	data := &Fig4Data{
@@ -397,7 +411,7 @@ type Fig5Data struct {
 func Fig5(opt Options, workloads []string, progress io.Writer) (*Fig5Data, error) {
 	opt = opt.normalized()
 	if workloads == nil {
-		workloads = Suite()
+		workloads = opt.suite()
 	}
 	variants := SeerVariants()
 	data := &Fig5Data{
@@ -521,7 +535,7 @@ type LockFracData struct {
 func LockFrac(opt Options, workloads []string) (*LockFracData, error) {
 	opt = opt.normalized()
 	if workloads == nil {
-		workloads = Suite()
+		workloads = opt.suite()
 	}
 	data := &LockFracData{PerWorkload: map[string]struct {
 		MedianFrac float64

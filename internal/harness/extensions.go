@@ -59,7 +59,7 @@ func extVariants() []struct {
 func Extensions(opt Options, workloads []string, progress io.Writer) (*ExtData, error) {
 	opt = opt.normalized()
 	if workloads == nil {
-		workloads = Suite()
+		workloads = opt.suite()
 	}
 	variants := extVariants()
 	data := &ExtData{

@@ -6,9 +6,9 @@ package harness
 
 import (
 	"fmt"
-	"math"
 
 	"seer"
+	"seer/internal/bench"
 	"seer/internal/core"
 	"seer/internal/stamp"
 )
@@ -130,7 +130,9 @@ func runOnce(spec Spec, seed int64) (seer.Report, error) {
 	if err != nil {
 		return seer.Report{}, err
 	}
-	wl.Setup(sys)
+	if err := wl.Setup(sys); err != nil {
+		return seer.Report{}, fmt.Errorf("setup failed: %w", err)
+	}
 	rep, err := sys.Run(wl.Workers(spec.Threads))
 	if err != nil {
 		return seer.Report{}, err
@@ -164,20 +166,9 @@ func Speedup(baseline float64, r Result) float64 {
 }
 
 // GeoMean returns the geometric mean of vals (ignoring non-positive
-// entries, which would otherwise poison the product).
-func GeoMean(vals []float64) float64 {
-	sum, n := 0.0, 0
-	for _, v := range vals {
-		if v > 0 {
-			sum += math.Log(v)
-			n++
-		}
-	}
-	if n == 0 {
-		return 0
-	}
-	return math.Exp(sum / float64(n))
-}
+// entries, which would otherwise poison the product). It delegates to
+// the shared implementation in internal/bench.
+func GeoMean(vals []float64) float64 { return bench.GeoMean(vals) }
 
 // SeerVariants returns the cumulative option sets of Figure 5, in
 // presentation order, plus the core-locks-only variant discussed in §5.3.

@@ -34,7 +34,7 @@ type InferenceData struct {
 func Inference(opt Options, workloads []string, interval uint64, progress io.Writer) (*InferenceData, error) {
 	opt = opt.normalized()
 	if workloads == nil {
-		workloads = Suite()
+		workloads = opt.suite()
 	}
 	if interval == 0 {
 		interval = DefaultMetricsInterval

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"seer/internal/bench"
 )
 
 // The experiment grids are embarrassingly parallel: every Spec builds its
@@ -13,38 +15,19 @@ import (
 // accelerates every experiment while keeping output bit-identical to a
 // sequential sweep.
 
-// BenchStats accumulates executor-level counters across experiments, for
-// the machine-readable benchmark output of seerbench -bench-json. All
-// fields are updated atomically; a nil *BenchStats discards everything.
-type BenchStats struct {
-	cells     atomic.Int64
-	runs      atomic.Int64
-	simCycles atomic.Uint64
-}
+// BenchStats is the executor counter set of seerbench -bench-json; the
+// implementation lives in internal/bench so layers below the harness can
+// record into the same counters.
+type BenchStats = bench.Counters
 
-// record folds one completed cell into the totals.
-func (s *BenchStats) record(res Result) {
-	if s == nil {
-		return
-	}
-	s.cells.Add(1)
-	s.runs.Add(int64(len(res.Reports)))
+// record folds one completed cell into the totals (nil-safe).
+func record(s *BenchStats, res Result) {
 	var cycles uint64
 	for _, rep := range res.Reports {
 		cycles += rep.MakespanCycles
 	}
-	s.simCycles.Add(cycles)
+	s.RecordCell(len(res.Reports), cycles)
 }
-
-// Cells returns the number of measurement cells executed so far.
-func (s *BenchStats) Cells() int64 { return s.cells.Load() }
-
-// Runs returns the number of simulated runs executed so far (cells ×
-// repetitions).
-func (s *BenchStats) Runs() int64 { return s.runs.Load() }
-
-// SimCycles returns the total virtual cycles simulated so far.
-func (s *BenchStats) SimCycles() uint64 { return s.simCycles.Load() }
 
 // Workers resolves the executor width: 0 and 1 mean sequential, negative
 // means one worker per available CPU, and anything larger is clamped to
@@ -93,7 +76,7 @@ func RunGrid(opt Options, specs []Spec, progress func(i int, res Result)) ([]Res
 			if err != nil {
 				return results, err
 			}
-			opt.Stats.record(res)
+			record(opt.Stats, res)
 			results[i] = res
 			if progress != nil {
 				progress(i, res)
@@ -121,7 +104,7 @@ func RunGrid(opt Options, specs []Spec, progress func(i int, res Result)) ([]Res
 				res, err := RunOne(specs[i])
 				results[i], errs[i] = res, err
 				if err == nil {
-					opt.Stats.record(res)
+					record(opt.Stats, res)
 				}
 				mu.Lock()
 				done[i] = true

@@ -66,7 +66,7 @@ func Scaling(opt Options, workloads []string, progress io.Writer) (*ScalingData,
 	// silently turn the sweep into one repeated shape.
 	opt.Topology = seer.Topology{}
 	if workloads == nil {
-		workloads = Suite()
+		workloads = opt.suite()
 	}
 	data := &ScalingData{
 		Workloads:     append([]string{}, workloads...),

@@ -39,7 +39,7 @@ type TimelineData struct {
 func Timelines(opt Options, workloads []string, policies []seer.PolicyKind, interval uint64, progress io.Writer) (*TimelineData, error) {
 	opt = opt.normalized()
 	if workloads == nil {
-		workloads = Suite()
+		workloads = opt.suite()
 	}
 	if policies == nil {
 		policies = []seer.PolicyKind{seer.PolicyRTM, seer.PolicySeer}

@@ -1,0 +1,144 @@
+package policy
+
+import (
+	"seer/internal/mem"
+	"seer/internal/spinlock"
+)
+
+// Backoff implements randomized exponential backoff, the contention
+// manager whose competitive bounds Alistarh et al. analyze in "The
+// Transactional Conflict Problem": an aborted transaction waits a random
+// number of cycles drawn uniformly from a per-thread window before
+// retrying in hardware; the window doubles on every abort (up to a cap)
+// and halves on every commit (down to a floor). It sits between blind
+// retry (RTM) and precise serialization (Seer/Oracle): no conflict
+// information is used, only the abort signal itself, yet the randomized
+// waits de-synchronize conflicting threads with high probability.
+//
+// The wait is a bounded park on a per-thread key disjoint from every
+// lock-word address, so the engine fast-forwards the virtual clock in one
+// jump instead of simulating spin iterations, and no WakeKey can resume
+// the thread early. Waits draw from the thread's deterministic PRNG
+// stream, so schedules — and the telemetry timeline — stay bit-for-bit
+// reproducible for a fixed seed.
+type Backoff struct {
+	SGL         spinlock.Lock
+	MaxAttempts int
+	// MinWindow and MaxWindow bound the per-thread backoff window in
+	// cycles. The window never exceeds MaxWindow (the property tests pin
+	// this) and never shrinks below MinWindow.
+	MinWindow, MaxWindow uint64
+
+	win    []uint64 // per hardware thread: current window (cycles)
+	maxWin []uint64 // per hardware thread: high-water window
+	waits  []uint64 // per hardware thread: completed backoff waits
+	cycles []uint64 // per hardware thread: total cycles waited
+}
+
+// Default window bounds: one cache-miss-ish minimum up to roughly the
+// cost of a few contended transactions.
+const (
+	DefaultMinWindow = 64
+	DefaultMaxWindow = 16384
+)
+
+// backoffKeyBase tags park keys used for backoff waits. Lock parking
+// keys are simulated-memory word addresses, which are always far below
+// 1<<63, so no spinlock release's WakeKey can ever match a backoff key
+// and cut a wait short.
+const backoffKeyBase = uint64(1) << 63
+
+// NewBackoff builds a Backoff policy with the default window bounds for
+// a machine with hwThreads hardware threads.
+func NewBackoff(sgl spinlock.Lock, maxAttempts, hwThreads int) *Backoff {
+	p := &Backoff{
+		SGL:         sgl,
+		MaxAttempts: maxAttempts,
+		MinWindow:   DefaultMinWindow,
+		MaxWindow:   DefaultMaxWindow,
+		win:         make([]uint64, hwThreads),
+		maxWin:      make([]uint64, hwThreads),
+		waits:       make([]uint64, hwThreads),
+		cycles:      make([]uint64, hwThreads),
+	}
+	for i := range p.win {
+		p.win[i] = p.MinWindow
+		p.maxWin[i] = p.MinWindow
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *Backoff) Name() string { return "Backoff" }
+
+// Window returns a thread's current backoff window in cycles (for tests
+// and reports).
+func (p *Backoff) Window(hw int) uint64 { return p.win[hw] }
+
+// Stats aggregates the per-thread counters: completed backoff waits,
+// total cycles waited, and the largest window any thread reached.
+func (p *Backoff) Stats() (waits, cycles, maxWindow uint64) {
+	for i := range p.win {
+		waits += p.waits[i]
+		cycles += p.cycles[i]
+		if p.maxWin[i] > maxWindow {
+			maxWindow = p.maxWin[i]
+		}
+	}
+	return waits, cycles, maxWindow
+}
+
+// grow doubles a thread's window after an abort, saturating at MaxWindow.
+func (p *Backoff) grow(hw int) {
+	w := p.win[hw] * 2
+	if w > p.MaxWindow {
+		w = p.MaxWindow
+	}
+	p.win[hw] = w
+	if w > p.maxWin[hw] {
+		p.maxWin[hw] = w
+	}
+}
+
+// shrink halves a thread's window after a commit, flooring at MinWindow.
+func (p *Backoff) shrink(hw int) {
+	w := p.win[hw] / 2
+	if w < p.MinWindow {
+		w = p.MinWindow
+	}
+	p.win[hw] = w
+}
+
+// wait parks the thread for a uniform random draw from [1, window]
+// cycles. The bounded park (maxPolls 1, no poller cost) resumes at
+// exactly clock+d with no waker involved — a pure timed sleep whose
+// skipped cycles the engine accounts like any parked lock wait.
+func (p *Backoff) wait(t *Thread, hw int) {
+	d := 1 + t.Ctx.Rand().Uint64()%p.win[hw]
+	t.Ctx.ParkOn(backoffKeyBase|uint64(hw), d, 0, 1)
+	p.waits[hw]++
+	p.cycles[hw] += d
+	t.Tel.AddBackoff(d)
+}
+
+// Run implements Policy: the RTM retry loop with a randomized
+// exponential-backoff wait between hardware attempts.
+func (p *Backoff) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
+	t.curTx = txID
+	hw := t.Ctx.ID()
+	for attempts := p.MaxAttempts; attempts > 0; attempts-- {
+		if p.SGL.LockedFast(t.Mem) {
+			spinSGL(t, p.SGL)
+		}
+		if attempt(t, p.SGL, body) == 0 {
+			p.shrink(hw)
+			t.commit(ModeHTM)
+			return
+		}
+		p.grow(hw)
+		if attempts > 1 {
+			p.wait(t, hw)
+		}
+	}
+	runSGL(t, p.SGL, body)
+}

@@ -59,13 +59,14 @@ func (w *Bayes) MemWords() int {
 func (w *Bayes) varAddr(v int) seer.Addr { return w.vars + seer.Addr(v*8) }
 
 // Setup implements Workload.
-func (w *Bayes) Setup(sys *seer.System) {
+func (w *Bayes) Setup(sys *seer.System) error {
 	m := sys.Memory()
 	w.vars = sys.AllocLines(w.nVars)
 	arena := tmds.NewArena(m, w.totalOps*3+arenaSlack(sys), sys.HWThreads())
 	w.edges = tmds.NewHashMap(m, 128, arena)
 	w.score = sys.AllocLines(1)
 	w.ins = newThreadStats(sys)
+	return nil
 }
 
 // Workers implements Workload.

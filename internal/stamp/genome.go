@@ -59,12 +59,13 @@ func (g *Genome) MemWords() int {
 }
 
 // Setup implements Workload.
-func (g *Genome) Setup(sys *seer.System) {
+func (g *Genome) Setup(sys *seer.System) error {
 	arena := tmds.NewArena(sys.Memory(), int(g.segSpace)*3+arenaSlack(sys), sys.HWThreads())
 	g.set = tmds.NewHashMap(sys.Memory(), g.buckets, arena)
 	g.siteTab = tmds.NewCounters(sys.Memory(), g.sites)
 	g.chainLen = sys.AllocLines(1)
 	g.inserted = newThreadStats(sys)
+	return nil
 }
 
 // Workers implements Workload.

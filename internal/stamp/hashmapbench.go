@@ -45,7 +45,7 @@ func (w *HashMapBench) MemWords() int {
 }
 
 // Setup implements Workload.
-func (w *HashMapBench) Setup(sys *seer.System) {
+func (w *HashMapBench) Setup(sys *seer.System) error {
 	m := sys.Memory()
 	arena := tmds.NewArena(m, (w.elements+w.totalOps/4)*3+arenaSlack(sys), sys.HWThreads())
 	w.table = tmds.NewHashMap(m, w.buckets, arena)
@@ -54,6 +54,7 @@ func (w *HashMapBench) Setup(sys *seer.System) {
 	for i := 0; i < w.elements; i++ {
 		w.table.Put(acc, uint64(i), uint64(i))
 	}
+	return nil
 }
 
 // Workers implements Workload.

@@ -59,7 +59,7 @@ func (w *Intruder) MemWords() int {
 }
 
 // Setup implements Workload.
-func (w *Intruder) Setup(sys *seer.System) {
+func (w *Intruder) Setup(sys *seer.System) error {
 	m := sys.Memory()
 	w.packets = tmds.NewQueue(m, w.totalOps+2)
 	w.flagged = tmds.NewQueue(m, w.totalOps+2)
@@ -77,6 +77,7 @@ func (w *Intruder) Setup(sys *seer.System) {
 			panic("intruder: packet queue sized too small")
 		}
 	}
+	return nil
 }
 
 // Workers implements Workload.

@@ -49,8 +49,9 @@ func (w *Kmeans) NumAtomicBlocks() int { return 1 }
 func (w *Kmeans) MemWords() int { return w.nClusters*8 + 1<<12 }
 
 // Setup implements Workload.
-func (w *Kmeans) Setup(sys *seer.System) {
+func (w *Kmeans) Setup(sys *seer.System) error {
 	w.clusters = tmds.NewCounters(sys.Memory(), w.nClusters)
+	return nil
 }
 
 // Workers implements Workload.
@@ -135,8 +136,9 @@ func (w *SSCA2) NumAtomicBlocks() int { return 1 }
 func (w *SSCA2) MemWords() int { return w.nNodes*8 + 1<<12 }
 
 // Setup implements Workload.
-func (w *SSCA2) Setup(sys *seer.System) {
+func (w *SSCA2) Setup(sys *seer.System) error {
 	w.adj = sys.AllocLines(w.nNodes)
+	return nil
 }
 
 func (w *SSCA2) nodeAddr(n int) seer.Addr { return w.adj + seer.Addr(n*8) }

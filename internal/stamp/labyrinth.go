@@ -20,8 +20,9 @@ import (
 //	block 0 (route): read+write every cell of an L-shaped path
 //	block 1 (claim): pop the next request from the priority queue
 type Labyrinth struct {
-	totalOps int
-	gridDim  int
+	totalOps   int
+	gridDim    int
+	queueSlots int // 0 means totalOps+1 (always sufficient)
 
 	grid   seer.Addr // gridDim × gridDim cells, one line each
 	queue  *tmds.Heap
@@ -57,10 +58,14 @@ func (w *Labyrinth) cell(x, y int) seer.Addr {
 }
 
 // Setup implements Workload.
-func (w *Labyrinth) Setup(sys *seer.System) {
+func (w *Labyrinth) Setup(sys *seer.System) error {
 	m := sys.Memory()
 	w.grid = sys.AllocLines(w.gridDim * w.gridDim)
-	w.queue = tmds.NewHeap(m, w.totalOps+1)
+	slots := w.queueSlots
+	if slots == 0 {
+		slots = w.totalOps + 1
+	}
+	w.queue = tmds.NewHeap(m, slots)
 	w.routed = newThreadStats(sys)
 	w.claims = newThreadStats(sys)
 	// Pre-plan the routing requests: value encodes the endpoints,
@@ -75,9 +80,11 @@ func (w *Labyrinth) Setup(sys *seer.System) {
 		val := uint64(x1)<<24 | uint64(y1)<<16 | uint64(x2)<<8 | uint64(y2)
 		dist := abs(x1-x2) + abs(y1-y2)
 		if !w.queue.Push(acc, uint64(dist), val) {
-			panic("labyrinth: queue sized too small")
+			return fmt.Errorf("labyrinth: %d requests for %d slots: %w",
+				w.totalOps, slots, ErrQueueTooSmall)
 		}
 	}
+	return nil
 }
 
 func abs(v int) int {

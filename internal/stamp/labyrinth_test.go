@@ -1,0 +1,47 @@
+package stamp
+
+import (
+	"errors"
+	"testing"
+
+	"seer"
+)
+
+// TestLabyrinthQueueTooSmall: an undersized request queue is a named,
+// wrapped error from Setup — not a panic.
+func TestLabyrinthQueueTooSmall(t *testing.T) {
+	w := NewLabyrinth(0.1)
+	w.queueSlots = w.totalOps / 2
+	cfg := seer.DefaultConfig()
+	cfg.Threads = 1
+	cfg.NumAtomicBlocks = w.NumAtomicBlocks()
+	cfg.MemWords = w.MemWords() + (1 << 14)
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Setup(sys)
+	if err == nil {
+		t.Fatal("undersized queue accepted")
+	}
+	if !errors.Is(err, ErrQueueTooSmall) {
+		t.Fatalf("error %v does not wrap ErrQueueTooSmall", err)
+	}
+}
+
+// TestLabyrinthQueueDefaultSufficient: the default sizing always holds
+// every pre-planned request.
+func TestLabyrinthQueueDefaultSufficient(t *testing.T) {
+	w := NewLabyrinth(0.1)
+	cfg := seer.DefaultConfig()
+	cfg.Threads = 1
+	cfg.NumAtomicBlocks = w.NumAtomicBlocks()
+	cfg.MemWords = w.MemWords() + (1 << 14)
+	sys, err := seer.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Setup(sys); err != nil {
+		t.Fatal(err)
+	}
+}

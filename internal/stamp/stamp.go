@@ -18,6 +18,7 @@
 package stamp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -37,8 +38,10 @@ type Workload interface {
 	NumAtomicBlocks() int
 	// MemWords returns the simulated-memory size the workload needs.
 	MemWords() int
-	// Setup allocates and initializes shared state on sys.
-	Setup(sys *seer.System)
+	// Setup allocates and initializes shared state on sys. It returns an
+	// error when the instance cannot be built at this size (for example
+	// ErrQueueTooSmall) rather than panicking.
+	Setup(sys *seer.System) error
 	// Workers returns one worker body per thread, partitioning the
 	// workload's total operations across nThreads.
 	Workers(nThreads int) []seer.Worker
@@ -90,6 +93,17 @@ var Suite = []string{
 	"genome", "intruder", "kmeans-high", "kmeans-low",
 	"ssca2", "vacation-high", "vacation-low", "yada",
 }
+
+// FullSuite is Suite plus the two workloads the paper excludes from its
+// evaluation (bayes for nondeterministic structure-learning run times,
+// labyrinth for transactions exceeding TSX capacity). Opt-in via the
+// harness -full-suite flag; they have goldens of their own.
+var FullSuite = append(append([]string{}, Suite...), "bayes", "labyrinth")
+
+// ErrQueueTooSmall reports a workload whose operation pre-plan outgrew
+// its fixed-capacity transactional queue — a sizing error in the
+// instance parameters, returned by Setup instead of panicking.
+var ErrQueueTooSmall = errors.New("stamp: queue sized too small")
 
 // arenaSlack returns the fixed arena headroom of the legacy 8-thread
 // testbed plus two refill chunks for every additional hardware thread:

@@ -102,8 +102,12 @@ func TestRegistry(t *testing.T) {
 	names := stamp.Names()
 	want := map[string]bool{}
 	// Suite + the §5.3 microbenchmark + the two workloads the paper
-	// excludes from its evaluation (implemented for completeness).
-	for _, n := range append(append([]string{}, stamp.Suite...), "hashmap", "bayes", "labyrinth", "synth") {
+	// excludes from its evaluation (implemented for completeness) + the
+	// adversarial conflict-graph generators (registered by the harness's
+	// adversary import).
+	for _, n := range append(append([]string{}, stamp.Suite...),
+		"hashmap", "bayes", "labyrinth", "synth",
+		"adv-ring", "adv-star", "adv-bipartite", "adv-clique", "adv-phase") {
 		want[n] = true
 	}
 	if len(names) != len(want) {

@@ -90,7 +90,7 @@ func (w *Synth) check() {
 }
 
 // Setup implements Workload.
-func (w *Synth) Setup(sys *seer.System) {
+func (w *Synth) Setup(sys *seer.System) error {
 	w.check()
 	w.sets = make([]seer.Addr, w.Blocks)
 	for b := 0; b < w.Blocks; b++ {
@@ -101,6 +101,7 @@ func (w *Synth) Setup(sys *seer.System) {
 		w.sets[b] = sys.AllocLines(w.HotLines[b])
 	}
 	w.done = newThreadStats(sys)
+	return nil
 }
 
 // pick selects an operation's block by the configured shares.

@@ -60,7 +60,7 @@ func (w *Vacation) MemWords() int {
 }
 
 // Setup implements Workload.
-func (w *Vacation) Setup(sys *seer.System) {
+func (w *Vacation) Setup(sys *seer.System) error {
 	m := sys.Memory()
 	arena := tmds.NewArena(m, (w.nItems*4+w.totalOps/2)*8+arenaSlack(sys), sys.HWThreads())
 	w.cars = tmds.NewRBTree(m, arena)
@@ -79,6 +79,7 @@ func (w *Vacation) Setup(sys *seer.System) {
 	for i := 0; i < w.nItems/2; i++ {
 		w.customers.Insert(acc, uint64(i), 0)
 	}
+	return nil
 }
 
 // tables returns the reservation tables for round-robin access.

@@ -64,6 +64,37 @@ func smashLow(sys *seer.System) {
 	}
 }
 
+// TestSequentialVsTMResults: for the two paper-excluded workloads, a
+// sequential run and a transactional run must produce the same committed
+// work (every proposed operation commits exactly one atomic block, so
+// the commit totals are thread-count invariant) and both must validate.
+func TestSequentialVsTMResults(t *testing.T) {
+	for _, name := range []string{"bayes", "labyrinth"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			seq, err := harness.RunOne(harness.Spec{
+				Workload: name, Scale: 0.1, Policy: seer.PolicySeq,
+				Threads: 1, Runs: 1, Seed: 5,
+			})
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			for _, pol := range []seer.PolicyKind{seer.PolicyRTM, seer.PolicyBackoff, seer.PolicySeer} {
+				tm, err := harness.RunOne(harness.Spec{
+					Workload: name, Scale: 0.1, Policy: pol,
+					Threads: 4, Runs: 1, Seed: 5,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", pol, err)
+				}
+				if got, want := tm.Reports[0].Commits(), seq.Reports[0].Commits(); got != want {
+					t.Fatalf("%s commits %d != sequential commits %d", pol, got, want)
+				}
+			}
+		})
+	}
+}
+
 func TestValidatorsDetectCorruption(t *testing.T) {
 	// Workloads whose validated state lives in the early allocations.
 	lowRegion := map[string]bool{

@@ -56,10 +56,11 @@ func (w *Yada) NumAtomicBlocks() int { return 2 }
 func (w *Yada) MemWords() int { return w.nCells*8 + 1<<12 }
 
 // Setup implements Workload.
-func (w *Yada) Setup(sys *seer.System) {
+func (w *Yada) Setup(sys *seer.System) error {
 	w.mesh = sys.AllocLines(w.nCells)
 	w.workHead = sys.AllocLines(1)
 	w.refined = newThreadStats(sys)
+	return nil
 }
 
 // Workers implements Workload.

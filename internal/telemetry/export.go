@@ -28,6 +28,7 @@ func CSVHeader() []string {
 	}
 	return append(cols,
 		"fallbacks", "lock_wait_cycles", "park_skipped_cycles",
+		"backoff_waits", "backoff_cycles",
 		"th1", "th2", "scheme_pairs", "scheme_reuse_hits",
 		"throughput_per_kcycle", "abort_rate",
 		"attr_top_pair", "attr_top_pair_dooms", "cascade_deepest")
@@ -52,6 +53,8 @@ func CSVRecord(s Snapshot) []string {
 		strconv.FormatUint(s.Fallbacks, 10),
 		strconv.FormatUint(s.LockWait, 10),
 		strconv.FormatUint(s.ParkSkipped, 10),
+		strconv.FormatUint(s.BackoffWaits, 10),
+		strconv.FormatUint(s.BackoffCycles, 10),
 		fmt.Sprintf("%.6f", s.Th1),
 		fmt.Sprintf("%.6f", s.Th2),
 		strconv.Itoa(s.SchemePairs),

@@ -60,6 +60,12 @@ type Shard struct {
 	Fallbacks   uint64
 	LockWait    uint64 // cycles spent spinning on locks (SGL, tx, core)
 	ParkSkipped uint64 // lock-wait cycles fast-forwarded by parking (subset of LockWait)
+
+	// BackoffWaits and BackoffCycles count the randomized backoff sleeps
+	// of the Backoff policy (waits issued, total cycles slept). Zero for
+	// every other policy.
+	BackoffWaits  uint64
+	BackoffCycles uint64
 }
 
 // IncMode counts a commit in mode slot m.
@@ -102,6 +108,15 @@ func (s *Shard) AddLockWait(cycles uint64) {
 	s.LockWait += cycles
 }
 
+// AddBackoff counts one randomized backoff wait of the given length.
+func (s *Shard) AddBackoff(cycles uint64) {
+	if s == nil {
+		return
+	}
+	s.BackoffWaits++
+	s.BackoffCycles += cycles
+}
+
 // AddParkSkipped adds lock-wait cycles that the engine fast-forwarded by
 // parking the thread instead of simulating its spin iterations. These
 // cycles are a subset of LockWait: they still elapse on the virtual clock,
@@ -137,6 +152,13 @@ type Snapshot struct {
 	Fallbacks   uint64            `json:"fallbacks"`
 	LockWait    uint64            `json:"lock_wait_cycles"`
 	ParkSkipped uint64            `json:"park_skipped_cycles"`
+
+	// BackoffWaits and BackoffCycles mirror the Backoff policy's
+	// randomized sleeps in the interval; always zero (and omitted from
+	// JSON) under every other policy, keeping pre-backoff timeline
+	// outputs byte-identical.
+	BackoffWaits  uint64 `json:"backoff_waits,omitempty"`
+	BackoffCycles uint64 `json:"backoff_cycles,omitempty"`
 
 	// Sockets breaks the interval down per socket on multi-socket
 	// machines; nil (and omitted from JSON) on single-socket machines,
@@ -188,12 +210,14 @@ func (s Snapshot) AbortRate() float64 {
 
 // totals is the cumulative sum over shards, used to diff intervals.
 type totals struct {
-	modes       [MaxModes]uint64
-	attempts    uint64
-	aborts      [NumCauses]uint64
-	fallbacks   uint64
-	lockWait    uint64
-	parkSkipped uint64
+	modes         [MaxModes]uint64
+	attempts      uint64
+	aborts        [NumCauses]uint64
+	fallbacks     uint64
+	lockWait      uint64
+	parkSkipped   uint64
+	backoffWaits  uint64
+	backoffCycles uint64
 }
 
 // Probe supplies the scheduler's control state at snapshot time: the
@@ -355,6 +379,8 @@ func (r *Recorder) emit(end uint64) {
 	snap.Fallbacks = cur.fallbacks - r.prev.fallbacks
 	snap.LockWait = cur.lockWait - r.prev.lockWait
 	snap.ParkSkipped = cur.parkSkipped - r.prev.parkSkipped
+	snap.BackoffWaits = cur.backoffWaits - r.prev.backoffWaits
+	snap.BackoffCycles = cur.backoffCycles - r.prev.backoffCycles
 	if r.probe != nil {
 		var reuse uint64
 		snap.Th1, snap.Th2, snap.SchemePairs, reuse = r.probe()
@@ -472,6 +498,8 @@ func (r *Recorder) sum() totals {
 		t.fallbacks += s.Fallbacks
 		t.lockWait += s.LockWait
 		t.parkSkipped += s.ParkSkipped
+		t.backoffWaits += s.BackoffWaits
+		t.backoffCycles += s.BackoffCycles
 	}
 	return t
 }

@@ -31,6 +31,10 @@ type Report struct {
 	// Seer holds scheduler internals when the Seer policy ran.
 	Seer *SeerReport
 
+	// Backoff holds the randomized-backoff counters when the Backoff
+	// policy ran (nil otherwise).
+	Backoff *BackoffReport
+
 	// Timeline is the interval-metrics series cut by the telemetry
 	// recorder (nil unless Config.MetricsInterval > 0). Snapshots from
 	// repeated Runs on one System accumulate.
@@ -58,6 +62,16 @@ type SeerReport struct {
 	// SchemeRows is the final locksToAcquire table (row per atomic
 	// block, sorted lock ids).
 	SchemeRows [][]int
+}
+
+// BackoffReport captures the Backoff policy's counters at the end of a
+// run: how many randomized sleeps were issued, their total virtual-cycle
+// cost, and the largest window any thread reached (bounded by the
+// configured cap).
+type BackoffReport struct {
+	Waits     uint64
+	Cycles    uint64
+	MaxWindow uint64
 }
 
 // Commits returns the total committed atomic blocks.
@@ -110,6 +124,10 @@ func (r Report) String() string {
 			r.Seer.MultiCASOk, r.Seer.MultiCASOk+r.Seer.MultiCASFail,
 			r.Seer.LockAcqEvents, r.Seer.LockFracMedian)
 	}
+	if r.Backoff != nil {
+		fmt.Fprintf(&b, "  backoff: waits=%d cycles=%d maxWindow=%d\n",
+			r.Backoff.Waits, r.Backoff.Cycles, r.Backoff.MaxWindow)
+	}
 	return b.String()
 }
 
@@ -137,6 +155,12 @@ func (r Report) Summary() string {
 		for i, row := range r.Seer.SchemeRows {
 			fmt.Fprintf(&b, "scheme[%d]=%v\n", i, row)
 		}
+	}
+	// The backoff line appears only when the Backoff policy ran, so
+	// digests of every other policy are unchanged.
+	if r.Backoff != nil {
+		fmt.Fprintf(&b, "backoff waits=%d cycles=%d maxwindow=%d\n",
+			r.Backoff.Waits, r.Backoff.Cycles, r.Backoff.MaxWindow)
 	}
 	fmt.Fprintf(&b, "timeline intervals=%d\n", len(r.Timeline))
 	for _, s := range r.Timeline {
@@ -205,6 +229,11 @@ func (s *System) buildReport(makespan uint64, threads []*policy.Thread) Report {
 			sr.LockFracMedian = float64(median) / float64(s.sched.NumTx())
 		}
 		r.Seer = sr
+	}
+	if bp, ok := s.pol.(*policy.Backoff); ok {
+		br := &BackoffReport{}
+		br.Waits, br.Cycles, br.MaxWindow = bp.Stats()
+		r.Backoff = br
 	}
 	if s.tel != nil {
 		s.tel.Flush(makespan)

@@ -126,6 +126,14 @@ const (
 	// PolicySCM serializes restarting transactions on one auxiliary
 	// lock (Software-assisted Conflict Management).
 	PolicySCM PolicyKind = "SCM"
+	// PolicyBackoff is randomized exponential backoff: an aborted
+	// transaction sleeps a uniform draw from a per-thread window that
+	// doubles on abort and halves on commit — the contention manager
+	// whose competitive bounds Alistarh et al. prove in "The
+	// Transactional Conflict Problem". It uses no conflict information,
+	// sitting between blind retry (RTM) and precise serialization
+	// (Seer/Oracle).
+	PolicyBackoff PolicyKind = "Backoff"
 	// PolicySeer is the full Seer scheduler.
 	PolicySeer PolicyKind = "Seer"
 	// PolicyATS is Adaptive Transaction Scheduling (Yoo & Lee, SPAA'08):
@@ -248,7 +256,7 @@ var (
 // valid reports whether p names a registered policy.
 func (p PolicyKind) valid() bool {
 	switch p {
-	case PolicyHLE, PolicyRTM, PolicySCM, PolicyATS, PolicyOracle, PolicySeer, PolicySeq:
+	case PolicyHLE, PolicyRTM, PolicySCM, PolicyBackoff, PolicyATS, PolicyOracle, PolicySeer, PolicySeq:
 		return true
 	}
 	return false
@@ -382,6 +390,8 @@ func NewSystem(cfg Config) (*System, error) {
 		s.pol = &policy.RTM{SGL: s.sgl, MaxAttempts: cfg.MaxAttempts}
 	case PolicySCM:
 		s.pol = &policy.SCM{SGL: s.sgl, Aux: spinlock.New(s.mem), MaxAttempts: cfg.MaxAttempts}
+	case PolicyBackoff:
+		s.pol = policy.NewBackoff(s.sgl, cfg.MaxAttempts, hw)
 	case PolicyATS:
 		s.pol = policy.NewATS(s.sgl, spinlock.New(s.mem), cfg.MaxAttempts, hw)
 	case PolicyOracle:

@@ -6,13 +6,14 @@ import (
 	"testing/quick"
 
 	"seer"
+	"seer/internal/adversary"
 )
 
 // TestBankTransferConservation is the classic TM serializability check:
 // random transfers between accounts must conserve the total balance under
 // every policy, at every thread count, for random parameters.
 func TestBankTransferConservation(t *testing.T) {
-	for _, pol := range []seer.PolicyKind{seer.PolicyHLE, seer.PolicyRTM, seer.PolicySCM, seer.PolicySeer} {
+	for _, pol := range []seer.PolicyKind{seer.PolicyHLE, seer.PolicyRTM, seer.PolicyBackoff, seer.PolicySCM, seer.PolicySeer} {
 		pol := pol
 		t.Run(string(pol), func(t *testing.T) {
 			f := func(seed int64, nAccounts8 uint8, threads8 uint8) bool {
@@ -152,7 +153,7 @@ func TestReadOnlyAuditsSeeConsistentSnapshots(t *testing.T) {
 // the run every line must equal the total committed count.
 func TestCapacityAbortConservation(t *testing.T) {
 	const lines = 8
-	for _, pol := range []seer.PolicyKind{seer.PolicyHLE, seer.PolicyRTM, seer.PolicySCM, seer.PolicyATS, seer.PolicyOracle, seer.PolicySeer} {
+	for _, pol := range []seer.PolicyKind{seer.PolicyHLE, seer.PolicyRTM, seer.PolicyBackoff, seer.PolicySCM, seer.PolicyATS, seer.PolicyOracle, seer.PolicySeer} {
 		pol := pol
 		t.Run(string(pol), func(t *testing.T) {
 			f := func(seed int64, threads8 uint8) bool {
@@ -206,6 +207,75 @@ func TestCapacityAbortConservation(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestAdversarialConservation runs the synthetic worst-case conflict
+// graphs under every retry policy, twice per graph: once with the
+// default HTM budget and once with a write-set budget small enough that
+// every transaction capacity-aborts and must commit through a fall-back
+// path. The workload's own Validate checks conservation — every block
+// counter and edge counter must account for exactly the operations the
+// committed transactions performed, so lost or duplicated commits fail
+// loudly whichever path they took.
+func TestAdversarialConservation(t *testing.T) {
+	graphs := []adversary.Graph{
+		adversary.Ring(6), adversary.Star(6), adversary.Clique(4), adversary.PhaseShift(6),
+	}
+	policies := []seer.PolicyKind{
+		seer.PolicyHLE, seer.PolicyRTM, seer.PolicyBackoff,
+		seer.PolicySCM, seer.PolicyATS, seer.PolicyOracle, seer.PolicySeer,
+	}
+	for _, g := range graphs {
+		for _, pol := range policies {
+			for _, squeeze := range []bool{false, true} {
+				g, pol, squeeze := g, pol, squeeze
+				name := g.Name + "/" + string(pol)
+				if squeeze {
+					name += "/capacity"
+				}
+				t.Run(name, func(t *testing.T) {
+					wl := adversary.New(g, 400)
+					cfg := seer.DefaultConfig()
+					cfg.Policy = pol
+					cfg.Threads = 4
+					cfg.HWThreads = 8
+					cfg.PhysCores = 4
+					cfg.Seed = 7
+					cfg.NumAtomicBlocks = wl.NumAtomicBlocks()
+					cfg.MemWords = wl.MemWords() + (1 << 14)
+					cfg.MaxCycles = 1 << 33
+					if squeeze {
+						// Every body writes a block line, its incident edge
+						// lines and two stat lines; one write line of budget
+						// guarantees a capacity abort on each attempt.
+						cfg.HTM.WriteSetLines = 1
+					}
+					sys, err := seer.NewSystem(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := wl.Setup(sys); err != nil {
+						t.Fatal(err)
+					}
+					rep, err := sys.Run(wl.Workers(cfg.Threads))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := wl.Validate(sys); err != nil {
+						t.Fatalf("%s under %s: %v", g.Name, pol, err)
+					}
+					if squeeze {
+						if rep.HTM.CapacityAborts == 0 {
+							t.Fatalf("no capacity aborts despite one-line write budget")
+						}
+						if rep.Modes[seer.ModeHTM] != 0 && pol != seer.PolicySeer && pol != seer.PolicyOracle {
+							t.Fatalf("pure-HTM commits (%d) despite oversized footprint", rep.Modes[seer.ModeHTM])
+						}
+					}
+				})
+			}
+		}
 	}
 }
 
