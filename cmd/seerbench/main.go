@@ -73,6 +73,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		fullSuite  = flag.Bool("full-suite", false, "widen the default workload set with bayes and labyrinth")
+		regShards  = flag.Int("registry-shards", 0, "conflict-registry shard count per cell (0 = auto by machine shape; results identical at any count)")
 		compareOld = flag.String("compare", "", "compare this old -bench-json snapshot against the new one given as a positional argument, then exit (nonzero on regression)")
 		compareTh  = flag.Float64("compare-threshold", 0.9, "compare: fail when the cells/sec geomean ratio new/old falls below this")
 	)
@@ -113,7 +114,8 @@ func main() {
 		}
 	}
 
-	opt := harness.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel, FullSuite: *fullSuite}
+	opt := harness.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel,
+		FullSuite: *fullSuite, RegistryShards: *regShards}
 	if *topoSpec != "" {
 		topo, err := seer.ParseTopology(*topoSpec)
 		if err != nil {

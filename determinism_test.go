@@ -46,8 +46,14 @@ func detConfig(pol seer.PolicyKind) seer.Config {
 // detRun builds a fresh system, runs a small two-block contended workload
 // and returns the canonical Report digest.
 func detRun(t *testing.T, pol seer.PolicyKind) string {
+	return detRunWith(t, detConfig(pol))
+}
+
+// detRunWith is detRun on an explicit configuration, so variants can
+// perturb implementation knobs that must not change results.
+func detRunWith(t *testing.T, cfg seer.Config) string {
 	t.Helper()
-	cfg := detConfig(pol)
+	pol := cfg.Policy
 	sys, err := seer.NewSystem(cfg)
 	if err != nil {
 		t.Fatalf("%s: NewSystem: %v", pol, err)
@@ -84,7 +90,34 @@ func detRun(t *testing.T, pol seer.PolicyKind) string {
 	if err != nil {
 		t.Fatalf("%s: Run: %v", pol, err)
 	}
+	sys.Release() // hand buffers back when cfg carries a recycler
 	return rep.Summary()
+}
+
+// TestDeterminismShardAndRecyclerInvariant: the conflict-registry shard
+// count is pure data layout and a recycled simulator replica is reset to
+// power-on state, so neither knob may move a single byte of the report —
+// including on a wide multi-socket shape where the auto heuristic picks
+// several shards. The recycler leg reuses one buffer set across every
+// policy and repetition, exactly like a RunGrid worker.
+func TestDeterminismShardAndRecyclerInvariant(t *testing.T) {
+	rec := &seer.Recycler{}
+	for _, pol := range []seer.PolicyKind{seer.PolicyRTM, seer.PolicySeer} {
+		base := detRun(t, pol)
+		for _, shards := range []int{1, 2, 8} {
+			cfg := detConfig(pol)
+			cfg.RegistryShards = shards
+			if got := detRunWith(t, cfg); got != base {
+				t.Fatalf("%s: shards=%d report differs from default:\n--- default ---\n%s--- sharded ---\n%s",
+					pol, shards, base, got)
+			}
+			cfg.Recycler = rec
+			if got := detRunWith(t, cfg); got != base {
+				t.Fatalf("%s: shards=%d recycled replica differs from fresh system:\n--- fresh ---\n%s--- recycled ---\n%s",
+					pol, shards, base, got)
+			}
+		}
+	}
 }
 
 // TestDeterminismGolden runs every policy three times on identical

@@ -36,6 +36,11 @@ type Options struct {
 	// that was not given an explicit list (the seerbench -full-suite
 	// flag). Explicit workload arguments are unaffected.
 	FullSuite bool
+	// RegistryShards sets the conflict registry's shard count for every
+	// grid cell that does not pin its own (the seerbench -registry-shards
+	// flag; 0 = auto by machine shape). Pure data layout: results are
+	// bit-identical at any count.
+	RegistryShards int
 }
 
 // suite resolves the default workload list for experiments that were not

@@ -49,6 +49,10 @@ type Spec struct {
 	// Seer policy, the inference-quality trajectory in Report.Inference
 	// (see seer.Config.AttributionCounters).
 	Inference bool
+	// RegistryShards sets the conflict registry's shard count for this
+	// cell (0 = auto by machine shape; see seer.Config.RegistryShards).
+	// Pure data layout — results are identical at any count.
+	RegistryShards int
 }
 
 // Result aggregates the repetitions of one Spec.
@@ -61,14 +65,20 @@ type Result struct {
 	MeanModePct [seer.NumModes]float64
 }
 
-// RunOne executes one Spec.
-func RunOne(spec Spec) (Result, error) {
+// RunOne executes one Spec on a fresh simulator.
+func RunOne(spec Spec) (Result, error) { return runOneWith(spec, nil) }
+
+// runOneWith executes one Spec, building each run's simulator replica on
+// rec's buffers when rec is non-nil (the per-worker replica path of
+// RunGrid). Results are identical either way: a recycled replica is
+// reset to power-on state before use.
+func runOneWith(spec Spec, rec *seer.Recycler) (Result, error) {
 	if spec.Runs <= 0 {
 		spec.Runs = 1
 	}
 	res := Result{Spec: spec}
 	for run := 0; run < spec.Runs; run++ {
-		rep, err := runOnce(spec, spec.Seed+int64(run)*7919)
+		rep, err := runOnce(spec, spec.Seed+int64(run)*7919, rec)
 		if err != nil {
 			return res, fmt.Errorf("%s/%s/%dt run %d: %w",
 				spec.Workload, spec.Policy, spec.Threads, run, err)
@@ -87,8 +97,10 @@ func RunOne(spec Spec) (Result, error) {
 	return res, nil
 }
 
-// runOnce builds a fresh system and workload, runs, and validates.
-func runOnce(spec Spec, seed int64) (seer.Report, error) {
+// runOnce builds a system and workload, runs, and validates. With a
+// recycler the system is a replica built on the caller's reusable
+// buffers, returned to it after validation.
+func runOnce(spec Spec, seed int64, rec *seer.Recycler) (seer.Report, error) {
 	wl, err := stamp.New(spec.Workload, spec.Scale)
 	if err != nil {
 		return seer.Report{}, err
@@ -126,6 +138,8 @@ func runOnce(spec Spec, seed int64) (seer.Report, error) {
 	}
 	cfg.MetricsInterval = spec.MetricsInterval
 	cfg.AttributionCounters = spec.Inference
+	cfg.RegistryShards = spec.RegistryShards
+	cfg.Recycler = rec
 	sys, err := seer.NewSystem(cfg)
 	if err != nil {
 		return seer.Report{}, err
@@ -140,6 +154,7 @@ func runOnce(spec Spec, seed int64) (seer.Report, error) {
 	if err := wl.Validate(sys); err != nil {
 		return seer.Report{}, fmt.Errorf("validation failed: %w", err)
 	}
+	sys.Release()
 	return rep, nil
 }
 

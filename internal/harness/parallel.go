@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"seer"
 	"seer/internal/bench"
 )
 
@@ -55,11 +56,14 @@ func (o Options) workers() int {
 // On error, the first failing index (not the first to fail in wall-clock
 // order) determines the returned error, again for determinism.
 func RunGrid(opt Options, specs []Spec, progress func(i int, res Result)) ([]Result, error) {
-	if !opt.Topology.IsZero() {
+	if !opt.Topology.IsZero() || opt.RegistryShards != 0 {
 		specs = append([]Spec(nil), specs...)
 		for i := range specs {
-			if specs[i].Topology.IsZero() {
+			if !opt.Topology.IsZero() && specs[i].Topology.IsZero() {
 				specs[i].Topology = opt.Topology
+			}
+			if opt.RegistryShards != 0 && specs[i].RegistryShards == 0 {
+				specs[i].RegistryShards = opt.RegistryShards
 			}
 		}
 	}
@@ -71,8 +75,9 @@ func RunGrid(opt Options, specs []Spec, progress func(i int, res Result)) ([]Res
 	}
 
 	if workers <= 1 {
+		rec := new(seer.Recycler)
 		for i, sp := range specs {
-			res, err := RunOne(sp)
+			res, err := runOneWith(sp, rec)
 			if err != nil {
 				return results, err
 			}
@@ -96,12 +101,18 @@ func RunGrid(opt Options, specs []Spec, progress func(i int, res Result)) ([]Res
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns a full simulator replica: every cell it
+			// runs is built on its private recycled buffers, so no
+			// mutable engine state — not even a freed buffer — crosses
+			// worker goroutines, and the multi-megabyte per-cell state
+			// is allocated once per worker rather than once per cell.
+			rec := new(seer.Recycler)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(specs) {
 					return
 				}
-				res, err := RunOne(specs[i])
+				res, err := runOneWith(specs[i], rec)
 				results[i], errs[i] = res, err
 				if err == nil {
 					record(opt.Stats, res)

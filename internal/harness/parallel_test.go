@@ -80,6 +80,42 @@ func TestRunGridStats(t *testing.T) {
 	}
 }
 
+// TestRunGridRecycledReplicasMatchFresh: RunGrid builds each cell on its
+// worker's recycled simulator replica; RunOne builds a fresh system every
+// time. On a wide multi-socket shape — where the auto heuristic shards
+// the conflict registry and the recycled buffers span multi-word reader
+// sets — both paths must produce identical Results. Run under -race this
+// also proves no engine state crosses worker goroutines.
+func TestRunGridRecycledReplicasMatchFresh(t *testing.T) {
+	wide := seer.Topology{Sockets: 2, CoresPerSocket: 8, ThreadsPerCore: 2}
+	var specs []Spec
+	for _, pol := range []seer.PolicyKind{seer.PolicyRTM, seer.PolicySeer} {
+		for _, th := range []int{8, 32} {
+			specs = append(specs, Spec{
+				Workload: "hashmap", Scale: 0.05, Policy: pol,
+				Threads: th, Runs: 2, Seed: 11, Topology: wide,
+			})
+		}
+	}
+	fresh := make([]Result, len(specs))
+	for i, sp := range specs {
+		res, err := RunOne(sp)
+		if err != nil {
+			t.Fatalf("fresh cell %d: %v", i, err)
+		}
+		fresh[i] = res
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := RunGrid(Options{Parallel: workers}, specs, nil)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(fresh, got) {
+			t.Fatalf("parallel=%d: recycled-replica results differ from fresh systems", workers)
+		}
+	}
+}
+
 // TestRunGridFirstErrorByIndex: with several failing cells, the reported
 // error must be the lowest-indexed one regardless of completion order.
 func TestRunGridFirstErrorByIndex(t *testing.T) {

@@ -207,22 +207,7 @@ type Unit struct {
 // particular its thread count fits machine.MaxHWThreads, which is what
 // keeps the precomputed core-id table in range.
 func New(m *mem.Memory, mach machine.Config, cfg Config) *Unit {
-	u := &Unit{
-		mem:            m,
-		mach:           mach,
-		cfg:            cfg,
-		txns:           make([]txnState, mach.HWThreads()),
-		cnt:            make([]Counters, mach.HWThreads()),
-		coreActive:     make([]int16, mach.PhysCores()),
-		coreOf:         make([]int32, mach.HWThreads()),
-		lastConflictor: make([]int16, mach.HWThreads()),
-	}
-	for i := range u.lastConflictor {
-		u.coreOf[i] = int32(mach.PhysCore(i))
-		u.lastConflictor[i] = -1
-	}
-	m.SetDoomer(u)
-	return u
+	return NewRecycled(m, mach, cfg, nil)
 }
 
 // Counters returns the summed event counters across hardware threads.

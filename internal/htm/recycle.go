@@ -1,0 +1,90 @@
+package htm
+
+import (
+	"seer/internal/machine"
+	"seer/internal/mem"
+)
+
+// Buffers holds a Unit's per-thread state between replica lifetimes: the
+// transaction contexts (whose registered-line lists and epoch-stamped
+// write buffers are the unit's only growing allocations), the event
+// counters and the topology tables. Paired with mem.Buffers it lets the
+// harness build one simulator replica per grid worker instead of one per
+// cell (see seer.Recycler). The zero value is ready: the first
+// NewRecycled allocates.
+type Buffers struct {
+	txns           []txnState
+	cnt            []Counters
+	coreActive     []int16
+	coreOf         []int32
+	lastConflictor []int16
+}
+
+// NewRecycled creates an HTM unit like New, drawing per-thread state
+// from buf when its capacity suffices and allocating otherwise. Recycled
+// transaction contexts keep their line-list and write-buffer backing
+// arrays (the write buffer's epoch machinery makes stale entries
+// unobservable) but are otherwise reset to power-on state, so a recycled
+// unit is behaviorally indistinguishable from a fresh one. A nil buf is
+// exactly New.
+func NewRecycled(m *mem.Memory, mach machine.Config, cfg Config, buf *Buffers) *Unit {
+	hw := mach.HWThreads()
+	cores := mach.PhysCores()
+	u := &Unit{mem: m, mach: mach, cfg: cfg}
+	if buf != nil && cap(buf.txns) >= hw && cap(buf.cnt) >= hw &&
+		cap(buf.coreActive) >= cores && cap(buf.coreOf) >= hw &&
+		cap(buf.lastConflictor) >= hw {
+		u.txns = buf.txns[:hw]
+		u.cnt = buf.cnt[:hw]
+		u.coreActive = buf.coreActive[:cores]
+		u.coreOf = buf.coreOf[:hw]
+		u.lastConflictor = buf.lastConflictor[:hw]
+		buf.txns, buf.cnt = nil, nil
+		buf.coreActive, buf.coreOf, buf.lastConflictor = nil, nil, nil
+		for i := range u.txns {
+			u.txns[i].recycle()
+			u.cnt[i] = Counters{}
+		}
+		clear(u.coreActive)
+	} else {
+		u.txns = make([]txnState, hw)
+		u.cnt = make([]Counters, hw)
+		u.coreActive = make([]int16, cores)
+		u.coreOf = make([]int32, hw)
+		u.lastConflictor = make([]int16, hw)
+	}
+	for i := 0; i < hw; i++ {
+		u.coreOf[i] = int32(mach.PhysCore(i))
+		u.lastConflictor[i] = -1
+	}
+	m.SetDoomer(u)
+	return u
+}
+
+// recycle resets a transaction context to power-on state while keeping
+// its reusable backing arrays: the registered-line list is truncated in
+// place and the write buffer's table survives with its epoch counter
+// (begin() invalidates all previous entries in O(1)). Everything else —
+// flags, counters, the per-attempt Tx handle and the pre-boxed abort
+// signal — is cleared, including the stale simulator pointers of the
+// previous replica.
+func (t *txnState) recycle() {
+	lines := t.lines[:0]
+	wb := t.wb
+	wb.order = wb.order[:0]
+	*t = txnState{lines: lines, wb: wb}
+}
+
+// Release returns the unit's per-thread state to buf for the next
+// replica built on it. The Unit must not be used afterwards.
+func (u *Unit) Release(buf *Buffers) {
+	if cap(u.txns) > cap(buf.txns) {
+		buf.txns = u.txns
+		buf.cnt = u.cnt
+		buf.coreActive = u.coreActive
+		buf.coreOf = u.coreOf
+		buf.lastConflictor = u.lastConflictor
+	}
+	u.txns, u.cnt = nil, nil
+	u.coreActive, u.coreOf, u.lastConflictor = nil, nil, nil
+}

@@ -22,24 +22,47 @@ func (a event) before(b event) bool {
 // hardware thread id up to MaxHWThreads.
 const queueWords = MaxHWThreads / 64
 
+// groupBits is the log2 of the id-group granularity of the lowest cache
+// level: ids are grouped in runs of 8, one occupancy byte per group.
+const groupBits = 3
+
 // eventQueue is the scheduler's pending-wakeup set, ordered by
 // event.before. The engine queues at most one event per hardware thread
 // (its next wakeup, or its park deadline), so the queue is a flat
-// per-thread cycle array plus an occupancy bitmask with a cached
-// minimum: every mutation is a few word ops, and extraction is one
-// branch-light scan of the live ids instead of a binary heap's sift
-// (measurably faster at the ≤ 16 live threads of every experiment).
+// per-thread cycle array plus a hierarchical occupancy bitmap with
+// cached minima at every level:
 //
-// The mask is a multi-word bitset so MaxHWThreads can exceed 64; hi
-// tracks the highest word ever occupied this run, so machines that fit
-// in one word — every pre-existing exhibit shape — still pay exactly
-// the old single-word scan.
+//   - active[w] has one bit per thread id in [64w, 64w+64); summary has
+//     bit w set iff active[w] != 0, so the occupied words are found with
+//     TrailingZeros64 hops over one word instead of a scan of all
+//     queueWords.
+//   - groupMin[g] caches the minimum event among ids [8g, 8g+8), valid
+//     while the group's occupancy byte in its active word is nonzero.
+//   - wordMin[w] caches the minimum over word w's groups, valid while
+//     the summary bit is set; min caches the global minimum.
+//
+// Removing the minimum — the hot operation of every scheduling step —
+// therefore rescans at most the 8 ids of one group, recombines at most
+// the 8 group minima of one word, and recombines the ≤ queueWords word
+// minima through the summary walk: O(8 + 8 + queueWords) independent of
+// how many threads are live. The flat predecessor rescanned every live
+// id on every pop, which was the profile's top cost at the 128–256-
+// thread scaling shapes.
+//
+// Every level resolves ties by visiting candidates in ascending id
+// order with a strict cycle comparison, so the cached minima always
+// carry the lowest id for their cycle — exactly event.before's total
+// order, which is what keeps schedules bit-for-bit reproducible.
 type eventQueue struct {
-	n      int                // number of queued events
-	hi     int                // words [hi:] are known zero; min scan stops there
-	min    event              // cached minimum; valid only while n != 0
-	active [queueWords]uint64 // bitmask of thread ids with a queued event
-	cycles [MaxHWThreads]uint64
+	n       int                // number of queued events
+	min     event              // cached minimum; valid only while n != 0
+	summary uint64             // bit w set iff active[w] != 0
+	active  [queueWords]uint64 // bitmask of thread ids with a queued event
+	wordMin [queueWords]event  // per-word cached minimum; valid while the summary bit is set
+	// groupMin caches per-8-id-group minima; entry g is valid while byte
+	// g&7 of active[g>>3] is nonzero.
+	groupMin [queueWords << groupBits]event
+	cycles   [MaxHWThreads]uint64
 }
 
 // empty reports whether no events are queued.
@@ -48,56 +71,114 @@ func (q *eventQueue) empty() bool { return q.n == 0 }
 // clear discards all queued events.
 func (q *eventQueue) clear() {
 	q.n = 0
-	q.hi = 0
+	q.summary = 0
 	q.active = [queueWords]uint64{}
+}
+
+// groupMask returns the occupancy byte of group g within its active
+// word, positioned in place.
+func groupMask(g uint32) uint64 {
+	return 0xFF << ((g & 7) << 3)
+}
+
+// insert adds thread ev.id's wakeup to the bitmap and the group/word min
+// caches without touching the global cached minimum or the event count.
+func (q *eventQueue) insert(ev event) {
+	q.cycles[ev.id] = ev.cycle
+	w := uint32(ev.id) >> 6
+	g := uint32(ev.id) >> groupBits
+	if q.active[w]&groupMask(g) == 0 || ev.before(q.groupMin[g]) {
+		q.groupMin[g] = ev
+	}
+	if q.summary&(1<<w) == 0 {
+		q.summary |= 1 << w
+		q.wordMin[w] = ev
+	} else if ev.before(q.wordMin[w]) {
+		q.wordMin[w] = ev
+	}
+	q.active[w] |= 1 << (uint32(ev.id) & 63)
 }
 
 // push inserts thread ev.id's wakeup. The thread must not already have an
 // event queued (the engine pops a thread's event before the thread can
 // push a new one).
 func (q *eventQueue) push(ev event) {
-	q.cycles[ev.id] = ev.cycle
+	q.insert(ev)
 	if q.n == 0 || ev.before(q.min) {
 		q.min = ev
-	}
-	w := int(uint32(ev.id) >> 6)
-	q.active[w] |= 1 << (uint32(ev.id) & 63)
-	if w >= q.hi {
-		q.hi = w + 1
 	}
 	q.n++
 }
 
-// rescan recomputes the cached minimum. Words — and ids within a word —
-// are visited in ascending order, so the strict cycle comparison
-// resolves ties in favor of the lowest id — exactly event.before's
-// order. Must not be called on an empty queue.
-func (q *eventQueue) rescan() {
-	if q.hi == 1 {
-		// Single-word machine (≤ 64 threads, every pre-topology shape):
-		// one tight mask scan, no outer loop.
-		m := q.active[0]
-		id := int32(bits.TrailingZeros64(m))
-		best := event{cycle: q.cycles[id], id: id}
-		for m &= m - 1; m != 0; m &= m - 1 {
-			id = int32(bits.TrailingZeros64(m))
-			if c := q.cycles[id]; c < best.cycle {
-				best = event{cycle: c, id: id}
-			}
-		}
-		q.min = best
+// remove deletes thread id's event from the bitmap, keeping the group
+// and word min caches valid: a cache is rebuilt only when the removed id
+// was its cached minimum (for the pop path that is exactly one group
+// rescan and one word recombine). The global minimum is NOT recomputed
+// here.
+func (q *eventQueue) remove(id int32) {
+	w := uint32(id) >> 6
+	q.active[w] &^= 1 << (uint32(id) & 63)
+	q.n--
+	if q.active[w] == 0 {
+		q.summary &^= 1 << w
 		return
 	}
-	first := true
-	var best event
-	for wi := 0; wi < q.hi; wi++ {
-		base := int32(wi << 6)
-		for m := q.active[wi]; m != 0; m &= m - 1 {
-			id := base + int32(bits.TrailingZeros64(m))
-			if c := q.cycles[id]; first || c < best.cycle {
-				best = event{cycle: c, id: id}
-				first = false
-			}
+	g := uint32(id) >> groupBits
+	if q.active[w]&groupMask(g) != 0 && q.groupMin[g].id == id {
+		q.rescanGroup(g)
+	}
+	if q.wordMin[w].id == id {
+		q.rescanWord(w)
+	}
+}
+
+// rescanGroup recomputes groupMin[g] from the group's live ids. Ids are
+// visited in ascending order, so the strict cycle comparison resolves
+// ties in favor of the lowest id. The group must be occupied.
+func (q *eventQueue) rescanGroup(g uint32) {
+	m := (q.active[g>>3] >> ((g & 7) << 3)) & 0xFF
+	base := int32(g << groupBits)
+	id := base + int32(bits.TrailingZeros64(m))
+	best := event{cycle: q.cycles[id], id: id}
+	for m &= m - 1; m != 0; m &= m - 1 {
+		id = base + int32(bits.TrailingZeros64(m))
+		if c := q.cycles[id]; c < best.cycle {
+			best = event{cycle: c, id: id}
+		}
+	}
+	q.groupMin[g] = best
+}
+
+// rescanWord recomputes wordMin[w] by combining the word's occupied
+// group minima, visited in ascending group order (lower groups hold
+// lower ids, so the strict cycle comparison keeps event.before's
+// tie-break). The word must be occupied, and its group caches valid.
+func (q *eventQueue) rescanWord(w uint32) {
+	m := q.active[w]
+	gbase := w << groupBits
+	k := uint32(bits.TrailingZeros64(m)) >> 3
+	best := q.groupMin[gbase+k]
+	for m &^= 0xFF << (k << 3); m != 0; m &^= 0xFF << (k << 3) {
+		k = uint32(bits.TrailingZeros64(m)) >> 3
+		if gm := q.groupMin[gbase+k]; gm.cycle < best.cycle {
+			best = gm
+		}
+	}
+	q.wordMin[w] = best
+}
+
+// combine recomputes the global cached minimum from the per-word minima,
+// walking only the occupied words via the summary bitmap — again in
+// ascending order with a strict comparison, realizing event.before's
+// total order. Must not be called on an empty queue.
+func (q *eventQueue) combine() {
+	s := q.summary
+	w := uint32(bits.TrailingZeros64(s))
+	best := q.wordMin[w]
+	for s &= s - 1; s != 0; s &= s - 1 {
+		w = uint32(bits.TrailingZeros64(s))
+		if wm := q.wordMin[w]; wm.cycle < best.cycle {
+			best = wm
 		}
 	}
 	q.min = best
@@ -107,10 +188,9 @@ func (q *eventQueue) rescan() {
 // empty queue.
 func (q *eventQueue) pop() event {
 	top := q.min
-	q.active[uint32(top.id)>>6] &^= 1 << (uint32(top.id) & 63)
-	q.n--
+	q.remove(top.id)
 	if q.n != 0 {
-		q.rescan()
+		q.combine()
 	}
 	return top
 }
@@ -122,14 +202,10 @@ func (q *eventQueue) pop() event {
 // loop handles that case without touching the queue at all).
 func (q *eventQueue) replaceMin(ev event) event {
 	top := q.min
-	q.active[uint32(top.id)>>6] &^= 1 << (uint32(top.id) & 63)
-	q.cycles[ev.id] = ev.cycle
-	w := int(uint32(ev.id) >> 6)
-	q.active[w] |= 1 << (uint32(ev.id) & 63)
-	if w >= q.hi {
-		q.hi = w + 1
-	}
-	q.rescan()
+	q.remove(top.id)
+	q.insert(ev)
+	q.n++
+	q.combine()
 	return top
 }
 
@@ -139,11 +215,19 @@ func (q *eventQueue) replaceMin(ev event) event {
 // cycle must not exceed the event's current one. It panics if no event
 // with the given id is queued, which would be an engine bug.
 func (q *eventQueue) decreaseKey(id int32, cycle uint64) {
-	if q.active[uint32(id)>>6]&(1<<(uint32(id)&63)) == 0 {
+	w := uint32(id) >> 6
+	if q.active[w]&(1<<(uint32(id)&63)) == 0 {
 		panic("machine: decreaseKey on a thread with no queued event")
 	}
 	q.cycles[id] = cycle
-	if ev := (event{cycle: cycle, id: id}); ev.before(q.min) {
+	ev := event{cycle: cycle, id: id}
+	if ev.before(q.groupMin[uint32(id)>>groupBits]) {
+		q.groupMin[uint32(id)>>groupBits] = ev
+	}
+	if ev.before(q.wordMin[w]) {
+		q.wordMin[w] = ev
+	}
+	if ev.before(q.min) {
 		q.min = ev
 	}
 }

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"math/bits"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -175,13 +176,120 @@ func TestEventQueueWideQuick(t *testing.T) {
 	}
 }
 
+// checkInvariants asserts every structural invariant of the hierarchical
+// queue by brute force: the count matches the occupancy popcount, the
+// summary mirrors word occupancy, and each cached minimum (group, word,
+// global) equals the (cycle, id) minimum recomputed from scratch over
+// its span. Tests call it after every mutation, so any cache that goes
+// stale — even transiently — fails at the op that corrupted it.
+func checkInvariants(t *testing.T, q *eventQueue) {
+	t.Helper()
+	total := 0
+	for w := uint32(0); w < queueWords; w++ {
+		total += bits.OnesCount64(q.active[w])
+		if occupied := q.active[w] != 0; occupied != (q.summary&(1<<w) != 0) {
+			t.Fatalf("summary bit %d = %v, occupancy = %v", w, !occupied, occupied)
+		}
+		if q.active[w] == 0 {
+			continue
+		}
+		var wantWord event
+		haveWord := false
+		for g := w << groupBits; g < (w+1)<<groupBits; g++ {
+			gm := q.active[w] & groupMask(g)
+			if gm == 0 {
+				continue
+			}
+			var wantGroup event
+			haveGroup := false
+			for id := int32(g << groupBits); id < int32((g+1)<<groupBits); id++ {
+				if q.active[w]&(1<<(uint32(id)&63)) == 0 {
+					continue
+				}
+				ev := event{cycle: q.cycles[id], id: id}
+				if !haveGroup || ev.before(wantGroup) {
+					wantGroup, haveGroup = ev, true
+				}
+			}
+			if q.groupMin[g] != wantGroup {
+				t.Fatalf("groupMin[%d] = %+v, want %+v", g, q.groupMin[g], wantGroup)
+			}
+			if !haveWord || wantGroup.before(wantWord) {
+				wantWord, haveWord = wantGroup, true
+			}
+		}
+		if q.wordMin[w] != wantWord {
+			t.Fatalf("wordMin[%d] = %+v, want %+v", w, q.wordMin[w], wantWord)
+		}
+	}
+	if q.n != total {
+		t.Fatalf("n = %d, occupancy popcount = %d", q.n, total)
+	}
+	if q.n == 0 {
+		return
+	}
+	var wantMin event
+	have := false
+	for w := uint32(0); w < queueWords; w++ {
+		if q.active[w] != 0 && (!have || q.wordMin[w].before(wantMin)) {
+			wantMin, have = q.wordMin[w], true
+		}
+	}
+	if q.min != wantMin {
+		t.Fatalf("min = %+v, want %+v", q.min, wantMin)
+	}
+}
+
+// TestEventQueueInvariants checks the full invariant set after every
+// single mutation of a randomized op mix, at widths chosen to sit on
+// both sides of the word and mask boundaries (63/64/65 around the first
+// word, 255/256 at the mask edge).
+func TestEventQueueInvariants(t *testing.T) {
+	for _, n := range []int{63, 64, 65, 128, 255, MaxHWThreads} {
+		var q eventQueue
+		rng := uint64(0x2545f4914f6cdd1d) ^ uint64(n)
+		next := func(mod uint64) uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng % mod
+		}
+		for id := 0; id < n; id++ {
+			q.push(event{cycle: next(97), id: int32(id)})
+			checkInvariants(t, &q)
+		}
+		for step := 0; step < 3*n; step++ {
+			switch next(3) {
+			case 0:
+				got := q.pop()
+				checkInvariants(t, &q)
+				q.push(event{cycle: got.cycle + 1 + next(50), id: got.id})
+			case 1:
+				q.replaceMin(event{cycle: q.min.cycle + 1 + next(50), id: q.min.id})
+			case 2:
+				id := int32(next(uint64(n)))
+				floor := q.min.cycle
+				if cur := q.cycles[id]; cur > floor {
+					q.decreaseKey(id, floor+next(cur-floor))
+				}
+			}
+			checkInvariants(t, &q)
+		}
+		for !q.empty() {
+			q.pop()
+			checkInvariants(t, &q)
+		}
+	}
+}
+
 // TestEventQueueWideInterleaved drives a randomized mix of pop,
-// replaceMin and decreaseKey against a reference model over 65, 128 and
-// 256 live ids — the park/wake interleavings the engine generates, at
-// widths where the minimum migrates between bitset words. The model is
-// the brute-force linear scan of a per-id cycle map.
+// replaceMin and decreaseKey against a reference model over widths
+// straddling the group, word and mask boundaries — the park/wake
+// interleavings the engine generates, at widths where the minimum
+// migrates between bitset words. The model is the brute-force linear
+// scan of a per-id cycle map.
 func TestEventQueueWideInterleaved(t *testing.T) {
-	for _, n := range []int{65, 128, MaxHWThreads} {
+	for _, n := range []int{63, 64, 65, 128, 255, MaxHWThreads} {
 		var q eventQueue
 		model := make(map[int32]uint64, n)
 		rng := uint64(0x9e3779b97f4a7c15) ^ uint64(n)

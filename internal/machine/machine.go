@@ -157,6 +157,18 @@ type Ctx struct {
 	next  func() (uint64, bool)
 	stop  func()
 
+	// batchLimit is the precomputed tick-batch horizon: the first clock
+	// value at which this thread must yield to the event loop. While
+	// clock < batchLimit the thread is by construction conflict-free —
+	// no other thread has a queued event ordered before it, so nothing
+	// can doom it, observe it, or be observed by it — and Tick advances
+	// through any number of quanta with a single comparison and no heap
+	// interaction. The engine recomputes it from (queue min, MaxCycles)
+	// before every resume, and WakeKey refreshes it when the running
+	// thread re-inserts waiters (see Engine.horizonFor for the exact
+	// (cycle, id) tie-break encoding).
+	batchLimit uint64
+
 	// Park state (see ParkOn). While parked, clock holds the cycle of the
 	// last poll that observed the key busy; the waker fast-forwards it to
 	// the first poll boundary scheduled after the wake.
@@ -199,27 +211,27 @@ func (c *Ctx) Cost() *CostModel { return &c.eng.cfg.Cost }
 // of a simulated thread must pass through Tick: it is both the time
 // accounting and the interleaving point.
 //
-// Fast path: when the thread's new (clock, id) still precedes the top of
-// the wakeup heap, the engine's loop would push this thread's event and
-// immediately pop it again — two coroutine switches that cannot change any
-// observable state, since no other thread gets to run. In that case Tick
-// performs the engine's per-step work itself (the tick hook with exactly
-// the cycle the popped event would have carried) and returns without
-// suspending. This preserves the schedule bit-for-bit while eliminating
-// the dominant cost of fine-grained ticks. A clock past MaxCycles always
-// takes the yield so the engine loop can deliver the livelock verdict.
+// Fast path (tick batching): when the thread's new clock is still below
+// its precomputed batch horizon, the engine's loop would push this
+// thread's event and immediately pop it again — two coroutine switches
+// that cannot change any observable state, since no other thread gets to
+// run. In that case Tick performs the engine's per-step work itself (the
+// tick hook with exactly the cycle the popped event would have carried)
+// and returns without suspending, so a conflict-free context advances
+// through arbitrarily many poll quanta per heap interaction at the cost
+// of one comparison each. The horizon encodes both the queue minimum
+// with the (cycle, id) tie-break and the MaxCycles livelock bound (a
+// clock past MaxCycles always takes the yield so the engine loop can
+// deliver the verdict); see Engine.horizonFor and DESIGN.md §6h for the
+// observation-equivalence argument. This preserves the schedule
+// bit-for-bit while eliminating the dominant cost of fine-grained ticks.
 func (c *Ctx) Tick(cost uint64) {
 	c.clock += cost
-	e := c.eng
-	if e.cfg.MaxCycles == 0 || c.clock <= e.cfg.MaxCycles {
-		if q := &e.queue; q.n == 0 ||
-			c.clock < q.min.cycle ||
-			(c.clock == q.min.cycle && int32(c.id) < q.min.id) {
-			if e.tickHook != nil {
-				e.tickHook(c.clock)
-			}
-			return
+	if c.clock < c.batchLimit {
+		if hook := c.eng.tickHook; hook != nil {
+			hook(c.clock)
 		}
+		return
 	}
 	if !c.yield(c.clock) {
 		panic(errAbandonRun)
@@ -287,6 +299,9 @@ func (c *Ctx) WakeKey(key uint64) {
 		}
 		e.wake(t, c.clock, int32(c.id))
 	}
+	// The re-inserted waiters may now own the queue minimum: shrink the
+	// caller's batch horizon so its next Tick yields at the right cycle.
+	c.batchLimit = e.horizonFor(int32(c.id))
 }
 
 // wake transitions parked thread t back to runnable at its first poll
@@ -348,6 +363,34 @@ type Engine struct {
 	// WakeKey's scan and distinguishes "all done" from "all deadlocked"
 	// when the event heap runs dry.
 	nParked int
+	// maxCap is the MaxCycles bound pre-encoded as a batch horizon: the
+	// first clock value past the livelock budget (MaxUint64 when the
+	// budget is unlimited). Folded into every thread's batchLimit so the
+	// Tick fast path is a single comparison.
+	maxCap uint64
+}
+
+// horizonFor returns the tick-batch horizon for thread id: the first
+// clock value at which it must yield to the event loop. While the queue
+// is non-empty that is the queue minimum's cycle — exclusive, or
+// inclusive when id wins the (cycle, id) tie-break — capped by the
+// MaxCycles bound. Tick's strict clock < horizon comparison then
+// reproduces exactly the old per-tick test
+//
+//	(MaxCycles == 0 || clock <= MaxCycles) &&
+//	    (queue empty || (clock, id) before queue min)
+func (e *Engine) horizonFor(id int32) uint64 {
+	lim := e.maxCap
+	if q := &e.queue; q.n != 0 {
+		h := q.min.cycle
+		if id < q.min.id {
+			h++ // equal cycles still precede the min: yield one later
+		}
+		if h < lim {
+			lim = h
+		}
+	}
+	return lim
 }
 
 // SetTickHook installs (or clears, with nil) the scheduling-step observer.
@@ -359,13 +402,17 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, maxCap: ^uint64(0)}
+	if cfg.MaxCycles > 0 {
+		e.maxCap = cfg.MaxCycles + 1
+	}
 	e.threads = make([]*Ctx, cfg.HWThreads())
 	for i := range e.threads {
 		e.threads[i] = &Ctx{
-			id:  i,
-			rng: NewRand(mix(cfg.Seed, int64(i))),
-			eng: e,
+			id:         i,
+			rng:        NewRand(mix(cfg.Seed, int64(i))),
+			eng:        e,
+			batchLimit: e.maxCap,
 		}
 	}
 	return e, nil
@@ -451,6 +498,7 @@ func (e *Engine) Run(bodies []func(*Ctx)) (makespan uint64, err error) {
 				e.drain(bodies)
 				return ev.cycle, ErrMaxCycles
 			}
+			t.batchLimit = e.horizonFor(ev.id)
 			clock, ok := t.next()
 			if !ok {
 				// The body returned (or panicked); the context is done
@@ -508,8 +556,10 @@ func (e *Engine) Run(bodies []func(*Ctx)) (makespan uint64, err error) {
 		if body == nil {
 			continue
 		}
-		if c := e.threads[i].clock; c > makespan {
-			makespan = c
+		t := e.threads[i]
+		t.batchLimit = e.maxCap // empty queue: post-run Ticks never yield
+		if t.clock > makespan {
+			makespan = t.clock
 		}
 	}
 	return makespan, nil
@@ -527,6 +577,7 @@ func (e *Engine) drain(bodies []func(*Ctx)) {
 		}
 		t := e.threads[i]
 		t.parked = false
+		t.batchLimit = e.maxCap
 		if t.next != nil {
 			t.finish()
 		}

@@ -80,32 +80,92 @@ type lineState struct {
 	writer  int16        // hardware thread with the line in a write set, -1 if none
 }
 
+// shardAlign is the shard-boundary alignment of the line-state table, in
+// lineState entries. Eight 40-byte entries are 320 bytes — a whole number
+// of 64-byte cache lines — so rounding each shard's stride up to a
+// multiple of shardAlign keeps every shard starting on its own cache
+// line: two shards never share a line of the registry itself.
+const shardAlign = 8
+
+// MaxRegistryShards caps the shard count of the conflict registry.
+const MaxRegistryShards = 64
+
 // Memory is the simulated shared memory.
+//
+// The conflict registry is a sharded table: cache line ln's state lives
+// in shard ln & shardMask (a power-of-two hash on the low line bits) at
+// slot ln >> shardShift. The shards are carved out of one flat backing
+// array with a cache-line-aligned stride, so the mapping costs one
+// multiply-add per access, stays allocation-free, and — because adjacent
+// simulated lines land in different shards — the registry entries of a
+// hot contiguous region stop sharing hardware cache lines with each
+// other. With one shard (the default for narrow machines) the mapping
+// degenerates to the identity and the table is exactly the old flat
+// layout.
 type Memory struct {
-	words  []uint64
-	lines  []lineState
-	brk    Addr // bump-allocation watermark
-	doomer Doomer
-	access AccessCostFunc // nil = uniform memory
+	words      []uint64
+	lines      []lineState // sharded backing; index via slot()
+	shardMask  uint32      // nShards - 1
+	shardShift uint32      // log2(nShards)
+	stride     uint32      // slots per shard (shardAlign-aligned)
+	nLines     int
+	brk        Addr // bump-allocation watermark
+	doomer     Doomer
+	access     AccessCostFunc // nil = uniform memory
+}
+
+// slot maps a cache line to its index in the sharded line-state table.
+func (m *Memory) slot(ln Line) uint32 {
+	return (uint32(ln)&m.shardMask)*m.stride + uint32(ln)>>m.shardShift
+}
+
+// line returns the conflict-registry entry of a cache line.
+func (m *Memory) line(ln Line) *lineState {
+	return &m.lines[m.slot(ln)]
 }
 
 // New creates a memory of the given size in words, rounded up to a whole
-// number of cache lines. Word 0 is reserved (Nil).
+// number of cache lines, with a single-shard (flat) conflict registry.
+// Word 0 is reserved (Nil).
 func New(words int) *Memory {
-	if words < LineWords {
-		words = LineWords
-	}
-	nLines := (words + LineWords - 1) / LineWords
-	m := &Memory{
-		words: make([]uint64, nLines*LineWords),
-		lines: make([]lineState, nLines),
-		brk:   1, // reserve word 0 as Nil
-	}
-	for i := range m.lines {
-		m.lines[i].writer = -1
-	}
-	return m
+	return NewSharded(words, 1)
 }
+
+// NewSharded creates a memory whose conflict registry is split into the
+// given number of cache-line-padded shards (rounded up to a power of
+// two, clamped to [1, MaxRegistryShards]). The shard count is pure data
+// layout: every registry operation behaves identically — and every
+// schedule is bit-for-bit identical — whatever the count (the registry
+// is consulted between engine scheduling points only, so the mapping is
+// invisible to simulated programs).
+func NewSharded(words, shards int) *Memory {
+	return NewRecycled(words, shards, nil)
+}
+
+// setShards fixes the shard geometry for nLines. shards is rounded up to
+// a power of two and clamped to [1, MaxRegistryShards].
+func (m *Memory) setShards(shards int) {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > MaxRegistryShards {
+		shards = MaxRegistryShards
+	}
+	shift := uint32(0)
+	for 1<<shift < shards {
+		shift++
+	}
+	n := uint32(1) << shift
+	m.shardMask = n - 1
+	m.shardShift = shift
+	// Slots per shard: enough for the highest slot index any line maps
+	// to, rounded up so each shard starts on its own cache line.
+	stride := (uint32(m.nLines-1) >> shift) + 1
+	m.stride = (stride + shardAlign - 1) &^ (shardAlign - 1)
+}
+
+// Shards returns the conflict registry's shard count.
+func (m *Memory) Shards() int { return int(m.shardMask) + 1 }
 
 // SetDoomer installs the HTM unit that receives conflict notifications.
 // It must be called before any transactional line registration.
@@ -199,7 +259,7 @@ func (m *Memory) Poke(a Addr, v uint64) {
 func (m *Memory) DirectLoad(self int, a Addr) uint64 {
 	m.checkAddr(a)
 	ln := LineOf(a)
-	ls := &m.lines[ln]
+	ls := m.line(ln)
 	if ls.writer >= 0 && int(ls.writer) != self {
 		m.doomer.DoomWriter(int(ls.writer), self, ln)
 	}
@@ -212,7 +272,7 @@ func (m *Memory) DirectLoad(self int, a Addr) uint64 {
 func (m *Memory) DirectStore(self int, a Addr, v uint64) {
 	m.checkAddr(a)
 	ln := LineOf(a)
-	ls := &m.lines[ln]
+	ls := m.line(ln)
 	if !ls.readers.Empty() {
 		m.doomer.DoomReaders(ls.readers, self, ln)
 	}
@@ -237,7 +297,7 @@ func (m *Memory) DirectStore(self int, a Addr, v uint64) {
 func (m *Memory) RegisterRead(hw int, a Addr) (grew, ownWrite bool) {
 	m.checkAddr(a)
 	ln := LineOf(a)
-	ls := &m.lines[ln]
+	ls := m.line(ln)
 	if ls.writer >= 0 && int(ls.writer) != hw {
 		m.doomer.DoomWriter(int(ls.writer), hw, ln)
 	}
@@ -258,7 +318,7 @@ func (m *Memory) RegisterRead(hw int, a Addr) (grew, ownWrite bool) {
 func (m *Memory) RegisterWrite(hw int, a Addr) (grew, wasReader bool) {
 	m.checkAddr(a)
 	ln := LineOf(a)
-	ls := &m.lines[ln]
+	ls := m.line(ln)
 	otherReaders := ls.readers // value copy; safe to pass while doom mutates ls
 	otherReaders.Remove(hw)
 	if !otherReaders.Empty() {
@@ -280,7 +340,7 @@ func (m *Memory) RegisterWrite(hw int, a Addr) (grew, wasReader bool) {
 // transaction commits or aborts.
 func (m *Memory) Unregister(hw int, lines []Line) {
 	for _, ln := range lines {
-		ls := &m.lines[ln]
+		ls := m.line(ln)
 		ls.readers.Remove(hw)
 		if int(ls.writer) == hw {
 			ls.writer = -1
@@ -290,11 +350,11 @@ func (m *Memory) Unregister(hw int, lines []Line) {
 
 // LineReaders returns the reader set of a line (for tests and invariant
 // checks).
-func (m *Memory) LineReaders(ln Line) topology.Set { return m.lines[ln].readers }
+func (m *Memory) LineReaders(ln Line) topology.Set { return m.line(ln).readers }
 
 // LineWriter returns the writer of a line, or -1 (for tests and invariant
 // checks).
-func (m *Memory) LineWriter(ln Line) int { return int(m.lines[ln].writer) }
+func (m *Memory) LineWriter(ln Line) int { return int(m.line(ln).writer) }
 
 // Direct is a non-transactional accessor bound to one hardware thread,
 // implementing the same Access interface as a hardware transaction so that

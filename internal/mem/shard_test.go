@@ -1,0 +1,118 @@
+package mem
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardedGeometry: the stride-interleaved layout must give every
+// line a distinct slot whatever the shard count — sharding is a pure
+// permutation of the registry, never an aliasing of two lines.
+func TestShardedGeometry(t *testing.T) {
+	const words = 1 << 12
+	for _, shards := range []int{1, 2, 4, 8, 16, 64} {
+		m := NewSharded(words, shards)
+		if got := m.Shards(); got != shards {
+			t.Fatalf("shards=%d: Shards() = %d", shards, got)
+		}
+		seen := make(map[uint32]Line, m.nLines)
+		for ln := Line(0); ln < Line(m.nLines); ln++ {
+			s := m.slot(ln)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("shards=%d: lines %d and %d share slot %d", shards, prev, ln, s)
+			}
+			seen[s] = ln
+		}
+	}
+}
+
+// shardTrace drives a fixed pseudo-random register/unregister sequence
+// against m from 128 hardware threads and returns a digest of every
+// return value, every doom notification, and the final per-line
+// registry state.
+func shardTrace(t *testing.T, m *Memory, d *recordingDoomer) string {
+	t.Helper()
+	const hwThreads = 128
+	base := m.AllocLines(64)
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(mod uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % mod
+	}
+	var out []byte
+	held := make([][]Line, hwThreads)
+	for step := 0; step < 4096; step++ {
+		hw := int(next(hwThreads))
+		a := base + Addr(next(64))*LineWords + Addr(next(LineWords))
+		switch next(5) {
+		case 0, 1:
+			grew, own := m.RegisterRead(hw, a)
+			if grew {
+				held[hw] = append(held[hw], LineOf(a))
+			}
+			out = fmt.Appendf(out, "r%d:%v%v;", step, grew, own)
+		case 2, 3:
+			grew, wasReader := m.RegisterWrite(hw, a)
+			if grew {
+				held[hw] = append(held[hw], LineOf(a))
+			}
+			out = fmt.Appendf(out, "w%d:%v%v;", step, grew, wasReader)
+		case 4:
+			m.Unregister(hw, held[hw])
+			held[hw] = held[hw][:0]
+			out = fmt.Appendf(out, "u%d;", step)
+		}
+	}
+	for ln := LineOf(base); ln < LineOf(base)+64; ln++ {
+		out = fmt.Appendf(out, "L%d:%x/%d;", ln, m.LineReaders(ln).W, m.LineWriter(ln))
+	}
+	out = fmt.Appendf(out, "dooms:%x/%v/%v", d.doomedReaders, d.doomedWriters, d.lines)
+	return string(out)
+}
+
+// TestShardedRegistryEquivalence: the shard count is pure data layout.
+// An identical access sequence must produce identical return values,
+// doom notifications and final registry state at every count — the
+// property that lets the engine pick a shard count by machine shape
+// without perturbing schedules.
+func TestShardedRegistryEquivalence(t *testing.T) {
+	ref := ""
+	for _, shards := range []int{1, 2, 8, 64} {
+		m := NewSharded(1<<12, shards)
+		d := &recordingDoomer{}
+		m.SetDoomer(d)
+		got := shardTrace(t, m, d)
+		if shards == 1 {
+			ref = got
+			continue
+		}
+		if got != ref {
+			t.Fatalf("shards=%d: trace diverges from unsharded registry", shards)
+		}
+	}
+}
+
+// TestShardedRegistryZeroAllocs: registry accesses are the innermost
+// loop of every transactional load/store and must stay off the heap at
+// wide-machine width — 128 threads on a sharded registry, where the
+// reader sets span all four topology.Set words.
+func TestShardedRegistryZeroAllocs(t *testing.T) {
+	m := NewSharded(1<<12, 8)
+	d := &recordingDoomer{}
+	m.SetDoomer(d)
+	base := m.AllocLines(4)
+	lines := []Line{LineOf(base), LineOf(base) + 1}
+	if avg := testing.AllocsPerRun(200, func() {
+		for hw := 0; hw < 128; hw++ {
+			m.RegisterRead(hw, base+Addr(hw%64))
+		}
+		m.RegisterWrite(3, base+LineWords)
+		for hw := 0; hw < 128; hw++ {
+			m.Unregister(hw, lines)
+		}
+	}); avg != 0 {
+		t.Fatalf("sharded registry ops allocate %.1f allocs/op, want 0", avg)
+	}
+}

@@ -223,6 +223,43 @@ type Config struct {
 	// spans — the cheap mode the telemetry timeline and `seerstat
 	// -explain` use. Implied by TraceAttempts.
 	AttributionCounters bool
+	// RegistryShards splits the conflict registry's line-state table into
+	// cache-line-padded shards indexed by a line hash, so the registry
+	// entries of adjacent hot lines stop sharing hardware cache lines.
+	// 0 picks automatically from the machine shape (flat for ≤ 64
+	// hardware threads, spread for wider machines); explicit values are
+	// rounded to a power of two and clamped to [1, mem.MaxRegistryShards].
+	// Pure data layout: schedules are bit-for-bit identical at any count.
+	RegistryShards int
+	// Recycler, when non-nil, supplies the large simulator buffers
+	// (simulated memory words, registry line states, per-thread HTM
+	// contexts) from a previous System built with the same Recycler, and
+	// receives them back from System.Release. The harness keeps one per
+	// grid worker so replicas are rebuilt without reallocating
+	// multi-megabyte state per cell. A Recycler must only ever be used
+	// from one goroutine at a time.
+	Recycler *Recycler
+}
+
+// Recycler carries reusable simulator buffers between System lifetimes
+// (see Config.Recycler). The zero value is ready to use.
+type Recycler struct {
+	mem mem.Buffers
+	htm htm.Buffers
+}
+
+// registryShards resolves Config.RegistryShards for a machine with hw
+// hardware threads: explicit values win; auto (0) keeps the flat table
+// on narrow machines and spreads one shard per 16 hardware threads on
+// the wide shapes where the scaling exhibits run.
+func (c Config) registryShards(hw int) int {
+	if c.RegistryShards != 0 {
+		return c.RegistryShards
+	}
+	if hw <= 64 {
+		return 1
+	}
+	return hw / 16
 }
 
 // DefaultConfig mirrors the paper's testbed: 8 hardware threads on 4
@@ -367,7 +404,12 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.TraceEvents > 0 {
 		s.trc = trace.New(cfg.TraceEvents)
 	}
-	s.mem = mem.New(cfg.MemWords)
+	var memBuf *mem.Buffers
+	var htmBuf *htm.Buffers
+	if r := cfg.Recycler; r != nil {
+		memBuf, htmBuf = &r.mem, &r.htm
+	}
+	s.mem = mem.NewRecycled(cfg.MemWords, cfg.registryShards(hw), memBuf)
 	if cfg.RemoteAccessCost > 0 && topo.Sockets > 1 {
 		// NUMA model: cache lines are interleaved across sockets by line
 		// index; touching a line homed on another socket costs extra
@@ -380,7 +422,7 @@ func NewSystem(cfg Config) (*System, error) {
 			return penalty
 		})
 	}
-	s.htm = htm.New(s.mem, mach, cfg.HTM)
+	s.htm = htm.NewRecycled(s.mem, mach, cfg.HTM, htmBuf)
 	s.sgl = spinlock.New(s.mem)
 
 	switch cfg.Policy {
@@ -513,6 +555,16 @@ func (s *System) Poke(a Addr, v uint64) { s.mem.Poke(a, v) }
 // Memory exposes the raw simulated memory for substrate-level code
 // (internal data structures, harness checks).
 func (s *System) Memory() *mem.Memory { return s.mem }
+
+// Release returns the system's large buffers to the Recycler it was
+// built with (a no-op without one), making them available to the next
+// System built on that Recycler. The system must not be used afterwards.
+func (s *System) Release() {
+	if r := s.cfg.Recycler; r != nil {
+		s.mem.Release(&r.mem)
+		s.htm.Release(&r.htm)
+	}
+}
 
 // Run executes the workers (one per hardware thread, worker i on thread
 // i) until all return, and reports the run. It is an error to pass more
