@@ -34,6 +34,10 @@
 //	             paper's 1s4c2t testbed (spec form <sockets>s<cores>c<threads>t,
 //	             e.g. 2s8c2t; cells needing more threads than the shape
 //	             offers fail). scaling ignores it: it sweeps its own shapes.
+//	-registry-shards n  conflict-registry shard count per cell (0 = auto
+//	             by machine shape; results identical at any count)
+//	-quantum k   speculative-quantum depth per cell (0 = library default,
+//	             -1 = off; results identical at any setting)
 //	-bench-json f write executor timing/throughput stats to f as JSON
 //	-cpuprofile f write a pprof CPU profile of the run to f
 //	-memprofile f write a pprof heap profile (taken at exit, after a GC) to f
@@ -74,6 +78,7 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		fullSuite  = flag.Bool("full-suite", false, "widen the default workload set with bayes and labyrinth")
 		regShards  = flag.Int("registry-shards", 0, "conflict-registry shard count per cell (0 = auto by machine shape; results identical at any count)")
+		quantum    = flag.Int("quantum", 0, "speculative-quantum budget per cell (0 = library default, -1 = off, K > 0 = up to K pure ticks; results identical at any setting)")
 		compareOld = flag.String("compare", "", "compare this old -bench-json snapshot against the new one given as a positional argument, then exit (nonzero on regression)")
 		compareTh  = flag.Float64("compare-threshold", 0.9, "compare: fail when the cells/sec geomean ratio new/old falls below this")
 	)
@@ -115,7 +120,7 @@ func main() {
 	}
 
 	opt := harness.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel,
-		FullSuite: *fullSuite, RegistryShards: *regShards}
+		FullSuite: *fullSuite, RegistryShards: *regShards, Quantum: *quantum}
 	if *topoSpec != "" {
 		topo, err := seer.ParseTopology(*topoSpec)
 		if err != nil {

@@ -45,6 +45,7 @@ func renderEngineCounters(snaps []seer.Snapshot) {
 	const width = 64
 	parked := make([]float64, len(snaps))
 	var totalParked, totalWait, totalReuse uint64
+	var totalGrants, totalQTicks, totalRollbacks, totalRbTicks uint64
 	anyReuse := false
 	for i, s := range snaps {
 		parked[i] = float64(s.ParkSkipped)
@@ -54,6 +55,10 @@ func renderEngineCounters(snaps []seer.Snapshot) {
 		if s.SchemeReuse != 0 {
 			anyReuse = true
 		}
+		totalGrants += s.QuantumGrants
+		totalQTicks += s.QuantumTicks
+		totalRollbacks += s.QuantumRollbacks
+		totalRbTicks += s.QuantumRollbackTicks
 	}
 	frac := 0.0
 	if totalWait > 0 {
@@ -63,6 +68,11 @@ func renderEngineCounters(snaps []seer.Snapshot) {
 		plot.Sparkline(parked, width), totalParked, frac)
 	if anyReuse {
 		fmt.Printf("  scheme reuse: %d updates reused all row capacity\n", totalReuse)
+	}
+	if totalGrants > 0 {
+		fmt.Printf("  quantum: %d grants deferred %d ticks (%.1f/grant), %d rollbacks discarded %d\n",
+			totalGrants, totalQTicks, float64(totalQTicks)/float64(totalGrants),
+			totalRollbacks, totalRbTicks)
 	}
 }
 
@@ -160,6 +170,7 @@ func main() {
 		spansJSONL = flag.String("spans-jsonl", "", "write per-attempt spans as JSON Lines to FILE (enables span tracing)")
 		spansChrom = flag.String("spans-chrome", "", "write per-attempt spans as a Chrome trace-event document to FILE (enables span tracing)")
 		dotPath    = flag.String("conflict-dot", "", "write the ground-truth conflict graph as Graphviz DOT to FILE (enables attribution)")
+		quantum    = flag.Int("quantum", 0, "speculative-quantum budget (0 = library default, -1 = off, K > 0 = up to K pure ticks; all outputs identical at any setting)")
 	)
 	flag.Parse()
 
@@ -204,6 +215,12 @@ func main() {
 	}
 	cfg.TraceAttempts = *spansJSONL != "" || *spansChrom != ""
 	cfg.AttributionCounters = *explain || *dotPath != ""
+	switch {
+	case *quantum < 0:
+		cfg.SpeculativeQuantum = 0
+	case *quantum > 0:
+		cfg.SpeculativeQuantum = *quantum
+	}
 	sys, err := seer.NewSystem(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "seerstat: %v\n", err)

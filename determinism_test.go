@@ -120,6 +120,26 @@ func TestDeterminismShardAndRecyclerInvariant(t *testing.T) {
 	}
 }
 
+// TestDeterminismQuantumInvariant: the speculative-quantum budget is pure
+// engine mechanics — the undo log replays or rolls back every deferred
+// tick at its per-tick (cycle, id) position — so no budget may move a
+// single byte of the report. The golden run itself executes at the
+// library default (speculation on), so this test is what pins the
+// per-tick baseline: budget 0 disables speculation entirely.
+func TestDeterminismQuantumInvariant(t *testing.T) {
+	for _, pol := range detPolicies {
+		base := detRun(t, pol) // DefaultSpeculativeQuantum
+		for _, k := range []int{0, 1, 7, 1024} {
+			cfg := detConfig(pol)
+			cfg.SpeculativeQuantum = k
+			if got := detRunWith(t, cfg); got != base {
+				t.Fatalf("%s: SpeculativeQuantum=%d report differs from default:\n--- default ---\n%s--- quantum=%d ---\n%s",
+					pol, k, base, k, got)
+			}
+		}
+	}
+}
+
 // TestDeterminismGolden runs every policy three times on identical
 // configurations and seeds. Each repetition must produce a byte-identical
 // Report.Summary, and the concatenated per-policy digests must match the

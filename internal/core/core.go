@@ -360,6 +360,13 @@ func (s *Seer) Finish(t *ThreadState) {
 // and closure indirection for the matrix update (a direct branch on
 // abort).
 func (s *Seer) scanActive(t *ThreadState, txID int, abort bool) {
+	// The execution counters below are shared (thread 0 reads them to
+	// trigger scheme updates) and bumped before this event's scheduling
+	// point — and the sampled-out path has no scheduling point at all. A
+	// speculative quantum must therefore close before they are touched;
+	// in practice the preceding commit/abort path always ends in an impure
+	// tick, making this a no-op barrier.
+	t.Ctx.EndQuantum()
 	s.epochExecs++
 	s.execsSinceUpdate++
 	if s.opts.SampleShift > 0 {
@@ -397,6 +404,7 @@ func (s *Seer) scanActive(t *ThreadState, txID int, abort bool) {
 // conflicting block only.
 func (s *Seer) RegisterAbort(t *ThreadState, txID int) {
 	if s.opts.PreciseOracle {
+		t.Ctx.EndQuantum() // same barrier as scanActive
 		s.epochExecs++
 		s.execsSinceUpdate++
 		t.Ctx.Tick(t.Ctx.Cost().StatsSlot)

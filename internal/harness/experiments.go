@@ -41,6 +41,12 @@ type Options struct {
 	// flag; 0 = auto by machine shape). Pure data layout: results are
 	// bit-identical at any count.
 	RegistryShards int
+	// Quantum sets the speculative-quantum budget for every grid cell
+	// that does not pin its own (the seerbench -quantum flag; 0 = library
+	// default, -1 = speculation off, K > 0 = quanta of up to K pure
+	// ticks). Pure engine mechanics: results are bit-identical at any
+	// setting.
+	Quantum int
 }
 
 // suite resolves the default workload list for experiments that were not

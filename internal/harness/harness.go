@@ -53,6 +53,12 @@ type Spec struct {
 	// cell (0 = auto by machine shape; see seer.Config.RegistryShards).
 	// Pure data layout — results are identical at any count.
 	RegistryShards int
+	// Quantum sets the speculative-quantum budget for this cell: 0 keeps
+	// the library default (seer.DefaultSpeculativeQuantum), -1 disables
+	// speculation, and any positive K grants quanta of up to K pure
+	// ticks. Pure engine mechanics — results are identical at any
+	// setting (the quantum on/off CI gate pins this).
+	Quantum int
 }
 
 // Result aggregates the repetitions of one Spec.
@@ -139,6 +145,12 @@ func runOnce(spec Spec, seed int64, rec *seer.Recycler) (seer.Report, error) {
 	cfg.MetricsInterval = spec.MetricsInterval
 	cfg.AttributionCounters = spec.Inference
 	cfg.RegistryShards = spec.RegistryShards
+	switch {
+	case spec.Quantum < 0:
+		cfg.SpeculativeQuantum = 0
+	case spec.Quantum > 0:
+		cfg.SpeculativeQuantum = spec.Quantum
+	}
 	cfg.Recycler = rec
 	sys, err := seer.NewSystem(cfg)
 	if err != nil {

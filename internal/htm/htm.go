@@ -145,10 +145,16 @@ func (c *Counters) Add(other Counters) {
 // needs, plus the flat list of registered lines for O(set-size)
 // unregistration.
 type txnState struct {
-	active      bool
-	doomed      bool
-	doomStatus  Status
-	doomedBy    int16      // hw thread whose access doomed this txn (-1 unknown)
+	active     bool
+	doomed     bool
+	doomStatus Status
+	doomedBy   int16 // hw thread whose access doomed this txn (-1 unknown)
+	// ctx is the machine context of the thread this state belongs to,
+	// captured at transaction begin. The doom path uses it to notify the
+	// engine's speculative-quantum machinery (machine.Ctx.Interfere) so a
+	// victim whose journal is mid-replay rolls back to the interference
+	// point instead of publishing speculated ticks.
+	ctx         *machine.Ctx
 	nReadLines  int        // lines counted against the read budget
 	nWriteLines int        // lines counted against the write budget
 	lines       []mem.Line // every registered line, for unregistering
@@ -295,6 +301,12 @@ func (u *Unit) doom(hw int, status Status, by int, ln mem.Line) {
 	if u.doomHook != nil {
 		u.doomHook(hw, by, ln)
 	}
+	if t.ctx != nil {
+		// Requester-wins interference: if the victim is speculating past
+		// its batch horizon, roll its journal back to this point so the
+		// abort is delivered on the per-tick schedule (no-op otherwise).
+		t.ctx.Interfere()
+	}
 }
 
 // abortSignal is the panic payload used to unwind a transaction body, the
@@ -344,6 +356,29 @@ func (t *Tx) step(cost uint64) {
 	}
 }
 
+// stepPure is step for ticks with no shared-state side effects (Tx.Work):
+// the tick is eligible for a speculative quantum. The two step outcomes
+// that make a speculated tick irreversible — observing a pending doom and
+// drawing a spurious abort — first close the quantum with EndQuantum, so
+// the journal replays (and can still roll back, rewinding the PRNG draw
+// along with the clock) before the abort is delivered. With speculation
+// disabled this is bit-for-bit identical to step.
+func (t *Tx) stepPure(cost uint64) {
+	t.ctx.TickPure(cost)
+	st := t.st
+	if st.doomed {
+		t.ctx.EndQuantum()
+		st.sig.status = st.doomStatus
+		panic(&st.sig)
+	}
+	if t.u.cfg.SpuriousProb > 0 && t.ctx.Rand().Bool(t.u.cfg.SpuriousProb) {
+		t.ctx.EndQuantum()
+		t.u.lastConflictor[t.hw] = -1
+		st.sig.status = BitSpurious | BitRetry
+		panic(&st.sig)
+	}
+}
+
 // Load performs a transactional load. The conflict registry doubles as
 // the read-set representation: RegisterRead reports whether the set grew,
 // so the only per-access bookkeeping is a counter bump and a slice append.
@@ -384,10 +419,13 @@ func (t *Tx) Store(a mem.Addr, v uint64) {
 
 // Work simulates n units of in-transaction computation (with abort
 // delivery at the instruction boundary, like any other transactional
-// step).
+// step). Pure computation touches no shared simulator state, so its tick
+// is speculable: under an open quantum it is journaled instead of
+// yielding, and a conflicting access by an earlier-virtual-time thread
+// rolls it back (see machine.Ctx.TickPure).
 func (t *Tx) Work(n uint64) {
 	if n > 0 {
-		t.step(n * t.cost.Work)
+		t.stepPure(n * t.cost.Work)
 	}
 }
 
@@ -419,6 +457,18 @@ func (u *Unit) Run(ctx *machine.Ctx, body func(*Tx)) (status Status) {
 	if st.active {
 		panic("htm: nested hardware transactions are not supported")
 	}
+	if st.ctx != ctx {
+		// First attempt on this (thread, engine) pair: capture the context
+		// for doom-time interference delivery and register the rollback
+		// unwinder — it rethrows the pre-boxed abort signal, so a
+		// speculative rollback aborts through the standard recover path
+		// below without allocating. One closure per thread lifetime.
+		st.ctx = ctx
+		ctx.SetUnwinder(func() any {
+			st.sig.status = st.doomStatus
+			return &st.sig
+		})
+	}
 	cost := ctx.Cost()
 	ctx.Tick(cost.XBegin)
 	st.active = true
@@ -434,6 +484,18 @@ func (u *Unit) Run(ctx *machine.Ctx, body func(*Tx)) (status Status) {
 	tx.u, tx.ctx, tx.cost, tx.st, tx.hw = u, ctx, cost, st, hw
 	defer func() {
 		if r := recover(); r != nil {
+			// An explicit Tx.Abort can fire with a quantum still open (its
+			// panic is not a scheduling point); the unwind below touches
+			// shared state (coreActive, the conflict registry), so close the
+			// quantum first. If the replay discovers a doom that predates
+			// the explicit abort, the rollback signal supersedes it — the
+			// per-tick engine would have delivered that doom at the
+			// journaled tick's boundary check, before control ever reached
+			// Abort. All other abort sources — step, stepPure, a speculative
+			// rollback — arrive here with the quantum closed (no-op).
+			if rb := endQuantumRecover(ctx); rb != nil {
+				r = rb
+			}
 			u.coreActive[u.coreOf[hw]]--
 			sig, ok := r.(*abortSignal)
 			if !ok {
@@ -463,6 +525,26 @@ func (u *Unit) Run(ctx *machine.Ctx, body func(*Tx)) (status Status) {
 	u.coreActive[u.coreOf[hw]]--
 	u.cnt[hw].Commits++
 	return 0
+}
+
+// endQuantumRecover closes an open speculative quantum from inside Run's
+// recover block, where the deferred recover has already fired: a rollback
+// raised during the replay (machine.Ctx.checkUnwind) must be caught here
+// or it would escape Run entirely. It returns the rollback's abort signal,
+// nil if the replay completed cleanly, and re-panics anything that is not
+// an abort signal (engine teardown's abandon-run sentinel).
+func endQuantumRecover(ctx *machine.Ctx) (sig *abortSignal) {
+	defer func() {
+		if r := recover(); r != nil {
+			s, ok := r.(*abortSignal)
+			if !ok {
+				panic(r)
+			}
+			sig = s
+		}
+	}()
+	ctx.EndQuantum()
+	return nil
 }
 
 func (u *Unit) recordAbort(hw int, s Status) {

@@ -1,0 +1,158 @@
+package machine
+
+import (
+	"slices"
+	"testing"
+)
+
+// The delegated-acquire tests run the same contended lock workload on two
+// engines — one with the runtime wiring installed (SetParkPollEvaluator +
+// SetLockWordOps, so AcquireWord delegates the TTS protocol to the event
+// loop) and one without (AcquireWord reports false and a hand-rolled
+// ticking loop mirroring spinlock.Acquire runs instead) — and require the
+// full tick-hook stream and every acquire cycle to match exactly. The
+// lock word lives in plain test state; both engines' bodies and ops
+// close over the same variable.
+
+const (
+	taLoad   = 2           // DirectLoad of the default cost model
+	taCAS    = 25          // LockOp
+	taPeriod = 25 + taLoad // poll period: SpinQuantum + DirectLoad
+)
+
+// runAcquireWorkload runs nThreads contenders, each acquiring, holding
+// (a per-thread duration) and releasing one lock rounds times. It
+// returns the engine's complete tick-hook stream and each thread's
+// acquire-completion clocks.
+func runAcquireWorkload(t *testing.T, nThreads, rounds int, delegated bool) (hooks []uint64, acqs [][]uint64) {
+	t.Helper()
+	eng := parkEngine(t, nThreads)
+	const key = 99
+	var word uint64
+	if delegated {
+		eng.SetParkPollEvaluator(func(uint64) bool { return word != 0 })
+		eng.SetLockWordOps(
+			func(_ int, _ uint64) uint64 { return word },
+			func(_ int, _ uint64, v uint64) { word = v })
+	}
+	eng.SetTickHook(func(now uint64) { hooks = append(hooks, now) })
+	acqs = make([][]uint64, nThreads)
+	bodies := make([]func(*Ctx), nThreads)
+	for i := range bodies {
+		id := i
+		bodies[i] = func(c *Ctx) {
+			owner := uint64(c.ID()) + 1
+			hold := uint64(5 + 11*id)
+			for r := 0; r < rounds; r++ {
+				if !c.AcquireWord(key, owner) {
+					// The fallback spinlock.Acquire runs when the engine
+					// has no lock-word ops: poll tick + load, CAS tick +
+					// load-and-store, park on busy.
+					for {
+						c.Tick(taLoad)
+						if word == 0 {
+							c.Tick(taCAS)
+							if word != 0 {
+								continue
+							}
+							word = owner
+							break
+						}
+						c.ParkOnWord(key, taPeriod, taLoad, 0)
+					}
+				}
+				acqs[id] = append(acqs[id], c.Clock())
+				c.Tick(hold)
+				c.Tick(taCAS)
+				word = 0
+				c.WakeKey(key)
+			}
+		}
+	}
+	if _, err := eng.Run(bodies); err != nil {
+		t.Fatalf("delegated=%v: %v", delegated, err)
+	}
+	return hooks, acqs
+}
+
+// TestDelegatedAcquireEquivalence: for several contention shapes, the
+// delegated protocol's observable streams must be identical to the
+// ticking loop's.
+func TestDelegatedAcquireEquivalence(t *testing.T) {
+	for _, shape := range []struct{ n, rounds int }{{1, 3}, {2, 3}, {3, 4}, {8, 3}} {
+		refHooks, refAcqs := runAcquireWorkload(t, shape.n, shape.rounds, false)
+		gotHooks, gotAcqs := runAcquireWorkload(t, shape.n, shape.rounds, true)
+		if !slices.Equal(refHooks, gotHooks) {
+			t.Fatalf("n=%d rounds=%d: hook streams differ (%d ticking vs %d delegated)",
+				shape.n, shape.rounds, len(refHooks), len(gotHooks))
+		}
+		for id := range refAcqs {
+			if !slices.Equal(refAcqs[id], gotAcqs[id]) {
+				t.Fatalf("n=%d rounds=%d thread %d: acquire cycles %v (ticking) vs %v (delegated)",
+					shape.n, shape.rounds, id, refAcqs[id], gotAcqs[id])
+			}
+		}
+	}
+}
+
+// boundedWait mirrors spinlock.SpinWhileLockedBounded's loop: poll, park
+// bounded on busy, give up when the budget runs out. Returns whether the
+// word was observed free and the clock of the deciding poll.
+func boundedWait(c *Ctx, key uint64, word *uint64, maxSpins int) (bool, uint64) {
+	for i := 0; ; {
+		c.Tick(taLoad)
+		if *word == 0 {
+			return true, c.Clock()
+		}
+		if i >= maxSpins {
+			return false, c.Clock()
+		}
+		before := c.Clock()
+		c.ParkOnWord(key, taPeriod, taLoad, maxSpins-i)
+		i += int((c.Clock() + taLoad - before) / taPeriod)
+	}
+}
+
+// TestEvaluatedBoundedParkEquivalence: a bounded park whose wake-time
+// polls are engine-evaluated must observe the release — or give up at
+// the final poll boundary — at exactly the cycles the unevaluated park
+// does, with an identical hook stream. Release cycles sweep across poll
+// boundaries and past the budget.
+func TestEvaluatedBoundedParkEquivalence(t *testing.T) {
+	const key, budget = 7, 5
+	for rel := uint64(1); rel < 300; rel += 13 {
+		type out struct {
+			ok    bool
+			at    uint64
+			hooks []uint64
+		}
+		var res [2]out
+		for variant := 0; variant < 2; variant++ {
+			eng := parkEngine(t, 2)
+			word := uint64(1) // pre-held
+			if variant == 1 {
+				eng.SetParkPollEvaluator(func(uint64) bool { return word != 0 })
+			}
+			o := &res[variant]
+			eng.SetTickHook(func(now uint64) { o.hooks = append(o.hooks, now) })
+			if _, err := eng.Run([]func(*Ctx){
+				func(c *Ctx) { o.ok, o.at = boundedWait(c, key, &word, budget) },
+				func(c *Ctx) {
+					c.Tick(rel)
+					word = 0
+					c.WakeKey(key)
+				},
+			}); err != nil {
+				t.Fatalf("rel=%d variant=%d: %v", rel, variant, err)
+			}
+		}
+		if res[0].ok != res[1].ok || res[0].at != res[1].at {
+			t.Fatalf("rel=%d: plain park (ok=%v at %d) vs evaluated park (ok=%v at %d)",
+				rel, res[0].ok, res[0].at, res[1].ok, res[1].at)
+		}
+		if !slices.Equal(res[0].hooks, res[1].hooks) {
+			t.Fatalf("rel=%d: hook streams differ (%d plain vs %d evaluated)",
+				rel, len(res[0].hooks), len(res[1].hooks))
+		}
+	}
+}

@@ -81,6 +81,13 @@ type Config struct {
 	Seed      int64             // seed for all per-thread PRNGs
 	MaxCycles uint64
 	Cost      CostModel
+	// SpecQuantum is the speculative multi-tick quantum: the maximum
+	// number of pure ticks (Ctx.TickPure) a thread may journal and run
+	// past its batch horizon before yielding, with rollback on
+	// interference (see quantum.go and DESIGN.md §6i). 0 disables
+	// speculation; schedules and all observable streams are identical
+	// either way.
+	SpecQuantum int
 }
 
 // DefaultConfig mirrors the paper's testbed: a 4-core, 8-hardware-thread
@@ -179,6 +186,34 @@ type Ctx struct {
 	parkPolls    int    // remaining poll budget; 0 = unbounded
 	parkDeadline uint64 // final-poll cycle for bounded parks
 	parkSkipped  uint64 // cumulative virtual cycles fast-forwarded while parked
+	// parkEval marks a park whose wake-time polls the engine may evaluate
+	// itself through the installed poll evaluator (see ParkOnWord and
+	// Engine.SetParkPollEvaluator): a poll that observes the key still
+	// busy re-parks without ever resuming the coroutine. pollPending is
+	// true between a wake and the delivery of its poll event.
+	parkEval    bool
+	pollPending bool
+
+	// Delegated-acquire state (see AcquireWord). While acq is true the
+	// coroutine is suspended inside AcquireWord and the event loop runs
+	// the test-and-test-and-set protocol at the thread's popped events;
+	// acqCAS marks the queued event as the CAS tick (else the poll tick).
+	acq      bool
+	acqCAS   bool
+	acqKey   uint64
+	acqOwner uint64
+
+	// Speculative-quantum state (see quantum.go). specCap mirrors
+	// Config.SpecQuantum; specOn is true while the running thread is
+	// deferring pure ticks into the journal; replaying is true while the
+	// engine re-delivers journaled ticks as events; specUnwind arms the
+	// next resume to panic with the unwinder's payload after a rollback.
+	specCap    int
+	specOn     bool
+	replaying  bool
+	specUnwind bool
+	spec       specJournal
+	unwinder   func() any
 
 	panicked any
 }
@@ -233,9 +268,11 @@ func (c *Ctx) Tick(cost uint64) {
 		}
 		return
 	}
+	c.specOn = false // an impure tick past the horizon closes any quantum
 	if !c.yield(c.clock) {
 		panic(errAbandonRun)
 	}
+	c.checkUnwind()
 }
 
 // Advance adds cost cycles without yielding. Use only for accounting that
@@ -266,9 +303,36 @@ func (c *Ctx) Advance(cost uint64) { c.clock += cost }
 // would). maxPolls 0 parks unboundedly; if every remaining thread is
 // parked unboundedly, the run fails with ErrDeadlock.
 func (c *Ctx) ParkOn(key, period, pollCost uint64, maxPolls int) {
+	c.parkEval = false
+	c.parkOn(key, period, pollCost, maxPolls)
+}
+
+// ParkOnWord is ParkOn for waits whose poll is a plain busy-test of one
+// simulated memory word: a Tick(pollCost) followed by a load of key's
+// word, with no observable effect beyond the tick when the word is busy
+// (the spin-lock polls satisfy this: a busy lock word can have no live
+// transactional writer, so the load dooms nobody). Declaring that lets
+// the engine evaluate wake-time polls itself through the evaluator
+// installed with Engine.SetParkPollEvaluator: a poll that would observe
+// the word still busy is replayed by the event loop — hook firings, clock
+// and schedule position all identical to the per-tick loop — without the
+// two coroutine switches of a resume/re-park round trip. Only a poll that
+// observes the word free (or the final boundary of a bounded wait) resumes
+// the context, which then re-executes the real poll itself. With no
+// evaluator installed it behaves exactly like ParkOn.
+func (c *Ctx) ParkOnWord(key, period, pollCost uint64, maxPolls int) {
+	c.parkEval = true
+	c.parkOn(key, period, pollCost, maxPolls)
+}
+
+func (c *Ctx) parkOn(key, period, pollCost uint64, maxPolls int) {
 	if period == 0 {
 		panic("machine: ParkOn with zero period")
 	}
+	// A parked thread leaves the schedule entirely, so a speculative
+	// journal must be replayed first: parking and replay must never
+	// coexist (the wake path assumes the thread has no queued event).
+	c.flushSpec()
 	c.parkKey = key
 	c.parkPeriod = period
 	c.parkPollCost = pollCost
@@ -294,7 +358,10 @@ func (c *Ctx) WakeKey(key uint64) {
 		return
 	}
 	for _, t := range e.threads {
-		if !t.parked || t.parkKey != key {
+		if !t.parked || t.pollPending || t.parkKey != key {
+			// A pollPending thread already has its wake's poll event
+			// queued; per-tick it would be runnable here, so a second
+			// release must not reschedule it.
 			continue
 		}
 		e.wake(t, c.clock, int32(c.id))
@@ -322,6 +389,21 @@ func (e *Engine) wake(t *Ctx, now uint64, wakerID int32) {
 	}
 	t.parkSkipped += (b - t.parkPollCost) - t.clock
 	t.clock = b - t.parkPollCost
+	if t.parkEval && e.pollEval != nil {
+		// Evaluated park: keep the context suspended and queue the poll
+		// boundary as an ordinary event. The event loop re-checks the key
+		// when the event pops and only resumes the coroutine if the poll
+		// would observe it free (see the pollPending branch in Run).
+		t.pollPending = true
+		if t.parkPolls > 0 {
+			if b < t.parkDeadline {
+				e.queue.decreaseKey(int32(t.id), b)
+			}
+		} else {
+			e.queue.push(event{cycle: b, id: int32(t.id)})
+		}
+		return
+	}
 	t.parked = false
 	e.nParked--
 	if t.parkPolls > 0 {
@@ -341,9 +423,10 @@ func (e *Engine) wake(t *Ctx, now uint64, wakerID int32) {
 // the telemetry layer mirrors interval diffs of this counter.
 func (c *Ctx) ParkSkipped() uint64 { return c.parkSkipped }
 
-// Work simulates n units of pure computation (no shared-memory effects).
+// Work simulates n units of pure computation (no shared-memory effects) —
+// by definition a pure tick, so it is eligible for speculative quanta.
 func (c *Ctx) Work(n uint64) {
-	c.Tick(n * c.eng.cfg.Cost.Work)
+	c.TickPure(n * c.eng.cfg.Cost.Work)
 }
 
 // Engine owns the hardware threads and drives the min-clock cooperative
@@ -363,11 +446,32 @@ type Engine struct {
 	// WakeKey's scan and distinguishes "all done" from "all deadlocked"
 	// when the event heap runs dry.
 	nParked int
+	// pollEval, when set, reports whether the word a ParkOnWord waiter is
+	// parked on is still busy; the event loop uses it to evaluate wake-time
+	// polls without resuming the waiter's coroutine. It must be a pure read
+	// of committed simulated memory (the runtime installs mem.Memory.Peek).
+	pollEval func(key uint64) bool
+	// lockLoad/lockStore are the committed-memory word operations backing
+	// delegated acquires (Ctx.AcquireWord) — non-transactional load/store
+	// with their full strong-isolation doom semantics, executed by the
+	// event loop on the acquiring thread's behalf. See SetLockWordOps.
+	lockLoad  func(hw int, key uint64) uint64
+	lockStore func(hw int, key uint64, v uint64)
 	// maxCap is the MaxCycles bound pre-encoded as a batch horizon: the
 	// first clock value past the livelock budget (MaxUint64 when the
 	// budget is unlimited). Folded into every thread's batchLimit so the
 	// Tick fast path is a single comparison.
 	maxCap uint64
+	// Speculative-quantum totals, accumulated over the engine's lifetime
+	// (see Engine.QuantumCounters).
+	specGrants        uint64
+	specTicks         uint64
+	specRollbacks     uint64
+	specRollbackTicks uint64
+	// running is the context currently resumed inside t.next(), nil
+	// between resumes. It lets SpecBarrier reach the speculating thread
+	// from hooks (mem.Memory.Peek) that have no Ctx in hand.
+	running *Ctx
 }
 
 // horizonFor returns the tick-batch horizon for thread id: the first
@@ -397,6 +501,16 @@ func (e *Engine) horizonFor(id int32) uint64 {
 // Unset, the loop pays a single nil check per step.
 func (e *Engine) SetTickHook(hook func(now uint64)) { e.tickHook = hook }
 
+// SetParkPollEvaluator installs (or clears, with nil) the busy predicate
+// for evaluated parks (Ctx.ParkOnWord): eval(key) reports whether the word
+// the key names is still busy, i.e. whether a poll at the current point in
+// the schedule would go back to sleep. It must be a pure read of committed
+// simulated state with no side effects — the runtime installs a
+// mem.Memory.Peek of the lock word. Install it before Run and leave it in
+// place for the engine's lifetime; without one, ParkOnWord degrades to
+// ParkOn. Schedules and all observable streams are identical either way.
+func (e *Engine) SetParkPollEvaluator(eval func(key uint64) bool) { e.pollEval = eval }
+
 // New creates an engine for the given machine configuration.
 func New(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
@@ -408,12 +522,18 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.threads = make([]*Ctx, cfg.HWThreads())
 	for i := range e.threads {
-		e.threads[i] = &Ctx{
+		t := &Ctx{
 			id:         i,
 			rng:        NewRand(mix(cfg.Seed, int64(i))),
 			eng:        e,
 			batchLimit: e.maxCap,
 		}
+		if cfg.SpecQuantum > 0 {
+			t.specCap = cfg.SpecQuantum
+			t.spec.cycles = make([]uint64, cfg.SpecQuantum)
+			t.spec.rngs = make([]Rand, cfg.SpecQuantum)
+		}
+		e.threads[i] = t
 	}
 	return e, nil
 }
@@ -437,6 +557,10 @@ func (t *Ctx) start(body func(*Ctx)) {
 			}
 		}()
 		body(t)
+		// A body must not finish with deferred ticks in flight: replay
+		// them so the final ticks' hooks fire at their per-tick events
+		// before the context is torn down.
+		t.flushSpec()
 	})
 }
 
@@ -469,7 +593,10 @@ func (e *Engine) Run(bodies []func(*Ctx)) (makespan uint64, err error) {
 		t.clock = 0
 		t.panicked = nil
 		t.parked = false
+		t.pollPending = false
+		t.acq = false
 		t.parkSkipped = 0
+		t.resetSpec()
 		t.start(body)
 		e.queue.push(event{cycle: 0, id: int32(i)})
 	}
@@ -478,7 +605,61 @@ func (e *Engine) Run(bodies []func(*Ctx)) (makespan uint64, err error) {
 		ev := e.queue.pop()
 		for {
 			t := e.threads[ev.id]
-			if t.parked {
+			if e.tickHook != nil {
+				e.tickHook(ev.cycle)
+			}
+			if e.cfg.MaxCycles > 0 && ev.cycle > e.cfg.MaxCycles {
+				// Unwind every live context so no coroutine outlives the
+				// run, then report the livelock.
+				e.drain(bodies)
+				return ev.cycle, ErrMaxCycles
+			}
+			runAcq := false
+			if t.pollPending {
+				// The popped event is an evaluated waiter's wake-time poll
+				// boundary. Per-tick the coroutine would resume here, tick
+				// through its polling load (firing the hook once more at
+				// this same cycle) and, with the word still busy, park
+				// again — with no other observable action, because a busy
+				// word has no transactional writer to doom. So the engine
+				// replays those two steps itself and skips both coroutine
+				// switches. The final boundary of a bounded wait always
+				// resumes: there the loop gives up busy-or-not.
+				t.pollPending = false
+				if (t.parkPolls == 0 || ev.cycle < t.parkDeadline) && e.pollEval(t.parkKey) {
+					if e.tickHook != nil {
+						e.tickHook(ev.cycle)
+					}
+					t.clock = ev.cycle
+					if t.parkPolls > 0 {
+						// Re-queue the bounded wait's deadline, exactly as
+						// the coroutine's re-park would.
+						e.queue.push(event{cycle: t.parkDeadline, id: ev.id})
+					}
+					break
+				}
+				// The poll would observe the word free (or this is the
+				// final boundary): resume the coroutine so the real load —
+				// and its doom semantics on a free word — executes in the
+				// context itself. Its clock already sits at the poll's
+				// tick start, courtesy of the wake.
+				t.parked = false
+				e.nParked--
+				if t.acq {
+					// A delegated acquire's wake: fire the poll tick's
+					// hook (the resumed coroutine's Tick would) and run
+					// the protocol — the real load included — engine-side.
+					if e.tickHook != nil {
+						e.tickHook(ev.cycle)
+					}
+					t.acqCAS = false
+					runAcq = true
+				}
+			} else if t.acq {
+				// The popped event is a delegated acquire's own protocol
+				// tick; its pop hook above was the tick's hook.
+				runAcq = true
+			} else if t.parked {
 				// A popped event for a still-parked thread is its bounded
 				// wait's deadline firing: the final poll boundary arrived
 				// with no wake. Fast-forward the clock like a wake would,
@@ -489,17 +670,56 @@ func (e *Engine) Run(bodies []func(*Ctx)) (makespan uint64, err error) {
 				t.parked = false
 				e.nParked--
 			}
-			if e.tickHook != nil {
-				e.tickHook(ev.cycle)
+			if runAcq {
+				nc, status := e.acquireStep(t, ev.cycle)
+				if status == acqParked {
+					break
+				}
+				if status == acqQueued {
+					nev := event{cycle: nc, id: ev.id}
+					if e.queue.empty() || nev.before(e.queue.min) {
+						ev = nev
+						continue
+					}
+					ev = e.queue.replaceMin(nev)
+					continue
+				}
+				// acqDone: the winning store executed at the thread's
+				// current clock; fall through to the ordinary resume so
+				// AcquireWord returns with the lock held.
 			}
-			if e.cfg.MaxCycles > 0 && ev.cycle > e.cfg.MaxCycles {
-				// Unwind every live context so no coroutine outlives the
-				// run, then report the livelock.
-				e.drain(bodies)
-				return ev.cycle, ErrMaxCycles
+			if t.replaying {
+				if t.spec.next < t.spec.n {
+					// The popped event is deferred tick spec.next of t's
+					// journal: its hook just fired at exactly the cycle
+					// the per-tick engine would have popped — without a
+					// coroutine switch. Queue the next deferred tick, or
+					// the final resume at the thread's current clock.
+					t.spec.next++
+					nc := t.clock
+					if t.spec.next < t.spec.n {
+						nc = t.spec.cycles[t.spec.next]
+					}
+					nev := event{cycle: nc, id: ev.id}
+					if e.queue.empty() || nev.before(e.queue.min) {
+						ev = nev
+						continue
+					}
+					ev = e.queue.replaceMin(nev)
+					continue
+				}
+				// Final resume event (or a rollback truncated the journal
+				// to this very event): leave replay mode and fall through
+				// to the ordinary resume below. If the thread was rolled
+				// back, its clock and PRNG already sit at the rewound
+				// tick and the resume will unwind (Ctx.checkUnwind).
+				t.replaying = false
+				t.spec.n, t.spec.next = 0, 0
 			}
 			t.batchLimit = e.horizonFor(ev.id)
+			e.running = t
 			clock, ok := t.next()
+			e.running = nil
 			if !ok {
 				// The body returned (or panicked); the context is done
 				// and is not re-queued.
@@ -520,6 +740,23 @@ func (e *Engine) Run(bodies []func(*Ctx)) (makespan uint64, err error) {
 					e.queue.push(event{cycle: t.parkDeadline, id: ev.id})
 				}
 				break
+			}
+			if t.spec.n > 0 {
+				// The yield closed a speculative quantum: re-deliver the
+				// journaled ticks as ordinary events, in (cycle, id)
+				// order, before the world sees this thread again. ParkOn
+				// and the coroutine trampoline flush their journals
+				// before suspending, so a quantum-closing yield is always
+				// a plain runnable yield.
+				t.replaying = true
+				t.spec.next = 0
+				nev := event{cycle: t.spec.cycles[0], id: ev.id}
+				if e.queue.empty() || nev.before(e.queue.min) {
+					ev = nev
+					continue
+				}
+				ev = e.queue.replaceMin(nev)
+				continue
 			}
 			nev := event{cycle: clock, id: ev.id}
 			if e.queue.empty() || nev.before(e.queue.min) {
@@ -577,7 +814,10 @@ func (e *Engine) drain(bodies []func(*Ctx)) {
 		}
 		t := e.threads[i]
 		t.parked = false
+		t.pollPending = false
+		t.acq = false
 		t.batchLimit = e.maxCap
+		t.resetSpec()
 		if t.next != nil {
 			t.finish()
 		}

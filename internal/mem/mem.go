@@ -112,6 +112,15 @@ type Memory struct {
 	brk        Addr // bump-allocation watermark
 	doomer     Doomer
 	access     AccessCostFunc // nil = uniform memory
+
+	// specBarrier, when set, is invoked before every Peek. Peek is the one
+	// shared read with no scheduling point of its own (spinlock.LockedFast
+	// funnels through it), so under speculative quanta it must close the
+	// running thread's quantum first: a speculated Peek would otherwise
+	// read lock words before earlier-virtual-time threads have run. The
+	// hook is nil unless speculation is enabled (see machine.Engine
+	// SpecBarrier), and a no-op when no speculating thread is running.
+	specBarrier func()
 }
 
 // slot maps a cache line to its index in the sharded line-state table.
@@ -238,9 +247,18 @@ func (m *Memory) checkAddr(a Addr) {
 
 // --- Raw access (simulator-internal; no coherence side effects) ---
 
+// SetSpecBarrier installs the speculation barrier consulted by Peek (see
+// the field comment). Pass nil to remove it.
+func (m *Memory) SetSpecBarrier(fn func()) { m.specBarrier = fn }
+
 // Peek reads a word without any conflict-registry side effects. It is for
-// simulator components and tests, not for simulated programs.
+// simulator components and tests, not for simulated programs — and for
+// tickless polling reads like spinlock.LockedFast, which is why it carries
+// the speculation barrier.
 func (m *Memory) Peek(a Addr) uint64 {
+	if m.specBarrier != nil {
+		m.specBarrier()
+	}
 	m.checkAddr(a)
 	return m.words[a]
 }
@@ -361,22 +379,31 @@ func (m *Memory) LineWriter(ln Line) int { return int(m.line(ln).writer) }
 // workload code can run on either path (HTM or single-global-lock
 // fall-back).
 type Direct struct {
-	m    *Memory
-	hw   int
-	tick func(cost uint64)
-	cost struct{ load, store, work uint64 }
+	m        *Memory
+	hw       int
+	tick     func(cost uint64)
+	workTick func(cost uint64)
+	cost     struct{ load, store, work uint64 }
 }
 
 // NewDirect creates a direct accessor for hardware thread hw. tick is the
 // thread's virtual-time advance function; loadCost/storeCost come from the
-// machine's cost model.
+// machine's cost model. Work ticks use the same function until
+// SetWorkTick installs a dedicated one.
 func NewDirect(m *Memory, hw int, tick func(uint64), loadCost, storeCost, workCost uint64) *Direct {
-	d := &Direct{m: m, hw: hw, tick: tick}
+	d := &Direct{m: m, hw: hw, tick: tick, workTick: tick}
 	d.cost.load = loadCost
 	d.cost.store = storeCost
 	d.cost.work = workCost
 	return d
 }
+
+// SetWorkTick installs a dedicated virtual-time advance for Work ticks.
+// Work touches no shared simulator state, so its ticks are pure in the
+// engine's sense: the policy layer points this at machine.Ctx.TickPure,
+// making non-transactional compute stretches eligible for speculative
+// multi-tick quanta while loads and stores keep the plain (impure) tick.
+func (d *Direct) SetWorkTick(fn func(uint64)) { d.workTick = fn }
 
 // Load reads a word non-transactionally. Cross-socket lines may carry
 // an extra access cost (see SetAccessCost).
@@ -394,7 +421,7 @@ func (d *Direct) Store(a Addr, v uint64) {
 // Work simulates n units of computation on the owning thread.
 func (d *Direct) Work(n uint64) {
 	if n > 0 {
-		d.tick(n * d.cost.work)
+		d.workTick(n * d.cost.work)
 	}
 }
 

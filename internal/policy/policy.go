@@ -145,11 +145,16 @@ func abortCause(s htm.Status) telemetry.Cause {
 // NewThread builds the runtime state for ctx's hardware thread.
 func NewThread(ctx *machine.Ctx, m *mem.Memory, u *htm.Unit) *Thread {
 	cost := ctx.Machine().Cost
+	d := mem.NewDirect(m, ctx.ID(), ctx.Tick, cost.DirectLoad, cost.DirectStore, cost.Work)
+	// Direct Work is pure computation: route it through TickPure so
+	// fall-back and sequential compute stretches can run under a
+	// speculative quantum (loads/stores keep the impure tick).
+	d.SetWorkTick(ctx.TickPure)
 	return &Thread{
 		Ctx:    ctx,
 		Mem:    m,
 		HTM:    u,
-		Direct: mem.NewDirect(m, ctx.ID(), ctx.Tick, cost.DirectLoad, cost.DirectStore, cost.Work),
+		Direct: d,
 	}
 }
 

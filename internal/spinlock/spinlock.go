@@ -76,6 +76,14 @@ func (l Lock) TryAcquire(ctx *machine.Ctx, m *mem.Memory) bool {
 // which cycles the lock word is polled at, and in which thread order — is
 // identical to the ticking loop's; see DESIGN.md §6d.
 func (l Lock) Acquire(ctx *machine.Ctx, m *mem.Memory) {
+	// When the engine has lock-word operations installed (the runtime
+	// wires DirectLoad/DirectStore and a Peek-based poll evaluator), the
+	// whole protocol is delegated to the event loop: every tick, hook and
+	// doom lands at the identical schedule position, but the coroutine
+	// suspends at most once. See machine.Ctx.AcquireWord.
+	if ctx.AcquireWord(uint64(l.addr), uint64(ctx.ID())+1) {
+		return
+	}
 	cost := ctx.Cost()
 	for {
 		ctx.Tick(cost.DirectLoad)
@@ -85,7 +93,7 @@ func (l Lock) Acquire(ctx *machine.Ctx, m *mem.Memory) {
 			}
 			continue
 		}
-		ctx.ParkOn(uint64(l.addr), cost.SpinQuantum+cost.DirectLoad, cost.DirectLoad, 0)
+		ctx.ParkOnWord(uint64(l.addr), cost.SpinQuantum+cost.DirectLoad, cost.DirectLoad, 0)
 	}
 }
 
@@ -99,7 +107,7 @@ func (l Lock) SpinWhileLocked(ctx *machine.Ctx, m *mem.Memory) {
 		if m.DirectLoad(ctx.ID(), l.addr) == 0 {
 			return
 		}
-		ctx.ParkOn(uint64(l.addr), cost.SpinQuantum+cost.DirectLoad, cost.DirectLoad, 0)
+		ctx.ParkOnWord(uint64(l.addr), cost.SpinQuantum+cost.DirectLoad, cost.DirectLoad, 0)
 	}
 }
 
@@ -127,7 +135,7 @@ func (l Lock) SpinWhileLockedBounded(ctx *machine.Ctx, m *mem.Memory, maxSpins i
 			return false
 		}
 		before := ctx.Clock()
-		ctx.ParkOn(uint64(l.addr), period, cost.DirectLoad, maxSpins-i)
+		ctx.ParkOnWord(uint64(l.addr), period, cost.DirectLoad, maxSpins-i)
 		i += int((ctx.Clock() + cost.DirectLoad - before) / period)
 	}
 }

@@ -31,7 +31,9 @@ func CSVHeader() []string {
 		"backoff_waits", "backoff_cycles",
 		"th1", "th2", "scheme_pairs", "scheme_reuse_hits",
 		"throughput_per_kcycle", "abort_rate",
-		"attr_top_pair", "attr_top_pair_dooms", "cascade_deepest")
+		"attr_top_pair", "attr_top_pair_dooms", "cascade_deepest",
+		"quantum_grants", "quantum_ticks",
+		"quantum_rollbacks", "quantum_rollback_ticks")
 }
 
 // CSVRecord renders one snapshot in CSVHeader's column order.
@@ -72,7 +74,11 @@ func CSVRecord(s Snapshot) []string {
 	if len(s.CascadeHist) > 0 {
 		deepest = strconv.Itoa(len(s.CascadeHist) - 1)
 	}
-	return append(rec, topPair, topDooms, deepest)
+	return append(rec, topPair, topDooms, deepest,
+		strconv.FormatUint(s.QuantumGrants, 10),
+		strconv.FormatUint(s.QuantumTicks, 10),
+		strconv.FormatUint(s.QuantumRollbacks, 10),
+		strconv.FormatUint(s.QuantumRollbackTicks, 10))
 }
 
 // WriteCSV renders the timeline as CSV, one row per interval.

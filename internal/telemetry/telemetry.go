@@ -160,6 +160,17 @@ type Snapshot struct {
 	BackoffWaits  uint64 `json:"backoff_waits,omitempty"`
 	BackoffCycles uint64 `json:"backoff_cycles,omitempty"`
 
+	// Quantum* mirror the engine's speculative-quantum activity in the
+	// interval (machine.Engine.QuantumCounters, diffed by the recorder):
+	// quanta granted, pure ticks journaled, rollbacks, and journaled ticks
+	// discarded by rollbacks. All zero — and omitted from JSON — unless
+	// speculation is enabled and a quantum probe is installed, keeping
+	// pre-quantum timeline outputs byte-identical.
+	QuantumGrants        uint64 `json:"quantum_grants,omitempty"`
+	QuantumTicks         uint64 `json:"quantum_ticks,omitempty"`
+	QuantumRollbacks     uint64 `json:"quantum_rollbacks,omitempty"`
+	QuantumRollbackTicks uint64 `json:"quantum_rollback_ticks,omitempty"`
+
 	// Sockets breaks the interval down per socket on multi-socket
 	// machines; nil (and omitted from JSON) on single-socket machines,
 	// which keeps pre-topology timeline outputs byte-identical.
@@ -234,6 +245,11 @@ type PairCount struct {
 	Count   uint64 `json:"count"`
 }
 
+// QuantumProbe supplies the engine's cumulative speculative-quantum
+// counters at snapshot time (machine.Engine.QuantumCounters); the
+// recorder diffs them per interval.
+type QuantumProbe func() (grants, ticks, rollbacks, rollbackTicks uint64)
+
 // AttrProbe supplies the attribution subsystem's cumulative state at
 // snapshot time: the flat victim-major ground-truth conflict matrix
 // (borrowed view, nBlocks×nBlocks) and the cumulative cascade-depth
@@ -260,6 +276,11 @@ type Recorder struct {
 	prev      totals
 	prevReuse uint64 // probe's cumulative reuse counter at the last snapshot
 	start     uint64 // start cycle of the interval being accumulated
+
+	// Speculative-quantum probe state: the engine's cumulative counters at
+	// the last snapshot, for interval diffs.
+	quantumProbe QuantumProbe
+	prevQuantum  [4]uint64
 
 	// Attribution probe state: cumulative truth matrix and cascade
 	// histogram at the last snapshot, for interval diffs.
@@ -300,6 +321,17 @@ func (r *Recorder) SetProbe(p Probe) {
 		return
 	}
 	r.probe = p
+}
+
+// SetQuantumProbe installs the speculative-quantum probe: every snapshot
+// from here on carries the interval's quantum grant/tick/rollback deltas.
+// Without it (the default, and whenever speculation is off) those fields
+// stay zero and timeline outputs are byte-identical to pre-quantum ones.
+func (r *Recorder) SetQuantumProbe(p QuantumProbe) {
+	if r == nil {
+		return
+	}
+	r.quantumProbe = p
 }
 
 // SetAttribution installs the abort-attribution probe: every snapshot
@@ -386,6 +418,15 @@ func (r *Recorder) emit(end uint64) {
 		snap.Th1, snap.Th2, snap.SchemePairs, reuse = r.probe()
 		snap.SchemeReuse = reuse - r.prevReuse
 		r.prevReuse = reuse
+	}
+	if r.quantumProbe != nil {
+		g, t, rb, rt := r.quantumProbe()
+		cum := [4]uint64{g, t, rb, rt}
+		snap.QuantumGrants = cum[0] - r.prevQuantum[0]
+		snap.QuantumTicks = cum[1] - r.prevQuantum[1]
+		snap.QuantumRollbacks = cum[2] - r.prevQuantum[2]
+		snap.QuantumRollbackTicks = cum[3] - r.prevQuantum[3]
+		r.prevQuantum = cum
 	}
 	if r.attrProbe != nil {
 		r.emitAttribution(&snap)

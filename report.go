@@ -35,6 +35,15 @@ type Report struct {
 	// policy ran (nil otherwise).
 	Backoff *BackoffReport
 
+	// Quantum holds the engine's speculative-quantum counters when
+	// Config.SpeculativeQuantum > 0 (nil otherwise). Like the HTM
+	// counters they accumulate across Runs on one System. The counters
+	// are engine diagnostics, not simulated-machine state: they are
+	// deliberately excluded from Summary, whose digest is invariant
+	// across SpeculativeQuantum settings (the determinism goldens and
+	// the differential fuzz target rely on that).
+	Quantum *QuantumReport
+
 	// Timeline is the interval-metrics series cut by the telemetry
 	// recorder (nil unless Config.MetricsInterval > 0). Snapshots from
 	// repeated Runs on one System accumulate.
@@ -72,6 +81,16 @@ type BackoffReport struct {
 	Waits     uint64
 	Cycles    uint64
 	MaxWindow uint64
+}
+
+// QuantumReport captures the engine's speculative-quantum activity:
+// quanta granted, pure ticks journaled, rollbacks, and journaled ticks
+// discarded by rollbacks (see machine.Engine.QuantumCounters).
+type QuantumReport struct {
+	Grants        uint64
+	Ticks         uint64
+	Rollbacks     uint64
+	RollbackTicks uint64
 }
 
 // Commits returns the total committed atomic blocks.
@@ -127,6 +146,10 @@ func (r Report) String() string {
 	if r.Backoff != nil {
 		fmt.Fprintf(&b, "  backoff: waits=%d cycles=%d maxWindow=%d\n",
 			r.Backoff.Waits, r.Backoff.Cycles, r.Backoff.MaxWindow)
+	}
+	if q := r.Quantum; q != nil && q.Grants > 0 {
+		fmt.Fprintf(&b, "  quantum: grants=%d ticks=%d rollbacks=%d rolledback=%d\n",
+			q.Grants, q.Ticks, q.Rollbacks, q.RollbackTicks)
 	}
 	return b.String()
 }
@@ -234,6 +257,11 @@ func (s *System) buildReport(makespan uint64, threads []*policy.Thread) Report {
 		br := &BackoffReport{}
 		br.Waits, br.Cycles, br.MaxWindow = bp.Stats()
 		r.Backoff = br
+	}
+	if s.cfg.SpeculativeQuantum > 0 {
+		qr := &QuantumReport{}
+		qr.Grants, qr.Ticks, qr.Rollbacks, qr.RollbackTicks = s.eng.QuantumCounters()
+		r.Quantum = qr
 	}
 	if s.tel != nil {
 		s.tel.Flush(makespan)

@@ -223,6 +223,16 @@ type Config struct {
 	// spans — the cheap mode the telemetry timeline and `seerstat
 	// -explain` use. Implied by TraceAttempts.
 	AttributionCounters bool
+	// SpeculativeQuantum bounds the engine's speculative multi-tick
+	// quanta: the maximum number of pure compute ticks a thread may run
+	// past its conflict-free horizon without yielding, journaled in a
+	// per-thread undo log and rolled back if an earlier-virtual-time
+	// thread dooms the speculating transaction (DESIGN.md §6i). Pure
+	// scheduling mechanics: schedules, reports and telemetry are
+	// byte-for-byte identical at any setting. 0 disables speculation;
+	// DefaultConfig enables it at DefaultSpeculativeQuantum. Negative
+	// values are rejected by Validate.
+	SpeculativeQuantum int
 	// RegistryShards splits the conflict registry's line-state table into
 	// cache-line-padded shards indexed by a line hash, so the registry
 	// entries of adjacent hot lines stop sharing hardware cache lines.
@@ -262,21 +272,29 @@ func (c Config) registryShards(hw int) int {
 	return hw / 16
 }
 
+// DefaultSpeculativeQuantum is the speculative multi-tick quantum used by
+// DefaultConfig: deep enough to cover the long conflict-free compute
+// stretches of the STAMP-style workloads, small enough that a rollback
+// discards bounded work and the per-thread journal stays cache-resident
+// (two words per entry).
+const DefaultSpeculativeQuantum = 64
+
 // DefaultConfig mirrors the paper's testbed: 8 hardware threads on 4
 // physical cores, 5 hardware attempts, full Seer options.
 func DefaultConfig() Config {
 	return Config{
-		Threads:         8,
-		PhysCores:       4,
-		Seed:            1,
-		MemWords:        1 << 20,
-		NumAtomicBlocks: 1,
-		MaxAttempts:     5,
-		Policy:          PolicySeer,
-		Seer:            core.DefaultOptions(),
-		HTM:             htm.DefaultConfig(),
-		Cost:            machine.DefaultCostModel(),
-		MaxCycles:       0,
+		Threads:            8,
+		PhysCores:          4,
+		Seed:               1,
+		MemWords:           1 << 20,
+		NumAtomicBlocks:    1,
+		MaxAttempts:        5,
+		Policy:             PolicySeer,
+		Seer:               core.DefaultOptions(),
+		HTM:                htm.DefaultConfig(),
+		Cost:               machine.DefaultCostModel(),
+		MaxCycles:          0,
+		SpeculativeQuantum: DefaultSpeculativeQuantum,
 	}
 }
 
@@ -288,6 +306,7 @@ var (
 	ErrMaxAttempts     = errors.New("seer: MaxAttempts must be positive")
 	ErrHWThreads       = errors.New("seer: HWThreads < Threads")
 	ErrPolicy          = errors.New("seer: unknown policy")
+	ErrQuantum         = errors.New("seer: SpeculativeQuantum must be non-negative")
 )
 
 // valid reports whether p names a registered policy.
@@ -343,6 +362,9 @@ func (c Config) Validate() error {
 	if !c.Policy.valid() {
 		return fmt.Errorf("%w %q", ErrPolicy, c.Policy)
 	}
+	if c.SpeculativeQuantum < 0 {
+		return fmt.Errorf("%w, got %d", ErrQuantum, c.SpeculativeQuantum)
+	}
 	topo, err := c.machineTopology()
 	if err != nil {
 		return err
@@ -352,10 +374,11 @@ func (c Config) Validate() error {
 			topo, topo.Threads(), c.Threads)
 	}
 	mach := machine.Config{
-		Topo:      topo,
-		Seed:      c.Seed,
-		MaxCycles: c.MaxCycles,
-		Cost:      c.Cost,
+		Topo:        topo,
+		Seed:        c.Seed,
+		MaxCycles:   c.MaxCycles,
+		Cost:        c.Cost,
+		SpecQuantum: c.SpeculativeQuantum,
 	}
 	return mach.Validate()
 }
@@ -391,10 +414,11 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	hw := topo.Threads()
 	mach := machine.Config{
-		Topo:      topo,
-		Seed:      cfg.Seed,
-		MaxCycles: cfg.MaxCycles,
-		Cost:      cfg.Cost,
+		Topo:        topo,
+		Seed:        cfg.Seed,
+		MaxCycles:   cfg.MaxCycles,
+		Cost:        cfg.Cost,
+		SpecQuantum: cfg.SpeculativeQuantum,
 	}
 	eng, err := machine.New(mach)
 	if err != nil {
@@ -410,6 +434,28 @@ func NewSystem(cfg Config) (*System, error) {
 		memBuf, htmBuf = &r.mem, &r.htm
 	}
 	s.mem = mem.NewRecycled(cfg.MemWords, cfg.registryShards(hw), memBuf)
+	// Spin-lock waiters park on their lock word (machine.Ctx.ParkOnWord);
+	// the engine evaluates their wake-time polls against committed memory
+	// so a poll that would observe the word still busy re-parks without a
+	// coroutine round trip. Peek is the required pure read: a busy lock
+	// word can have no live transactional writer (AcquireTx aborts before
+	// storing, and any direct store dooms writers first), so the per-tick
+	// poll's DirectLoad could not have doomed anyone either.
+	m := s.mem
+	eng.SetParkPollEvaluator(func(key uint64) bool { return m.Peek(mem.Addr(key)) != 0 })
+	// Delegated acquires additionally need the real load/store on the lock
+	// word — dooms included — so the engine-side protocol is byte-identical
+	// to the coroutine's (machine.Ctx.AcquireWord).
+	eng.SetLockWordOps(
+		func(hw int, key uint64) uint64 { return m.DirectLoad(hw, mem.Addr(key)) },
+		func(hw int, key uint64, v uint64) { m.DirectStore(hw, mem.Addr(key), v) })
+	if cfg.SpeculativeQuantum > 0 {
+		// Peek (the one tickless shared read — spinlock.LockedFast funnels
+		// through it) must close an open speculative quantum before reading,
+		// or a speculated poll would see lock words from before earlier
+		// virtual-time threads ran. See machine.Engine.SpecBarrier.
+		s.mem.SetSpecBarrier(eng.SpecBarrier)
+	}
 	if cfg.RemoteAccessCost > 0 && topo.Sockets > 1 {
 		// NUMA model: cache lines are interleaved across sockets by line
 		// index; touching a line homed on another socket costs extra
@@ -460,6 +506,9 @@ func NewSystem(cfg Config) (*System, error) {
 				th := sched.Thresholds()
 				return th.Th1, th.Th2, sched.SchemePairs(), sched.SchemeReuseHits
 			})
+		}
+		if cfg.SpeculativeQuantum > 0 {
+			s.tel.SetQuantumProbe(eng.QuantumCounters)
 		}
 	}
 	if cfg.TraceAttempts || cfg.AttributionCounters {
