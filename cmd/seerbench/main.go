@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	seerbench -experiment fig3|table3|fig4|fig5|lockfrac|ext|attempts|contended|scaling|inference|adversarial|fullsuite|all [flags]
+//	seerbench -experiment fig3|table3|fig4|fig5|lockfrac|ext|attempts|contended|scaling|inference|adversarial|phased|fullsuite|all [flags]
 //	seerbench -compare old.json new.json [-compare-threshold f]
 //
 // The contended experiment is a stress view of the SGL park/wake path
@@ -13,9 +13,11 @@
 // simulator's ground-truth conflict matrix (precision/recall over
 // virtual time), the adversarial experiment runs synthetic worst-case
 // conflict graphs (ring, star, bipartite, clique, phase-shift) under
-// every contention manager, and fullsuite runs Figure 3 over the opt-in
-// bayes/labyrinth workloads; none is part of "all", which regenerates
-// only the paper's exhibits.
+// every contention manager, the phased experiment compares the phased
+// runtime (PhTM, with its software commit path) against RTM/SCM/Seer on
+// the suite plus a capacity-bound microbenchmark, and fullsuite runs
+// Figure 3 over the opt-in bayes/labyrinth workloads; none is part of
+// "all", which regenerates only the paper's exhibits.
 //
 // The second form compares two -bench-json snapshots (per-experiment
 // cells/sec ratio and geomean) and exits nonzero when the geomean falls
@@ -59,9 +61,18 @@ import (
 	"seer/internal/harness"
 )
 
+// experimentNames lists every runnable -experiment value, in the order
+// the doc comment presents them; "unknown experiment" errors and the
+// -experiment flag help enumerate it so typos are self-correcting.
+var experimentNames = []string{
+	"fig3", "table3", "fig4", "fig5", "lockfrac", "ext", "attempts",
+	"timeline", "inference", "contended", "scaling", "adversarial",
+	"phased", "fullsuite", "all",
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|table3|fig4|fig5|lockfrac|ext|attempts|timeline|inference|contended|scaling|adversarial|fullsuite|all")
+		experiment = flag.String("experiment", "all", strings.Join(experimentNames, "|"))
 		scale      = flag.Float64("scale", 1.0, "workload scale factor")
 		runs       = flag.Int("runs", 3, "repetitions per measurement")
 		seed       = flag.Int64("seed", 1, "base PRNG seed")
@@ -250,6 +261,12 @@ func main() {
 				return err
 			}
 			d.Render(os.Stdout)
+		case "phased":
+			d, err := harness.Phased(opt, wls, progress)
+			if err != nil {
+				return err
+			}
+			d.Render(os.Stdout)
 		case "fullsuite":
 			// Figure 3 restricted to the opt-in workloads, over the full
 			// policy set — the bayes/labyrinth companion to fig3.
@@ -262,7 +279,7 @@ func main() {
 				return err
 			}
 		default:
-			return fmt.Errorf("unknown experiment %q", name)
+			return fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(experimentNames, "|"))
 		}
 		return nil
 	}

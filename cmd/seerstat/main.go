@@ -76,6 +76,39 @@ func renderEngineCounters(snaps []seer.Snapshot) {
 	}
 }
 
+// renderModeTimeline renders the phased runtime's per-interval mode
+// occupancy as sparklines — the share of each interval's virtual cycles
+// spent in the HW, SW and GLOCK phases — plus the mode-word transition
+// count. Intervals without phase data (every non-phased policy) render
+// nothing.
+func renderModeTimeline(snaps []seer.Snapshot) {
+	const width = 64
+	var transitions uint64
+	hw := make([]float64, len(snaps))
+	sw := make([]float64, len(snaps))
+	gl := make([]float64, len(snaps))
+	any := false
+	for i, s := range snaps {
+		transitions += s.PhaseTransitions
+		total := s.PhaseHWCycles + s.PhaseSWCycles + s.PhaseGLOCKCycles
+		if total == 0 {
+			continue
+		}
+		any = true
+		hw[i] = 100 * float64(s.PhaseHWCycles) / float64(total)
+		sw[i] = 100 * float64(s.PhaseSWCycles) / float64(total)
+		gl[i] = 100 * float64(s.PhaseGLOCKCycles) / float64(total)
+	}
+	if !any {
+		return
+	}
+	fmt.Printf("\nPhased mode timeline (%% of interval cycles per phase):\n")
+	fmt.Printf("  HW          %s\n", plot.Sparkline(hw, width))
+	fmt.Printf("  SW          %s\n", plot.Sparkline(sw, width))
+	fmt.Printf("  GLOCK       %s\n", plot.Sparkline(gl, width))
+	fmt.Printf("  transitions %d\n", transitions)
+}
+
 // jsonOut is the machine-readable shape of a seerstat run.
 type jsonOut struct {
 	Policy         string             `json:"policy"`
@@ -153,7 +186,7 @@ func main() {
 		threads    = flag.Int("threads", 8, "worker threads")
 		scale      = flag.Float64("scale", 0.5, "workload scale")
 		seed       = flag.Int64("seed", 1, "PRNG seed")
-		policy     = flag.String("policy", "Seer", "policy (HLE|RTM|SCM|ATS|Seer|seq)")
+		policy     = flag.String("policy", "Seer", "policy (HLE|RTM|SCM|ATS|Seer|PhTM|seq)")
 		topoSpec   = flag.String("topology", "", "machine shape, e.g. 2s8c2t (default: the paper's 1s4c2t testbed)")
 		remoteCost = flag.Uint64("remote-cost", 0, "extra cycles per cross-socket access on multi-socket shapes")
 		traceN     = flag.Int("trace", 0, "dump the last N runtime events")
@@ -284,6 +317,7 @@ func main() {
 		fmt.Printf("\nTimeline (interval = %d cycles):\n", cfg.MetricsInterval)
 		harness.RenderTimeline(os.Stdout, fmt.Sprintf("%s/%s", *workload, rep.Policy), rep.Timeline)
 		renderEngineCounters(rep.Timeline)
+		renderModeTimeline(rep.Timeline)
 	}
 
 	if *explain {

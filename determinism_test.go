@@ -18,9 +18,11 @@ var updateGolden = flag.Bool("update", false, "regenerate testdata golden files"
 var detPolicies = []seer.PolicyKind{
 	seer.PolicyHLE, seer.PolicyRTM, seer.PolicySCM,
 	seer.PolicyATS, seer.PolicyOracle, seer.PolicySeer, seer.PolicySeq,
-	// Backoff is appended last so the golden sections of the older
-	// policies stay byte-identical across the PR that introduced it.
+	// Backoff and Phased are appended last (in introduction order) so
+	// the golden sections of the older policies stay byte-identical
+	// across the PRs that introduced them.
 	seer.PolicyBackoff,
+	seer.PolicyPhased,
 }
 
 // detConfig is the fixed configuration of the golden run: 4 workers on a

@@ -140,6 +140,15 @@ func TestExhibitGoldens(t *testing.T) {
 			d.Render(&buf)
 			return buf.String(), nil
 		}},
+		{"phased", func(opt harness.Options) (string, error) {
+			d, err := harness.Phased(opt, nil, nil)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			d.Render(&buf)
+			return buf.String(), nil
+		}},
 		{"fullsuite", func(opt harness.Options) (string, error) {
 			// The opt-in workloads through the fig3 pipeline over the full
 			// policy set (the seerbench -experiment fullsuite exhibit).

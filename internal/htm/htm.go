@@ -185,7 +185,12 @@ type Unit struct {
 	mach machine.Config
 	cfg  Config
 	txns []txnState
-	cnt  []Counters // per hardware thread
+	cnt  []Counters // per hardware thread, hardware (HTM) attempts
+	// swCnt mirrors cnt for software-mode (STM) attempts run through
+	// RunSW; kept separate so reports can distinguish the two commit
+	// protocols. Nil until the first RunSW-capable unit is built — it is
+	// always allocated alongside cnt, so indexing is safe whenever cnt is.
+	swCnt []Counters
 	// coreActive[core] counts the hardware threads of one physical core
 	// currently inside a transaction, maintained at transaction begin/end
 	// so the capacity model reads it in O(1) instead of scanning the
@@ -225,6 +230,16 @@ func (u *Unit) Counters() Counters {
 	return total
 }
 
+// SWCounters returns the summed software-mode (STM) event counters
+// across hardware threads. All zero unless RunSW executed.
+func (u *Unit) SWCounters() Counters {
+	var total Counters
+	for i := range u.swCnt {
+		total.Add(u.swCnt[i])
+	}
+	return total
+}
+
 // ThreadCounters returns the event counters of one hardware thread.
 func (u *Unit) ThreadCounters(hw int) Counters { return u.cnt[hw] }
 
@@ -232,6 +247,9 @@ func (u *Unit) ThreadCounters(hw int) Counters { return u.cnt[hw] }
 func (u *Unit) ResetCounters() {
 	for i := range u.cnt {
 		u.cnt[i] = Counters{}
+	}
+	for i := range u.swCnt {
+		u.swCnt[i] = Counters{}
 	}
 }
 
@@ -323,6 +341,16 @@ type Tx struct {
 	cost *machine.CostModel
 	st   *txnState // the owning thread's state, cached for the access path
 	hw   int
+	// Per-attempt execution-mode parameters, set by Run (hardware values)
+	// or RunSW (software values) so the shared access path needs no mode
+	// branches: loads/stores charge loadCost/storeCost, step draws
+	// spurious aborts with probability spurious, and sw disables the L1
+	// capacity model (a software transaction's footprint is bounded only
+	// by memory).
+	sw        bool
+	loadCost  uint64
+	storeCost uint64
+	spurious  float64
 }
 
 // activeOnCore counts hardware threads of hw's physical core currently
@@ -349,7 +377,7 @@ func (t *Tx) step(cost uint64) {
 		st.sig.status = st.doomStatus
 		panic(&st.sig)
 	}
-	if t.u.cfg.SpuriousProb > 0 && t.ctx.Rand().Bool(t.u.cfg.SpuriousProb) {
+	if t.spurious > 0 && t.ctx.Rand().Bool(t.spurious) {
 		t.u.lastConflictor[t.hw] = -1
 		st.sig.status = BitSpurious | BitRetry
 		panic(&st.sig)
@@ -371,7 +399,7 @@ func (t *Tx) stepPure(cost uint64) {
 		st.sig.status = st.doomStatus
 		panic(&st.sig)
 	}
-	if t.u.cfg.SpuriousProb > 0 && t.ctx.Rand().Bool(t.u.cfg.SpuriousProb) {
+	if t.spurious > 0 && t.ctx.Rand().Bool(t.spurious) {
 		t.ctx.EndQuantum()
 		t.u.lastConflictor[t.hw] = -1
 		st.sig.status = BitSpurious | BitRetry
@@ -384,7 +412,7 @@ func (t *Tx) stepPure(cost uint64) {
 // so the only per-access bookkeeping is a counter bump and a slice append.
 // Cross-socket lines may carry an extra cost (see mem.SetAccessCost).
 func (t *Tx) Load(a mem.Addr) uint64 {
-	t.step(t.cost.TxLoad + t.u.mem.AccessCost(t.hw, a))
+	t.step(t.loadCost + t.u.mem.AccessCost(t.hw, a))
 	st := t.st
 	if v, ok := st.wb.get(a); ok {
 		return v
@@ -392,7 +420,7 @@ func (t *Tx) Load(a mem.Addr) uint64 {
 	if grew, ownWrite := t.u.mem.RegisterRead(t.hw, a); grew && !ownWrite {
 		st.nReadLines++
 		st.lines = append(st.lines, mem.LineOf(a))
-		if st.nReadLines > t.u.readCap(t.hw) {
+		if !t.sw && st.nReadLines > t.u.readCap(t.hw) {
 			st.sig.status = BitCapacity
 			panic(&st.sig)
 		}
@@ -402,14 +430,14 @@ func (t *Tx) Load(a mem.Addr) uint64 {
 
 // Store performs a transactional (buffered) store.
 func (t *Tx) Store(a mem.Addr, v uint64) {
-	t.step(t.cost.TxStore + t.u.mem.AccessCost(t.hw, a))
+	t.step(t.storeCost + t.u.mem.AccessCost(t.hw, a))
 	st := t.st
 	if grew, wasReader := t.u.mem.RegisterWrite(t.hw, a); grew {
 		st.nWriteLines++
 		if !wasReader {
 			st.lines = append(st.lines, mem.LineOf(a))
 		}
-		if st.nWriteLines > t.u.writeCap(t.hw) {
+		if !t.sw && st.nWriteLines > t.u.writeCap(t.hw) {
 			st.sig.status = BitCapacity
 			panic(&st.sig)
 		}
@@ -482,6 +510,7 @@ func (u *Unit) Run(ctx *machine.Ctx, body func(*Tx)) (status Status) {
 
 	tx := &st.tx
 	tx.u, tx.ctx, tx.cost, tx.st, tx.hw = u, ctx, cost, st, hw
+	tx.sw, tx.loadCost, tx.storeCost, tx.spurious = false, cost.TxLoad, cost.TxStore, u.cfg.SpuriousProb
 	defer func() {
 		if r := recover(); r != nil {
 			// An explicit Tx.Abort can fire with a quantum still open (its
@@ -525,6 +554,101 @@ func (u *Unit) Run(ctx *machine.Ctx, body func(*Tx)) (status Status) {
 	u.coreActive[u.coreOf[hw]]--
 	u.cnt[hw].Commits++
 	return 0
+}
+
+// RunSW executes body as one software (STM) transaction attempt on ctx's
+// thread — the SW execution mode of the phased-TM runtime. The protocol
+// reuses the hardware path's machinery wholesale: per-line ownership is
+// acquired through the same conflict registry (so software transactions
+// conflict-detect eagerly against hardware transactions, other software
+// transactions and direct accesses alike, requester-wins), stores are
+// buffered in the same epoch-stamped write buffer and published on commit,
+// and aborts unwind through the same pre-boxed panic signal — zero
+// steady-state allocations, exactly like Run. The differences are the
+// mode parameters: no L1 capacity model (a software footprint is bounded
+// only by memory), no spurious aborts, instrumented per-access costs
+// (CostModel.STMLoad/STMStore) and a multi-line commit publish cost
+// (STMCommit) instead of XEnd. Software attempts do not occupy the
+// physical core's speculative L1 state, so they never shrink the capacity
+// budget of hardware transactions on sibling hyperthreads.
+func (u *Unit) RunSW(ctx *machine.Ctx, body func(*Tx)) (status Status) {
+	hw := ctx.ID()
+	st := &u.txns[hw]
+	if st.active {
+		panic("htm: nested transactions are not supported")
+	}
+	if st.ctx != ctx {
+		st.ctx = ctx
+		ctx.SetUnwinder(func() any {
+			st.sig.status = st.doomStatus
+			return &st.sig
+		})
+	}
+	cost := ctx.Cost()
+	ctx.Tick(cost.STMBegin)
+	st.active = true
+	st.doomed = false
+	st.doomStatus = 0
+	st.nReadLines = 0
+	st.nWriteLines = 0
+	st.lines = st.lines[:0]
+	st.wb.begin()
+
+	tx := &st.tx
+	tx.u, tx.ctx, tx.cost, tx.st, tx.hw = u, ctx, cost, st, hw
+	tx.sw, tx.loadCost, tx.storeCost, tx.spurious = true, cost.STMLoad, cost.STMStore, 0
+	defer func() {
+		if r := recover(); r != nil {
+			// Same unwind discipline as Run: close any open speculative
+			// quantum before touching shared state, then classify.
+			if rb := endQuantumRecover(ctx); rb != nil {
+				r = rb
+			}
+			sig, ok := r.(*abortSignal)
+			if !ok {
+				st.reset()
+				panic(r) // programming error in the body: propagate
+			}
+			status = sig.status
+			if status == 0 {
+				status = BitRetry
+			}
+			u.mem.Unregister(hw, st.lines)
+			st.reset()
+			u.recordAbortSW(hw, status)
+			ctx.Tick(cost.AbortHandle)
+		}
+	}()
+
+	body(tx)
+
+	// Software commit: one scheduling point for the publish, then the
+	// write buffer becomes globally visible. The transaction still owns
+	// every written line in the registry at this point (a conflicting
+	// access would have doomed it), which is what makes the single-step
+	// publish atomic with respect to all other execution modes.
+	tx.step(cost.STMCommit)
+	st.wb.apply(u.mem)
+	u.mem.Unregister(hw, st.lines)
+	st.reset()
+	u.swCnt[hw].Commits++
+	return 0
+}
+
+// recordAbortSW is recordAbort for software-mode attempts.
+func (u *Unit) recordAbortSW(hw int, s Status) {
+	c := &u.swCnt[hw]
+	c.Aborts++
+	switch {
+	case s&BitConflict != 0:
+		c.ConflictAborts++
+	case s&BitCapacity != 0:
+		c.CapacityAborts++
+	case s&BitExplicit != 0:
+		c.ExplicitAborts++
+	case s&BitSpurious != 0:
+		c.SpuriousAborts++
+	}
 }
 
 // endQuantumRecover closes an open speculative quantum from inside Run's

@@ -15,6 +15,7 @@ import (
 type Buffers struct {
 	txns           []txnState
 	cnt            []Counters
+	swCnt          []Counters
 	coreActive     []int16
 	coreOf         []int32
 	lastConflictor []int16
@@ -32,23 +33,27 @@ func NewRecycled(m *mem.Memory, mach machine.Config, cfg Config, buf *Buffers) *
 	cores := mach.PhysCores()
 	u := &Unit{mem: m, mach: mach, cfg: cfg}
 	if buf != nil && cap(buf.txns) >= hw && cap(buf.cnt) >= hw &&
+		cap(buf.swCnt) >= hw &&
 		cap(buf.coreActive) >= cores && cap(buf.coreOf) >= hw &&
 		cap(buf.lastConflictor) >= hw {
 		u.txns = buf.txns[:hw]
 		u.cnt = buf.cnt[:hw]
+		u.swCnt = buf.swCnt[:hw]
 		u.coreActive = buf.coreActive[:cores]
 		u.coreOf = buf.coreOf[:hw]
 		u.lastConflictor = buf.lastConflictor[:hw]
-		buf.txns, buf.cnt = nil, nil
+		buf.txns, buf.cnt, buf.swCnt = nil, nil, nil
 		buf.coreActive, buf.coreOf, buf.lastConflictor = nil, nil, nil
 		for i := range u.txns {
 			u.txns[i].recycle()
 			u.cnt[i] = Counters{}
+			u.swCnt[i] = Counters{}
 		}
 		clear(u.coreActive)
 	} else {
 		u.txns = make([]txnState, hw)
 		u.cnt = make([]Counters, hw)
+		u.swCnt = make([]Counters, hw)
 		u.coreActive = make([]int16, cores)
 		u.coreOf = make([]int32, hw)
 		u.lastConflictor = make([]int16, hw)
@@ -81,10 +86,11 @@ func (u *Unit) Release(buf *Buffers) {
 	if cap(u.txns) > cap(buf.txns) {
 		buf.txns = u.txns
 		buf.cnt = u.cnt
+		buf.swCnt = u.swCnt
 		buf.coreActive = u.coreActive
 		buf.coreOf = u.coreOf
 		buf.lastConflictor = u.lastConflictor
 	}
-	u.txns, u.cnt = nil, nil
+	u.txns, u.cnt, u.swCnt = nil, nil, nil
 	u.coreActive, u.coreOf, u.lastConflictor = nil, nil, nil
 }

@@ -51,6 +51,10 @@ type CostModel struct {
 	StatsSlot   uint64 // scanning one activeTxs slot (Seer profiling)
 	UpdateBase  uint64 // fixed cost of recomputing the lock scheme
 	UpdatePair  uint64 // per-(x,y)-pair cost of recomputing the lock scheme
+	STMBegin    uint64 // starting a software (STM) transaction attempt
+	STMCommit   uint64 // software commit: publishing the write buffer
+	STMLoad     uint64 // instrumented software transactional load
+	STMStore    uint64 // instrumented software transactional store
 }
 
 // DefaultCostModel returns the calibrated cost model used throughout the
@@ -70,6 +74,14 @@ func DefaultCostModel() CostModel {
 		StatsSlot:   1,
 		UpdateBase:  400,
 		UpdatePair:  6,
+		// Software-mode costs: an STM attempt has no hardware begin/abort
+		// machinery but pays per-access instrumentation (ownership
+		// acquisition through the conflict registry) and a multi-line
+		// commit publish — the classic HTM-vs-STM cost inversion.
+		STMBegin:  10,
+		STMCommit: 30,
+		STMLoad:   6,
+		STMStore:  8,
 	}
 }
 

@@ -1,0 +1,316 @@
+package policy
+
+import (
+	"fmt"
+
+	"seer/internal/htm"
+	"seer/internal/mem"
+	"seer/internal/spinlock"
+	"seer/internal/trace"
+	"seer/internal/txtrace"
+)
+
+// PhaseMode is the global execution mode of the phased-TM runtime, in the
+// spirit of PhTM-Star's mode indicator: all threads consult one mode word
+// and follow its current phase.
+type PhaseMode int
+
+// Phases. The numeric values are the trace.EvPhase payload encoding and
+// the telemetry occupancy slots, so they must stay stable.
+const (
+	PhaseHW    PhaseMode = iota // hardware attempts with SGL fall-back
+	PhaseSW                     // software (STM) commit path
+	PhaseGLOCK                  // single-global-lock serialization
+	PhaseCount
+)
+
+// String returns the phase mnemonic.
+func (m PhaseMode) String() string {
+	switch m {
+	case PhaseHW:
+		return "HW"
+	case PhaseSW:
+		return "SW"
+	case PhaseGLOCK:
+		return "GLOCK"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(m))
+	}
+}
+
+// DefaultSWRuns is the deferral persistence: how many software-mode
+// completions a capacity-deferred thread performs before its deferral is
+// considered drained. Values above one are the hysteresis that keeps a
+// capacity-bound block in SW mode across its next few executions (it
+// would almost certainly capacity-abort again) instead of ping-ponging
+// HW → capacity abort → SW on every single execution.
+const DefaultSWRuns = 4
+
+// Phased is the phased-TM policy ("PhTM"): a PhTM-Star-style global mode
+// word with HW ↔ SW ↔ GLOCK transitions driven by deferred/undeferred
+// counters.
+//
+//   - In HW mode it behaves like RTM: up to MaxAttempts hardware attempts
+//     with lemming avoidance, then the SGL (bracketed by GLOCK
+//     transitions). A capacity abort, however, does not burn retries on
+//     an attempt that cannot ever fit — it defers the thread to SW mode
+//     (deferred count++, mode → SW).
+//   - In SW mode every thread runs the software commit path (htm.RunSW):
+//     slower per access but with no footprint limit and no global
+//     serialization, so disjoint capacity-bound blocks commit
+//     concurrently where an SGL fall-back would serialize the machine.
+//     Each software completion by a deferred thread drains its deferral
+//     budget; when the global deferred count reaches zero the mode
+//     returns to HW (undeferred).
+//   - GLOCK is entered only when a thread exhausts its retry budget on
+//     data conflicts (HW or SW); it brackets the single-global-lock
+//     acquisition so mode occupancy accounts for serialized stretches.
+//
+// All mode decisions read and write plain fields between scheduling
+// points of the single-goroutine engine, at deterministic virtual-time
+// points — schedules and reports are byte-identical for a fixed seed.
+// Unlike real PhTM, the mode word is pure scheduling policy, not a
+// correctness mechanism: hardware and software transactions share the
+// conflict registry, so cross-mode conflicts are detected physically and
+// any interleaving of modes is serializable (see DESIGN.md §6k).
+type Phased struct {
+	SGL         spinlock.Lock
+	MaxAttempts int
+	SWRuns      int // deferral persistence (hysteresis), ≥ 1
+
+	mode        PhaseMode
+	deferred    int   // threads currently holding a deferral
+	deferBudget []int // per-hw remaining SW completions of its deferral
+	glockDepth  int   // threads inside the GLOCK bracket
+
+	// Cumulative statistics for reports and the telemetry phase probe.
+	deferrals   uint64
+	undeferrals uint64
+	transitions uint64
+	swAttempts  uint64
+	swCommits   uint64
+	swAborts    uint64
+	occupancy   [PhaseCount]uint64
+	lastSwitch  uint64
+}
+
+// NewPhased builds the phased policy for a machine with hwThreads
+// hardware threads.
+func NewPhased(sgl spinlock.Lock, maxAttempts, hwThreads int) *Phased {
+	return &Phased{
+		SGL:         sgl,
+		MaxAttempts: maxAttempts,
+		SWRuns:      DefaultSWRuns,
+		deferBudget: make([]int, hwThreads),
+	}
+}
+
+// Name implements Policy.
+func (p *Phased) Name() string { return "PhTM" }
+
+// Mode returns the current global execution mode.
+func (p *Phased) Mode() PhaseMode { return p.mode }
+
+// PhasedStats is the end-of-run snapshot of the phased runtime's counters.
+type PhasedStats struct {
+	Deferrals   uint64 // capacity aborts routed to SW mode
+	Undeferrals uint64 // deferrals drained (budget exhausted)
+	Transitions uint64 // global mode-word changes
+	SWAttempts  uint64 // software attempts issued
+	SWCommits   uint64 // software commits
+	SWAborts    uint64 // software aborts (conflict or SGL subscription)
+	// Occupancy is the virtual-cycle split across phases, with the
+	// still-open phase segment credited up to the given makespan.
+	Occupancy [PhaseCount]uint64
+}
+
+// Stats reports the cumulative counters as of virtual time makespan.
+func (p *Phased) Stats(makespan uint64) PhasedStats {
+	_, occ := p.PhaseCounters(makespan)
+	return PhasedStats{
+		Deferrals:   p.deferrals,
+		Undeferrals: p.undeferrals,
+		Transitions: p.transitions,
+		SWAttempts:  p.swAttempts,
+		SWCommits:   p.swCommits,
+		SWAborts:    p.swAborts,
+		Occupancy:   occ,
+	}
+}
+
+// PhaseCounters is the telemetry phase probe (telemetry.PhaseProbe): the
+// cumulative transition count and per-phase occupancy as of virtual time
+// now, with the open segment credited to the current phase.
+func (p *Phased) PhaseCounters(now uint64) (transitions uint64, occupancy [PhaseCount]uint64) {
+	occupancy = p.occupancy
+	if now > p.lastSwitch {
+		occupancy[p.mode] += now - p.lastSwitch
+	}
+	return p.transitions, occupancy
+}
+
+// setMode advances the global mode word at the current virtual time,
+// crediting the elapsed segment to the outgoing phase and recording the
+// transition in the event log. The clamp (now > lastSwitch) keeps the
+// accounting monotone across repeated Runs, whose clocks restart at zero.
+func (p *Phased) setMode(t *Thread, m PhaseMode) {
+	if m == p.mode {
+		return
+	}
+	now := t.Ctx.Clock()
+	if now > p.lastSwitch {
+		p.occupancy[p.mode] += now - p.lastSwitch
+	}
+	p.lastSwitch = now
+	old := p.mode
+	p.mode = m
+	p.transitions++
+	t.Trace.Record2(now, t.Ctx.ID(), trace.EvPhase, -1, uint32(m), uint32(old))
+}
+
+// Run implements Policy.
+func (p *Phased) Run(t *Thread, txID int, obj uint64, body func(mem.Access)) {
+	t.curTx = txID
+	for {
+		// Dispatch on the mode word. While GLOCK is held the run keeps
+		// its deferral-driven routing: deferred work stays software.
+		if p.mode == PhaseSW || (p.mode == PhaseGLOCK && p.deferred > 0) {
+			if p.runSW(t, body) {
+				return
+			}
+		} else if p.runHW(t, body) {
+			return
+		}
+	}
+}
+
+// runHW is the hardware phase: an RTM-style retry loop, except that a
+// capacity abort defers the thread to SW mode instead of burning the
+// remaining retries on a footprint that can never fit. Returns true when
+// body committed; false means the caller must redispatch (the mode moved
+// to SW).
+func (p *Phased) runHW(t *Thread, body func(mem.Access)) bool {
+	for attempts := p.MaxAttempts; attempts > 0; attempts-- {
+		if p.SGL.LockedFast(t.Mem) {
+			spinSGL(t, p.SGL)
+		}
+		status := attempt(t, p.SGL, body)
+		if status == 0 {
+			t.commit(ModeHTM)
+			return true
+		}
+		if status.Capacity() {
+			p.deferToSW(t)
+			return false
+		}
+	}
+	p.runGlock(t, body)
+	return true
+}
+
+// runSW is the software phase: up to MaxAttempts STM attempts, then the
+// GLOCK bracket. Returns true when body committed; false means the mode
+// returned to HW before a commit and the caller must redispatch.
+func (p *Phased) runSW(t *Thread, body func(mem.Access)) bool {
+	hw := t.Ctx.ID()
+	for attempts := p.MaxAttempts; attempts > 0; attempts-- {
+		if p.SGL.LockedFast(t.Mem) {
+			spinSGL(t, p.SGL)
+		}
+		status := p.swAttempt(t, body)
+		if status == 0 {
+			t.commit(ModeSTM)
+			p.swDone(t, hw)
+			return true
+		}
+		if p.mode == PhaseHW {
+			// Undeferred while we were aborting: rejoin the HW phase.
+			return false
+		}
+	}
+	p.runGlock(t, body)
+	p.swDone(t, hw) // a serialized commit drains the deferral too
+	return true
+}
+
+// deferToSW routes a capacity-aborting thread to the software phase:
+// its deferral budget is (re)armed and the global mode word moves to SW.
+func (p *Phased) deferToSW(t *Thread) {
+	hw := t.Ctx.ID()
+	if p.deferBudget[hw] == 0 {
+		p.deferred++
+	}
+	p.deferrals++
+	p.deferBudget[hw] = p.SWRuns
+	if p.mode == PhaseHW {
+		p.setMode(t, PhaseSW)
+	}
+}
+
+// swDone accounts one software-phase completion (STM or GLOCK commit) by
+// hw: a deferred thread drains one unit of its budget, and when the last
+// deferral drains the mode word returns to HW.
+func (p *Phased) swDone(t *Thread, hw int) {
+	if p.deferBudget[hw] == 0 {
+		return
+	}
+	p.deferBudget[hw]--
+	if p.deferBudget[hw] > 0 {
+		return
+	}
+	p.deferred--
+	p.undeferrals++
+	if p.deferred == 0 && p.mode == PhaseSW {
+		p.setMode(t, PhaseHW)
+	}
+}
+
+// runGlock serializes body on the single global lock, bracketed by GLOCK
+// transitions so mode occupancy accounts for the serialized stretch. The
+// depth counter keeps the mode word in GLOCK while any thread is queued
+// on or holding the lock through this path.
+func (p *Phased) runGlock(t *Thread, body func(mem.Access)) {
+	if p.glockDepth == 0 {
+		p.setMode(t, PhaseGLOCK)
+	}
+	p.glockDepth++
+	runSGL(t, p.SGL, body)
+	p.glockDepth--
+	if p.glockDepth == 0 && p.mode == PhaseGLOCK {
+		if p.deferred > 0 {
+			p.setMode(t, PhaseSW)
+		} else {
+			p.setMode(t, PhaseHW)
+		}
+	}
+}
+
+// swAttempt runs body once on the software commit path, subscribed to the
+// single-global lock exactly like a hardware attempt (a software
+// transaction must not commit while an SGL holder is mid-critical-
+// section; loading the lock word registers it, so the holder's release
+// store dooms the subscriber — the same strong-isolation argument as the
+// hardware path).
+func (p *Phased) swAttempt(t *Thread, body func(mem.Access)) htm.Status {
+	p.swAttempts++
+	t.Tel.IncAttempt()
+	t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvBegin, t.curTx, 0)
+	t.Spans.AttemptBegin(t.Ctx.ID(), t.Ctx.Clock())
+	status := t.HTM.RunSW(t.Ctx, func(tx *htm.Tx) {
+		if p.SGL.LockedTx(tx) {
+			tx.Abort(spinlock.CodeSGLHeld)
+		}
+		body(tx)
+	})
+	if status == 0 {
+		p.swCommits++
+		t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvCommit, t.curTx, 0)
+		t.Spans.AttemptCommit(t.Ctx.ID(), t.Ctx.Clock())
+	} else {
+		p.swAborts++
+		t.Tel.IncAbort(abortCause(status))
+		t.Trace.Record(t.Ctx.Clock(), t.Ctx.ID(), trace.EvAbort, t.curTx, uint32(status))
+		t.Spans.AttemptAbort(t.Ctx.ID(), t.Ctx.Clock(), uint32(status), txtrace.Cause(abortCause(status)))
+	}
+	return status
+}

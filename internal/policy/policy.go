@@ -37,6 +37,7 @@ const (
 	ModeHTMCore               // hardware transaction holding a Seer core lock
 	ModeHTMTxCore             // hardware transaction holding both kinds
 	ModeSGL                   // single-global-lock software fall-back
+	ModeSTM                   // software (STM) commit path of the phased runtime
 	NumModes
 )
 
@@ -55,6 +56,8 @@ func (m Mode) String() string {
 		return "HTM + Tx + Core Locks"
 	case ModeSGL:
 		return "SGL fall-back"
+	case ModeSTM:
+		return "STM sw-mode"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}

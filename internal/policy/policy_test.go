@@ -381,6 +381,7 @@ func TestTelemetryModeAlignment(t *testing.T) {
 		{int(ModeHTMCore), telemetry.ModeHTMCore},
 		{int(ModeHTMTxCore), telemetry.ModeHTMTxCore},
 		{int(ModeSGL), telemetry.ModeSGL},
+		{int(ModeSTM), telemetry.ModeSTM},
 		{int(NumModes), telemetry.NumModes},
 	}
 	for _, p := range pairs {

@@ -104,9 +104,9 @@ func TestRegistry(t *testing.T) {
 	// Suite + the §5.3 microbenchmark + the two workloads the paper
 	// excludes from its evaluation (implemented for completeness) + the
 	// adversarial conflict-graph generators (registered by the harness's
-	// adversary import).
+	// adversary import) + the capacity-bound phased-TM stressor.
 	for _, n := range append(append([]string{}, stamp.Suite...),
-		"hashmap", "bayes", "labyrinth", "synth",
+		"hashmap", "bayes", "labyrinth", "synth", "capbound",
 		"adv-ring", "adv-star", "adv-bipartite", "adv-clique", "adv-phase") {
 		want[n] = true
 	}

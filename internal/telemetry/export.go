@@ -33,7 +33,9 @@ func CSVHeader() []string {
 		"throughput_per_kcycle", "abort_rate",
 		"attr_top_pair", "attr_top_pair_dooms", "cascade_deepest",
 		"quantum_grants", "quantum_ticks",
-		"quantum_rollbacks", "quantum_rollback_ticks")
+		"quantum_rollbacks", "quantum_rollback_ticks",
+		"phase_transitions", "phase_hw_cycles",
+		"phase_sw_cycles", "phase_glock_cycles")
 }
 
 // CSVRecord renders one snapshot in CSVHeader's column order.
@@ -78,7 +80,11 @@ func CSVRecord(s Snapshot) []string {
 		strconv.FormatUint(s.QuantumGrants, 10),
 		strconv.FormatUint(s.QuantumTicks, 10),
 		strconv.FormatUint(s.QuantumRollbacks, 10),
-		strconv.FormatUint(s.QuantumRollbackTicks, 10))
+		strconv.FormatUint(s.QuantumRollbackTicks, 10),
+		strconv.FormatUint(s.PhaseTransitions, 10),
+		strconv.FormatUint(s.PhaseHWCycles, 10),
+		strconv.FormatUint(s.PhaseSWCycles, 10),
+		strconv.FormatUint(s.PhaseGLOCKCycles, 10))
 }
 
 // WriteCSV renders the timeline as CSV, one row per interval.
@@ -194,6 +200,14 @@ func WriteChromeTrace(w io.Writer, events []trace.Event) error {
 					"th1": float64(math.Float32frombits(e.Detail)),
 					"th2": float64(math.Float32frombits(e.Detail2)),
 				},
+			})
+		case trace.EvPhase:
+			// Phased-TM mode transition: Detail is the new mode, Detail2
+			// the old one (0=HW, 1=SW, 2=GLOCK). Process-scoped instant so
+			// the global mode change reads as a vertical line in Perfetto.
+			out = append(out, chromeEvent{
+				Name: "phase", Ph: "i", Ts: e.Cycle, Pid: 0, Tid: hw, S: "p",
+				Args: map[string]any{"to": e.Detail, "from": e.Detail2},
 			})
 		case trace.EvDoom:
 			// Attribution event from internal/txtrace: Detail is the

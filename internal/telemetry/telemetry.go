@@ -23,6 +23,7 @@ const (
 	ModeHTMCore
 	ModeHTMTxCore
 	ModeSGL
+	ModeSTM
 	NumModes
 	// MaxModes fixes the array size so adding a mode is a compile-time
 	// event here rather than a silent truncation.
@@ -30,7 +31,7 @@ const (
 )
 
 // ModeNames are the CSV/JSONL column names per mode slot.
-var ModeNames = [NumModes]string{"htm", "htm_aux", "htm_tx", "htm_core", "htm_tx_core", "sgl"}
+var ModeNames = [NumModes]string{"htm", "htm_aux", "htm_tx", "htm_core", "htm_tx_core", "sgl", "stm"}
 
 // Cause classifies hardware aborts for the per-interval breakdown,
 // mirroring the priority order of htm's counter accounting.
@@ -171,6 +172,17 @@ type Snapshot struct {
 	QuantumRollbacks     uint64 `json:"quantum_rollbacks,omitempty"`
 	QuantumRollbackTicks uint64 `json:"quantum_rollback_ticks,omitempty"`
 
+	// Phase* mirror the phased-TM runtime's global execution mode over
+	// the interval: mode transitions that happened in it, and how the
+	// interval's cycles split across the HW/SW/GLOCK phases (diffed from
+	// the policy's cumulative occupancy by the recorder). All zero — and
+	// omitted from JSON — unless the Phased policy installed a phase
+	// probe, keeping pre-phase timeline outputs byte-identical.
+	PhaseTransitions uint64 `json:"phase_transitions,omitempty"`
+	PhaseHWCycles    uint64 `json:"phase_hw_cycles,omitempty"`
+	PhaseSWCycles    uint64 `json:"phase_sw_cycles,omitempty"`
+	PhaseGLOCKCycles uint64 `json:"phase_glock_cycles,omitempty"`
+
 	// Sockets breaks the interval down per socket on multi-socket
 	// machines; nil (and omitted from JSON) on single-socket machines,
 	// which keeps pre-topology timeline outputs byte-identical.
@@ -250,6 +262,12 @@ type PairCount struct {
 // recorder diffs them per interval.
 type QuantumProbe func() (grants, ticks, rollbacks, rollbackTicks uint64)
 
+// PhaseProbe supplies the phased-TM runtime's cumulative mode state as
+// of virtual time now: total mode transitions and per-phase occupancy
+// cycles (HW, SW, GLOCK — with the currently open phase segment credited
+// up to now). The recorder diffs both per interval.
+type PhaseProbe func(now uint64) (transitions uint64, occupancy [3]uint64)
+
 // AttrProbe supplies the attribution subsystem's cumulative state at
 // snapshot time: the flat victim-major ground-truth conflict matrix
 // (borrowed view, nBlocks×nBlocks) and the cumulative cascade-depth
@@ -281,6 +299,12 @@ type Recorder struct {
 	// the last snapshot, for interval diffs.
 	quantumProbe QuantumProbe
 	prevQuantum  [4]uint64
+
+	// Phase probe state: the phased policy's cumulative transition count
+	// and per-phase occupancy at the last snapshot, for interval diffs.
+	phaseProbe    PhaseProbe
+	prevPhase     [3]uint64
+	prevPhaseTran uint64
 
 	// Attribution probe state: cumulative truth matrix and cascade
 	// histogram at the last snapshot, for interval diffs.
@@ -332,6 +356,18 @@ func (r *Recorder) SetQuantumProbe(p QuantumProbe) {
 		return
 	}
 	r.quantumProbe = p
+}
+
+// SetPhaseProbe installs the phased-TM mode probe: every snapshot from
+// here on carries the interval's mode-transition count and HW/SW/GLOCK
+// occupancy split. Without it (the default, and under every non-phased
+// policy) those fields stay zero and timeline outputs are byte-identical
+// to pre-phase ones.
+func (r *Recorder) SetPhaseProbe(p PhaseProbe) {
+	if r == nil {
+		return
+	}
+	r.phaseProbe = p
 }
 
 // SetAttribution installs the abort-attribution probe: every snapshot
@@ -427,6 +463,14 @@ func (r *Recorder) emit(end uint64) {
 		snap.QuantumRollbacks = cum[2] - r.prevQuantum[2]
 		snap.QuantumRollbackTicks = cum[3] - r.prevQuantum[3]
 		r.prevQuantum = cum
+	}
+	if r.phaseProbe != nil {
+		tran, occ := r.phaseProbe(end)
+		snap.PhaseTransitions = tran - r.prevPhaseTran
+		snap.PhaseHWCycles = occ[0] - r.prevPhase[0]
+		snap.PhaseSWCycles = occ[1] - r.prevPhase[1]
+		snap.PhaseGLOCKCycles = occ[2] - r.prevPhase[2]
+		r.prevPhaseTran, r.prevPhase = tran, occ
 	}
 	if r.attrProbe != nil {
 		r.emitAttribution(&snap)

@@ -28,6 +28,7 @@ const (
 	EvScheme               // locking scheme recomputed
 	EvTune                 // thresholds re-tuned
 	EvDoom                 // abort attributed: Detail=conflicting line, Detail2=packed aborter hw/block
+	EvPhase                // phased-TM mode transition: Detail=new mode, Detail2=old mode
 )
 
 // String returns the event kind's mnemonic.
@@ -53,6 +54,8 @@ func (k Kind) String() string {
 		return "tune"
 	case EvDoom:
 		return "doom"
+	case EvPhase:
+		return "phase"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -191,7 +194,7 @@ func (l *Log) FormatSummary() string {
 // knownKinds lists every defined kind, for name-based lookups.
 var knownKinds = []Kind{
 	EvBegin, EvCommit, EvAbort, EvFallback,
-	EvLockAcq, EvLockRel, EvWait, EvScheme, EvTune, EvDoom,
+	EvLockAcq, EvLockRel, EvWait, EvScheme, EvTune, EvDoom, EvPhase,
 }
 
 // ParseKinds parses a comma-separated list of kind mnemonics (as printed

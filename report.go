@@ -35,6 +35,10 @@ type Report struct {
 	// policy ran (nil otherwise).
 	Backoff *BackoffReport
 
+	// Phased holds the phased-TM runtime's mode-word statistics when the
+	// Phased policy ran (nil otherwise).
+	Phased *PhasedReport
+
 	// Quantum holds the engine's speculative-quantum counters when
 	// Config.SpeculativeQuantum > 0 (nil otherwise). Like the HTM
 	// counters they accumulate across Runs on one System. The counters
@@ -81,6 +85,26 @@ type BackoffReport struct {
 	Waits     uint64
 	Cycles    uint64
 	MaxWindow uint64
+}
+
+// PhasedReport captures the phased-TM runtime's counters at the end of a
+// run: how often capacity aborts deferred work to the software commit
+// path, the software attempt/commit/abort volume, the global mode word's
+// transition count and how the makespan split across the HW/SW/GLOCK
+// phases.
+type PhasedReport struct {
+	Deferrals   uint64
+	Undeferrals uint64
+	Transitions uint64
+	SWAttempts  uint64
+	SWCommits   uint64
+	SWAborts    uint64
+	// ModeCycles is the virtual-cycle occupancy per phase, indexed
+	// HW=0, SW=1, GLOCK=2 (policy.PhaseHW/PhaseSW/PhaseGLOCK).
+	ModeCycles [3]uint64
+	// STM aggregates the software commit path's event counters by cause
+	// (the SW-mode analogue of Report.HTM).
+	STM HTMCounters
 }
 
 // QuantumReport captures the engine's speculative-quantum activity:
@@ -147,6 +171,17 @@ func (r Report) String() string {
 		fmt.Fprintf(&b, "  backoff: waits=%d cycles=%d maxWindow=%d\n",
 			r.Backoff.Waits, r.Backoff.Cycles, r.Backoff.MaxWindow)
 	}
+	if p := r.Phased; p != nil {
+		fmt.Fprintf(&b, "  phased: deferrals=%d undeferrals=%d transitions=%d sw %d/%d committed\n",
+			p.Deferrals, p.Undeferrals, p.Transitions, p.SWCommits, p.SWAttempts)
+		total := p.ModeCycles[0] + p.ModeCycles[1] + p.ModeCycles[2]
+		if total > 0 {
+			fmt.Fprintf(&b, "  phase occupancy: HW %.1f%% SW %.1f%% GLOCK %.1f%%\n",
+				100*float64(p.ModeCycles[0])/float64(total),
+				100*float64(p.ModeCycles[1])/float64(total),
+				100*float64(p.ModeCycles[2])/float64(total))
+		}
+	}
 	if q := r.Quantum; q != nil && q.Grants > 0 {
 		fmt.Fprintf(&b, "  quantum: grants=%d ticks=%d rollbacks=%d rolledback=%d\n",
 			q.Grants, q.Ticks, q.Rollbacks, q.RollbackTicks)
@@ -165,6 +200,12 @@ func (r Report) Summary() string {
 	fmt.Fprintf(&b, "policy=%s threads=%d\n", r.Policy, r.Threads)
 	fmt.Fprintf(&b, "makespan=%d commits=%d\n", r.MakespanCycles, r.Commits())
 	for m := Mode(0); m < NumModes; m++ {
+		// The STM mode line appears only when the Phased policy ran, so
+		// digests of every other policy are unchanged (the Backoff-line
+		// precedent below).
+		if m == ModeSTM && r.Phased == nil {
+			continue
+		}
 		fmt.Fprintf(&b, "mode[%s]=%d\n", m.String(), r.Modes[m])
 	}
 	fmt.Fprintf(&b, "htm commits=%d aborts=%d conflict=%d capacity=%d explicit=%d spurious=%d\n",
@@ -184,6 +225,16 @@ func (r Report) Summary() string {
 	if r.Backoff != nil {
 		fmt.Fprintf(&b, "backoff waits=%d cycles=%d maxwindow=%d\n",
 			r.Backoff.Waits, r.Backoff.Cycles, r.Backoff.MaxWindow)
+	}
+	// Phased lines appear only when the Phased policy ran, so digests of
+	// every other policy are unchanged.
+	if p := r.Phased; p != nil {
+		fmt.Fprintf(&b, "phased deferrals=%d undeferrals=%d transitions=%d\n",
+			p.Deferrals, p.Undeferrals, p.Transitions)
+		fmt.Fprintf(&b, "phased sw attempts=%d commits=%d aborts=%d conflict=%d explicit=%d\n",
+			p.SWAttempts, p.SWCommits, p.SWAborts, p.STM.ConflictAborts, p.STM.ExplicitAborts)
+		fmt.Fprintf(&b, "phased cycles hw=%d sw=%d glock=%d\n",
+			p.ModeCycles[0], p.ModeCycles[1], p.ModeCycles[2])
 	}
 	fmt.Fprintf(&b, "timeline intervals=%d\n", len(r.Timeline))
 	for _, s := range r.Timeline {
@@ -257,6 +308,19 @@ func (s *System) buildReport(makespan uint64, threads []*policy.Thread) Report {
 		br := &BackoffReport{}
 		br.Waits, br.Cycles, br.MaxWindow = bp.Stats()
 		r.Backoff = br
+	}
+	if pp, ok := s.pol.(*policy.Phased); ok {
+		st := pp.Stats(makespan)
+		r.Phased = &PhasedReport{
+			Deferrals:   st.Deferrals,
+			Undeferrals: st.Undeferrals,
+			Transitions: st.Transitions,
+			SWAttempts:  st.SWAttempts,
+			SWCommits:   st.SWCommits,
+			SWAborts:    st.SWAborts,
+			ModeCycles:  st.Occupancy,
+			STM:         s.htm.SWCounters(),
+		}
 	}
 	if s.cfg.SpeculativeQuantum > 0 {
 		qr := &QuantumReport{}

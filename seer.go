@@ -108,6 +108,7 @@ const (
 	ModeHTMCore   = policy.ModeHTMCore
 	ModeHTMTxCore = policy.ModeHTMTxCore
 	ModeSGL       = policy.ModeSGL
+	ModeSTM       = policy.ModeSTM
 	NumModes      = policy.NumModes
 )
 
@@ -136,6 +137,13 @@ const (
 	PolicyBackoff PolicyKind = "Backoff"
 	// PolicySeer is the full Seer scheduler.
 	PolicySeer PolicyKind = "Seer"
+	// PolicyPhased is the phased-TM runtime ("PhTM"): a PhTM-Star-style
+	// global mode word (HW / SW / GLOCK) with deferred/undeferred
+	// transition counters. Capacity-aborting blocks are deferred to a
+	// software (STM) commit path built on the conflict registry instead
+	// of serializing the machine on the global lock; conflict-aborting
+	// blocks go through the usual retry machinery.
+	PolicyPhased PolicyKind = "PhTM"
 	// PolicyATS is Adaptive Transaction Scheduling (Yoo & Lee, SPAA'08):
 	// a per-thread contention-intensity signal gating one central
 	// dispatch lock — the coarse-grained imprecise-information scheduler
@@ -307,12 +315,13 @@ var (
 	ErrHWThreads       = errors.New("seer: HWThreads < Threads")
 	ErrPolicy          = errors.New("seer: unknown policy")
 	ErrQuantum         = errors.New("seer: SpeculativeQuantum must be non-negative")
+	ErrRegistryShards  = errors.New("seer: RegistryShards must be non-negative")
 )
 
 // valid reports whether p names a registered policy.
 func (p PolicyKind) valid() bool {
 	switch p {
-	case PolicyHLE, PolicyRTM, PolicySCM, PolicyBackoff, PolicyATS, PolicyOracle, PolicySeer, PolicySeq:
+	case PolicyHLE, PolicyRTM, PolicySCM, PolicyBackoff, PolicyATS, PolicyOracle, PolicySeer, PolicyPhased, PolicySeq:
 		return true
 	}
 	return false
@@ -364,6 +373,9 @@ func (c Config) Validate() error {
 	}
 	if c.SpeculativeQuantum < 0 {
 		return fmt.Errorf("%w, got %d", ErrQuantum, c.SpeculativeQuantum)
+	}
+	if c.RegistryShards < 0 {
+		return fmt.Errorf("%w, got %d", ErrRegistryShards, c.RegistryShards)
 	}
 	topo, err := c.machineTopology()
 	if err != nil {
@@ -488,6 +500,8 @@ func NewSystem(cfg Config) (*System, error) {
 		rng := machine.NewRand(uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03)
 		s.sched = core.New(cfg.NumAtomicBlocks, mach, s.mem, s.htm, cfg.Seer, &rng)
 		s.pol = &policy.Seer{SGL: s.sgl, MaxAttempts: cfg.MaxAttempts, Sched: s.sched}
+	case PolicyPhased:
+		s.pol = policy.NewPhased(s.sgl, cfg.MaxAttempts, hw)
 	case PolicySeq:
 		s.pol = &policy.Sequential{}
 	default:
@@ -509,6 +523,9 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		if cfg.SpeculativeQuantum > 0 {
 			s.tel.SetQuantumProbe(eng.QuantumCounters)
+		}
+		if pp, ok := s.pol.(*policy.Phased); ok {
+			s.tel.SetPhaseProbe(pp.PhaseCounters)
 		}
 	}
 	if cfg.TraceAttempts || cfg.AttributionCounters {

@@ -13,7 +13,7 @@ import (
 // random transfers between accounts must conserve the total balance under
 // every policy, at every thread count, for random parameters.
 func TestBankTransferConservation(t *testing.T) {
-	for _, pol := range []seer.PolicyKind{seer.PolicyHLE, seer.PolicyRTM, seer.PolicyBackoff, seer.PolicySCM, seer.PolicySeer} {
+	for _, pol := range []seer.PolicyKind{seer.PolicyHLE, seer.PolicyRTM, seer.PolicyBackoff, seer.PolicySCM, seer.PolicySeer, seer.PolicyPhased} {
 		pol := pol
 		t.Run(string(pol), func(t *testing.T) {
 			f := func(seed int64, nAccounts8 uint8, threads8 uint8) bool {
@@ -153,7 +153,7 @@ func TestReadOnlyAuditsSeeConsistentSnapshots(t *testing.T) {
 // the run every line must equal the total committed count.
 func TestCapacityAbortConservation(t *testing.T) {
 	const lines = 8
-	for _, pol := range []seer.PolicyKind{seer.PolicyHLE, seer.PolicyRTM, seer.PolicyBackoff, seer.PolicySCM, seer.PolicyATS, seer.PolicyOracle, seer.PolicySeer} {
+	for _, pol := range []seer.PolicyKind{seer.PolicyHLE, seer.PolicyRTM, seer.PolicyBackoff, seer.PolicySCM, seer.PolicyATS, seer.PolicyOracle, seer.PolicySeer, seer.PolicyPhased} {
 		pol := pol
 		t.Run(string(pol), func(t *testing.T) {
 			f := func(seed int64, threads8 uint8) bool {
@@ -389,6 +389,7 @@ func TestConfigValidation(t *testing.T) {
 		{"zero blocks", func(c *seer.Config) { c.NumAtomicBlocks = 0 }, seer.ErrNumAtomicBlocks},
 		{"zero attempts", func(c *seer.Config) { c.MaxAttempts = 0 }, seer.ErrMaxAttempts},
 		{"hwthreads below threads", func(c *seer.Config) { c.Threads = 8; c.HWThreads = 4 }, seer.ErrHWThreads},
+		{"negative registry shards", func(c *seer.Config) { c.RegistryShards = -1 }, seer.ErrRegistryShards},
 		{"unknown policy", func(c *seer.Config) { c.Policy = "Bogus" }, seer.ErrPolicy},
 	}
 	for _, tc := range cases {
